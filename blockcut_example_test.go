@@ -1,0 +1,32 @@
+package fastbcc_test
+
+import (
+	"fmt"
+
+	fastbcc "repro"
+)
+
+// ExampleResult_BlockCutTree builds the block-cut tree of a path: blocks
+// and articulation points alternate along the tree.
+func ExampleResult_BlockCutTree() {
+	g := fastbcc.GenerateChain(4) // 0-1-2-3: blocks {0,1},{1,2},{2,3}
+	res := fastbcc.BCC(g, nil)
+	bct := res.BlockCutTree()
+	fmt.Println(bct.NumBlocks, len(bct.Cuts), bct.IsTree())
+	// Output:
+	// 3 2 true
+}
+
+// ExampleResult_BlockSizes inspects block sizes on a barbell graph.
+func ExampleResult_BlockSizes() {
+	g, _ := fastbcc.NewGraphFromEdges(7, []fastbcc.Edge{
+		{U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 0}, // triangle
+		{U: 2, W: 3},                                           // bridge
+		{U: 3, W: 4}, {U: 4, W: 5}, {U: 5, W: 6}, {U: 6, W: 3}, // square
+	})
+	res := fastbcc.BCC(g, nil)
+	size, _ := res.LargestBlock()
+	fmt.Println(res.NumBCC, size)
+	// Output:
+	// 3 4
+}

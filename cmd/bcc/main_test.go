@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestLoadGen(t *testing.T) {
+	g, err := load("", "bin", "Chn7", "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 30000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+}
+
+func TestLoadGenUnknown(t *testing.T) {
+	if _, err := load("", "bin", "NOPE", "small"); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+}
+
+func TestLoadBinaryFile(t *testing.T) {
+	path := t.TempDir() + "/g.bin"
+	g := gen.Cycle(10)
+	if err := g.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := load(path, "bin", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != 10 {
+		t.Fatalf("m = %d", got.NumEdges())
+	}
+}
+
+func TestLoadEdgeListFile(t *testing.T) {
+	path := t.TempDir() + "/g.txt"
+	if err := os.WriteFile(path, []byte("3 2\n0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := load(path, "edges", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestLoadNothing(t *testing.T) {
+	if _, err := load("", "bin", "", ""); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestCollectRowsSubset(t *testing.T) {
+	rows := collectRows(0 /* Small */, 1, "SQR,Chn7", nil)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Name] = true
+		if r.OursPar <= 0 || r.Seq <= 0 {
+			t.Fatalf("%s: missing timings", r.Name)
+		}
+	}
+	if !names["SQR"] || !names["Chn7"] {
+		t.Fatalf("wrong subset: %v", names)
+	}
+}
+
+func TestCollectRowsUnknownNameIgnored(t *testing.T) {
+	rows := collectRows(0, 1, "DOES-NOT-EXIST", nil)
+	if len(rows) != 0 {
+		t.Fatalf("rows = %d, want 0", len(rows))
+	}
+}

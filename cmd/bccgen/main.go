@@ -1,0 +1,86 @@
+// Command bccgen generates benchmark graphs and writes them to disk in the
+// repository's binary CSR format (readable by cmd/bcc and fastbcc.LoadGraph).
+//
+// Usage:
+//
+//	bccgen -name SQR -scale medium -out sqr.bin     # a suite instance
+//	bccgen -kind rmat -n 16 -param 8 -out rmat.bin  # custom RMAT 2^16, ef=8
+//	bccgen -kind grid -n 500 -param 500 -out g.bin  # 500x500 circular grid
+//	bccgen -kind chain -n 1000000 -out chain.bin
+//	bccgen -kind knn -n 100000 -param 5 -out knn.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	name := flag.String("name", "", "suite instance name (YT..Chn8)")
+	scale := flag.String("scale", "small", "scale for -name")
+	kind := flag.String("kind", "", "custom generator: rmat|grid|chain|knn|er|road")
+	n := flag.Int("n", 1000, "size parameter (rmat: log2 n; grid/road: rows; others: n)")
+	param := flag.Int("param", 5, "secondary parameter (rmat: edge factor; grid/road: cols; knn: k; er: m)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output path (required)")
+	text := flag.Bool("text", false, "write text edge list instead of binary")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "bccgen: -out is required")
+		os.Exit(2)
+	}
+	g, err := build(*name, *scale, *kind, *n, *param, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bccgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("generated: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+	if *text {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bccgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := g.WriteEdgeList(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bccgen:", err)
+			os.Exit(1)
+		}
+	} else if err := g.SaveFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "bccgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func build(name, scale, kind string, n, param int, seed uint64) (*graph.Graph, error) {
+	if name != "" {
+		ins, ok := bench.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown suite instance %q", name)
+		}
+		return ins.Build(bench.ParseScale(scale)), nil
+	}
+	switch kind {
+	case "rmat":
+		return gen.RMAT(n, param, seed), nil
+	case "grid":
+		return gen.Grid2D(n, param, true), nil
+	case "chain":
+		return gen.Chain(n), nil
+	case "knn":
+		return gen.KNN(n, param, seed), nil
+	case "er":
+		return gen.ER(n, param, seed), nil
+	case "road":
+		return gen.RoadLike(n, param, 0.1, seed), nil
+	default:
+		return nil, fmt.Errorf("need -name or a valid -kind (got %q)", kind)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestBuildSuiteInstance(t *testing.T) {
+	g, err := build("SQR", "small", "", 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 80*80 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+}
+
+func TestBuildUnknownInstance(t *testing.T) {
+	if _, err := build("NOPE", "small", "", 0, 0, 1); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+}
+
+func TestBuildCustomKinds(t *testing.T) {
+	cases := []struct {
+		kind    string
+		n, p    int
+		wantN   int
+		wantErr bool
+	}{
+		{"rmat", 8, 4, 256, false},
+		{"grid", 10, 12, 120, false},
+		{"chain", 50, 0, 50, false},
+		{"knn", 200, 3, 200, false},
+		{"er", 100, 150, 100, false},
+		{"road", 10, 10, 100, false},
+		{"bogus", 1, 1, 0, true},
+		{"", 1, 1, 0, true},
+	}
+	for _, tc := range cases {
+		g, err := build("", "", tc.kind, tc.n, tc.p, 1)
+		if tc.wantErr {
+			if err == nil {
+				t.Fatalf("kind %q accepted", tc.kind)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("kind %q: %v", tc.kind, err)
+		}
+		if g.NumVertices() != tc.wantN {
+			t.Fatalf("kind %q: n = %d, want %d", tc.kind, g.NumVertices(), tc.wantN)
+		}
+	}
+}

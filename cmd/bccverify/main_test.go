@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestVerifyAgreesOnStructuredGraphs(t *testing.T) {
+	cases := map[string]func() bool{
+		"cycle":       func() bool { return verify(gen.Cycle(50), "cycle") },
+		"chain":       func() bool { return verify(gen.Chain(40), "chain") },
+		"cliquechain": func() bool { return verify(gen.CliqueChain(3, 4), "cliquechain") },
+		"disjoint":    func() bool { return verify(gen.Disjoint(gen.Cycle(6), gen.Star(5)), "disjoint") },
+		"rmat":        func() bool { return verify(gen.RMAT(8, 4, 1), "rmat") },
+	}
+	for name, run := range cases {
+		t.Run(name, func(t *testing.T) {
+			if !run() {
+				t.Fatal("verification failed")
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package fastbcc_test
+
+import (
+	"fmt"
+
+	fastbcc "repro"
+)
+
+// ExampleBCC demonstrates the basic decomposition of a small graph: a
+// triangle with a pendant bridge.
+func ExampleBCC() {
+	g, _ := fastbcc.NewGraphFromEdges(4, []fastbcc.Edge{
+		{U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 0}, {U: 2, W: 3},
+	})
+	res := fastbcc.BCC(g, nil)
+	fmt.Println(res.NumBCC)
+	fmt.Println(res.Blocks())
+	// Output:
+	// 2
+	// [[0 1 2] [2 3]]
+}
+
+// ExampleResult_ArticulationPoints finds the cut vertices of a path.
+func ExampleResult_ArticulationPoints() {
+	g := fastbcc.GenerateChain(5) // 0-1-2-3-4
+	res := fastbcc.BCC(g, nil)
+	fmt.Println(res.ArticulationPoints())
+	// Output:
+	// [1 2 3]
+}
+
+// ExampleResult_Bridges lists the bridges of a graph where one edge has a
+// parallel copy (a parallel pair is never a bridge).
+func ExampleResult_Bridges() {
+	g, _ := fastbcc.NewGraphFromEdges(3, []fastbcc.Edge{
+		{U: 0, W: 1}, {U: 0, W: 1}, {U: 1, W: 2},
+	})
+	res := fastbcc.BCC(g, nil)
+	fmt.Println(res.Bridges(g))
+	// Output:
+	// [{1 2}]
+}
+
+// ExampleResult_Biconnected answers O(1) same-block queries.
+func ExampleResult_Biconnected() {
+	// Two triangles sharing vertex 2.
+	g, _ := fastbcc.NewGraphFromEdges(5, []fastbcc.Edge{
+		{U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 0},
+		{U: 2, W: 3}, {U: 3, W: 4}, {U: 4, W: 2},
+	})
+	res := fastbcc.BCC(g, nil)
+	fmt.Println(res.Biconnected(0, 1), res.Biconnected(0, 2), res.Biconnected(0, 3))
+	// Output:
+	// true true false
+}
+
+// ExampleBCCSeq runs the sequential Hopcroft–Tarjan baseline.
+func ExampleBCCSeq() {
+	g := fastbcc.GenerateChain(4)
+	fmt.Println(fastbcc.BCCSeq(g).NumBCC())
+	// Output:
+	// 3
+}

@@ -1,0 +1,46 @@
+// KNN: biconnectivity of k-nearest-neighbor graphs as k grows.
+//
+// k-NN graphs are the paper's second large-diameter family (Sec. 6 builds
+// GL2..GL20 from one point set with k = 2..20). Small k leaves the graph
+// fragmented into many tiny blocks; growing k fuses them into one giant
+// 2-connected component. This example reproduces that transition — the
+// qualitative trend behind the GL rows of Tab. 2 — on one synthetic point
+// set, reporting per-k block structure and FAST-BCC running times.
+//
+// Run with: go run ./examples/knn
+package main
+
+import (
+	"fmt"
+	"time"
+
+	fastbcc "repro"
+)
+
+func main() {
+	const n = 50000
+	fmt.Printf("%6s %10s %10s %12s %12s %10s\n",
+		"k", "edges", "#BCC", "|BCC1|%", "bridges", "time")
+	for _, k := range []int{2, 5, 10, 15, 20} {
+		g := fastbcc.GenerateKNN(n, k, 123) // same seed: same point set
+		t0 := time.Now()
+		res := fastbcc.BCC(g, nil)
+		dt := time.Since(t0)
+
+		counts := make([]int, res.NumLabels)
+		for v, l := range res.Label {
+			if res.Parent[v] != -1 {
+				counts[l]++
+			}
+		}
+		largest := 0
+		for l, c := range counts {
+			if res.Head[l] != -1 && c+1 > largest {
+				largest = c + 1
+			}
+		}
+		fmt.Printf("%6d %10d %10d %11.2f%% %12d %10v\n",
+			k, g.NumEdges(), res.NumBCC,
+			100*float64(largest)/float64(n), len(res.Bridges(g)), dt)
+	}
+}

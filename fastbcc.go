@@ -1,0 +1,122 @@
+// Package fastbcc is a Go implementation of FAST-BCC — "Provably Fast and
+// Space-Efficient Parallel Biconnectivity" (Dong, Wang, Gu, Sun,
+// PPoPP 2023) — together with the baselines the paper evaluates.
+//
+// FAST-BCC computes the biconnected components (BCCs, blocks) of an
+// undirected graph with O(n+m) expected work, O(log³ n) span whp, and O(n)
+// auxiliary space. It follows the skeleton–connectivity framework: a
+// spanning forest is computed by parallel connectivity, rooted with the
+// Euler tour technique, tagged with first/last/low/high, and a second
+// connectivity pass over the implicit skeleton (fence tree edges and back
+// edges skipped) labels the blocks.
+//
+// # Quick start
+//
+//	g, err := fastbcc.NewGraphFromEdges(4, []fastbcc.Edge{
+//		{U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 0}, {U: 2, W: 3},
+//	})
+//	res := fastbcc.BCC(g, nil)
+//	fmt.Println(res.NumBCC)              // 2: the triangle and the bridge
+//	fmt.Println(res.ArticulationPoints()) // [2]
+//
+// The result is the paper's O(n) representation — a label per non-root
+// vertex plus a component head per label; explicit blocks, articulation
+// points, and bridges are derived on demand.
+//
+// Baselines (sequential Hopcroft–Tarjan, a faithful Tarjan–Vishkin, a
+// GBBS-style BFS-skeleton algorithm, and an SM'14-style algorithm) live in
+// internal packages and are exercised by the cmd/bccbench experiment
+// driver; BCCSeq exposes Hopcroft–Tarjan for convenience.
+package fastbcc
+
+import (
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/seqbcc"
+)
+
+// Graph is an undirected graph in compressed-sparse-row form.
+type Graph = graph.Graph
+
+// Edge is an undirected edge {U, W}.
+type Edge = graph.Edge
+
+// Result is a biconnectivity decomposition in the O(n) label/head
+// representation, with per-step timings and a space estimate.
+type Result = core.Result
+
+// SeqResult is the explicit block decomposition produced by BCCSeq.
+type SeqResult = seqbcc.Result
+
+// Options tunes the FAST-BCC run. The zero value is a sensible default.
+type Options struct {
+	// Seed drives the randomized connectivity; runs with equal seeds on
+	// equal graphs produce identical spanning forests.
+	Seed uint64
+	// LocalSearch enables the hash-bag/local-search connectivity
+	// optimization (1.5× average speedup in the paper, Fig. 6).
+	LocalSearch bool
+	// Threads limits the number of worker goroutines (0 = GOMAXPROCS).
+	Threads int
+}
+
+// NewGraphFromEdges builds a symmetric CSR graph over n vertices. Self
+// loops and parallel edges are allowed; they never change the vertex-set
+// block decomposition.
+func NewGraphFromEdges(n int, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(n, edges)
+}
+
+// LoadGraph reads a graph from a binary file written by SaveGraph.
+func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// SaveGraph writes the graph to path in the package's binary format.
+func SaveGraph(g *Graph, path string) error { return g.SaveFile(path) }
+
+// BCC computes the biconnected components of g with FAST-BCC.
+// opts may be nil for defaults.
+func BCC(g *Graph, opts *Options) *Result {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Threads > 0 {
+		defer parallel.SetProcs(parallel.SetProcs(o.Threads))
+	}
+	return core.BCC(g, core.Options{Seed: o.Seed, LocalSearch: o.LocalSearch})
+}
+
+// BCCSeq computes the biconnected components with the sequential
+// Hopcroft–Tarjan algorithm (the paper's SEQ baseline).
+func BCCSeq(g *Graph) *SeqResult { return seqbcc.BCC(g) }
+
+// ArticulationPoints returns the articulation points of g.
+func ArticulationPoints(g *Graph) []int32 {
+	return BCC(g, nil).ArticulationPoints()
+}
+
+// Bridges returns the bridge edges of g, each with U < W, sorted.
+func Bridges(g *Graph) []Edge {
+	return BCC(g, nil).Bridges(g)
+}
+
+// Generators for realistic workloads, re-exported from internal/gen so
+// downstream users can reproduce the paper's graph categories.
+var (
+	// GenerateChain returns a path of n vertices (the paper's Chn graphs).
+	GenerateChain = gen.Chain
+	// GenerateGrid returns a rows×cols grid, circular per the paper's
+	// SQR/REC graphs when circular is true.
+	GenerateGrid = gen.Grid2D
+	// GenerateSampledGrid keeps each circular-grid edge with probability p
+	// (the paper's SQR'/REC').
+	GenerateSampledGrid = gen.SampledGrid
+	// GenerateRMAT returns a power-law graph resembling social/web graphs.
+	GenerateRMAT = gen.RMAT
+	// GenerateKNN returns the k-nearest-neighbor graph of n random points.
+	GenerateKNN = gen.KNN
+	// GenerateRoadLike returns a grid-with-shortcuts road-network analog.
+	GenerateRoadLike = gen.RoadLike
+)

@@ -1,0 +1,78 @@
+package fastbcc_test
+
+import (
+	"testing"
+
+	fastbcc "repro"
+)
+
+func TestQuickstartExample(t *testing.T) {
+	g, err := fastbcc.NewGraphFromEdges(4, []fastbcc.Edge{
+		{U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 0}, {U: 2, W: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := fastbcc.BCC(g, nil)
+	if res.NumBCC != 2 {
+		t.Fatalf("NumBCC = %d, want 2", res.NumBCC)
+	}
+	ap := res.ArticulationPoints()
+	if len(ap) != 1 || ap[0] != 2 {
+		t.Fatalf("articulation points = %v, want [2]", ap)
+	}
+	br := res.Bridges(g)
+	if len(br) != 1 || br[0] != (fastbcc.Edge{U: 2, W: 3}) {
+		t.Fatalf("bridges = %v", br)
+	}
+}
+
+func TestOptionsSeedAndThreads(t *testing.T) {
+	g := fastbcc.GenerateRMAT(10, 8, 7)
+	a := fastbcc.BCC(g, &fastbcc.Options{Seed: 1, Threads: 2})
+	b := fastbcc.BCC(g, &fastbcc.Options{Seed: 9, LocalSearch: true})
+	if a.NumBCC != b.NumBCC {
+		t.Fatalf("NumBCC differs across options: %d vs %d", a.NumBCC, b.NumBCC)
+	}
+	seq := fastbcc.BCCSeq(g)
+	if a.NumBCC != seq.NumBCC() {
+		t.Fatalf("parallel %d != sequential %d", a.NumBCC, seq.NumBCC())
+	}
+}
+
+func TestTopLevelConvenience(t *testing.T) {
+	g := fastbcc.GenerateChain(10)
+	if got := len(fastbcc.ArticulationPoints(g)); got != 8 {
+		t.Fatalf("chain articulation points = %d, want 8", got)
+	}
+	if got := len(fastbcc.Bridges(g)); got != 9 {
+		t.Fatalf("chain bridges = %d, want 9", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := fastbcc.GenerateGrid(10, 10, true)
+	path := t.TempDir() + "/grid.bin"
+	if err := fastbcc.SaveGraph(g, path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := fastbcc.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastbcc.BCC(g2, nil).NumBCC != fastbcc.BCC(g, nil).NumBCC {
+		t.Fatal("round trip changed decomposition")
+	}
+}
+
+func TestGeneratorsExported(t *testing.T) {
+	if fastbcc.GenerateKNN(500, 3, 1).NumVertices() != 500 {
+		t.Fatal("knn generator wrong")
+	}
+	if fastbcc.GenerateRoadLike(10, 10, 0.1, 2).NumVertices() != 100 {
+		t.Fatal("roadlike generator wrong")
+	}
+	if fastbcc.GenerateSampledGrid(10, 10, 0.5, 3).NumVertices() != 100 {
+		t.Fatal("sampled grid generator wrong")
+	}
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/seqbcc"
+)
+
+func TestSuiteHas27Instances(t *testing.T) {
+	s := Suite()
+	if len(s) != 27 {
+		t.Fatalf("suite has %d instances, want 27", len(s))
+	}
+	seen := map[string]bool{}
+	for _, ins := range s {
+		if seen[ins.Name] {
+			t.Fatalf("duplicate instance %s", ins.Name)
+		}
+		seen[ins.Name] = true
+		found := false
+		for _, c := range Categories() {
+			if ins.Category == c {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("instance %s has unknown category %q", ins.Name, ins.Category)
+		}
+	}
+}
+
+func TestSuiteCategoryCounts(t *testing.T) {
+	want := map[string]int{"Social": 5, "Web": 5, "Road": 3, "k-NN": 8, "Synthetic": 6}
+	got := map[string]int{}
+	for _, ins := range Suite() {
+		got[ins.Category]++
+	}
+	for c, n := range want {
+		if got[c] != n {
+			t.Fatalf("category %s has %d instances, want %d", c, got[c], n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("SQR"); !ok {
+		t.Fatal("SQR missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("phantom instance")
+	}
+}
+
+func TestSmallInstancesBuildAndAreCorrect(t *testing.T) {
+	// Building all 27 small instances and verifying #BCC against SEQ also
+	// serves as an end-to-end smoke test of the harness path.
+	for _, ins := range Suite() {
+		ins := ins
+		t.Run(ins.Name, func(t *testing.T) {
+			g := ins.Build(Small)
+			if g.NumVertices() == 0 {
+				t.Fatal("empty instance")
+			}
+			meta := ComputeMeta(ins, g)
+			ref := seqbcc.BCC(g)
+			if meta.NumBCC != ref.NumBCC() {
+				t.Fatalf("meta NumBCC %d != seq %d", meta.NumBCC, ref.NumBCC())
+			}
+			if meta.BCC1Pct < 0 || meta.BCC1Pct > 100 {
+				t.Fatalf("BCC1 pct %f out of range", meta.BCC1Pct)
+			}
+		})
+	}
+}
+
+func TestDiameterClasses(t *testing.T) {
+	// The suite must preserve the paper's diameter classes: synthetic grid
+	// and chain instances have large diameters, social ones small.
+	chain, _ := ByName("Chn7")
+	social, _ := ByName("OK")
+	gc := chain.Build(Small)
+	gs := social.Build(Small)
+	mc := ComputeMeta(chain, gc)
+	ms := ComputeMeta(social, gs)
+	if mc.Diam < 100*ms.Diam {
+		t.Fatalf("chain diam %d vs social diam %d — classes not separated", mc.Diam, ms.Diam)
+	}
+}
+
+func TestRunRowAndRenderers(t *testing.T) {
+	ins, _ := ByName("SQR")
+	g := ins.Build(Small)
+	row := RunRow(ins, g, 1)
+	if row.OursPar <= 0 || row.Seq <= 0 || row.TVPar <= 0 {
+		t.Fatal("timings missing")
+	}
+	if row.NumBCC <= 0 {
+		t.Fatal("meta missing")
+	}
+	if !row.SMSupported {
+		t.Fatal("SQR is connected; SM should be supported")
+	}
+	rows := []Row{row}
+	for name, render := range map[string]func(){
+		"tab2": func() { RenderTable2(&bytes.Buffer{}, rows) },
+		"fig1": func() { RenderFig1(&bytes.Buffer{}, rows) },
+		"fig5": func() { RenderFig5(&bytes.Buffer{}, rows) },
+		"fig6": func() { RenderFig6(&bytes.Buffer{}, rows) },
+		"fig7": func() { RenderFig7(&bytes.Buffer{}, rows) },
+		"tab3": func() { RenderTable3(&bytes.Buffer{}, rows) },
+	} {
+		t.Run(name, func(t *testing.T) { render() })
+	}
+	var buf bytes.Buffer
+	RenderTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "SQR") {
+		t.Fatal("table must mention the instance")
+	}
+}
+
+func TestRunFig4Smoke(t *testing.T) {
+	pts := RunFig4(Small, []int{1, 2}, nil)
+	if len(pts) != 2*len(Fig4Graphs()) {
+		t.Fatalf("fig4 points = %d", len(pts))
+	}
+	var buf bytes.Buffer
+	RenderFig4(&buf, pts)
+	if !strings.Contains(buf.String(), "USA") {
+		t.Fatal("fig4 output missing USA")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Fatalf("geomean = %f", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %f", g)
+	}
+	if g := geomean([]float64{0, 4}); g != 4 {
+		t.Fatalf("geomean skips zeros: %f", g)
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	if ParseScale("medium") != Medium || ParseScale("large") != Large || ParseScale("small") != Small {
+		t.Fatal("ParseScale broken")
+	}
+	if ParseScale("") != Small {
+		t.Fatal("default scale should be Small")
+	}
+}

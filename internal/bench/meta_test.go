@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/seqbcc"
+)
+
+// These tests pin the qualitative Table 2 metadata claims the suite must
+// preserve (the paper's analysis keys off them): block structure per
+// category and the GL2→GL20 fusion progression.
+
+func metaOf(t *testing.T, name string) (Meta, *graph.Graph) {
+	t.Helper()
+	ins, ok := ByName(name)
+	if !ok {
+		t.Fatalf("missing %s", name)
+	}
+	g := ins.Build(Small)
+	return ComputeMeta(ins, g), g
+}
+
+func TestSocialHasGiantBlockAndFringe(t *testing.T) {
+	m, _ := metaOf(t, "OK")
+	if m.BCC1Pct < 40 {
+		t.Fatalf("OK giant block %.1f%%, want ≥ 40%%", m.BCC1Pct)
+	}
+	if m.NumBCC < 100 {
+		t.Fatalf("OK #BCC = %d, want a pendant fringe", m.NumBCC)
+	}
+	if m.Diam > 30 {
+		t.Fatalf("OK diameter %d, want low", m.Diam)
+	}
+}
+
+func TestChainIsAllBridges(t *testing.T) {
+	m, g := metaOf(t, "Chn7")
+	if m.NumBCC != g.NumVertices()-1 {
+		t.Fatalf("chain #BCC = %d, want %d", m.NumBCC, g.NumVertices()-1)
+	}
+	if m.BCC1Pct > 1 {
+		t.Fatalf("chain |BCC1| = %.2f%%, want ~0", m.BCC1Pct)
+	}
+}
+
+func TestGridIsOneBlock(t *testing.T) {
+	for _, name := range []string{"SQR", "REC"} {
+		m, _ := metaOf(t, name)
+		if m.NumBCC != 1 || m.BCC1Pct < 99.9 {
+			t.Fatalf("%s: #BCC=%d |BCC1|=%.2f%%, want single block", name, m.NumBCC, m.BCC1Pct)
+		}
+	}
+}
+
+func TestGLProgressionFuses(t *testing.T) {
+	// Paper: GL2 fragments into ~11M blocks (0.03%% giant); GL20 is 94%%
+	// giant. The scaled analogs must preserve the monotone fusion.
+	m2, _ := metaOf(t, "GL2")
+	m20, _ := metaOf(t, "GL20")
+	if m2.NumBCC <= m20.NumBCC {
+		t.Fatalf("#BCC must shrink with k: GL2=%d GL20=%d", m2.NumBCC, m20.NumBCC)
+	}
+	if m2.BCC1Pct >= m20.BCC1Pct {
+		t.Fatalf("|BCC1| must grow with k: GL2=%.2f GL20=%.2f", m2.BCC1Pct, m20.BCC1Pct)
+	}
+	if m20.BCC1Pct < 90 {
+		t.Fatalf("GL20 giant block %.1f%%, want ≥ 90%%", m20.BCC1Pct)
+	}
+}
+
+func TestSampledGridFragments(t *testing.T) {
+	full, _ := metaOf(t, "SQR")
+	sampled, _ := metaOf(t, "SQR'")
+	if sampled.NumBCC <= full.NumBCC {
+		t.Fatal("sampling must fragment the grid")
+	}
+	if sampled.BCC1Pct < 30 || sampled.BCC1Pct > 95 {
+		t.Fatalf("SQR' giant block %.1f%%, want the paper's ~70%% regime", sampled.BCC1Pct)
+	}
+}
+
+func TestMetaNumBCCAgainstSeqOnAllCategories(t *testing.T) {
+	for _, name := range []string{"YT", "SD", "CA", "HH5", "REC'"} {
+		m, g := metaOf(t, name)
+		if got := seqbcc.BCC(g).NumBCC(); got != m.NumBCC {
+			t.Fatalf("%s: meta #BCC %d != seq %d", name, m.NumBCC, got)
+		}
+	}
+}
+
+func TestRoadDiameterClass(t *testing.T) {
+	m, _ := metaOf(t, "USA")
+	if m.Diam < 100 {
+		t.Fatalf("USA diameter %d, want large-diameter class", m.Diam)
+	}
+}

@@ -1,0 +1,176 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Sec. 6) at laptop scale.
+//
+// The paper's 27 graphs (Tab. 2) are mapped to deterministic generator
+// instances that preserve each graph's *category*: edge distribution
+// (power-law vs. mesh vs. chain), diameter class, and edge/vertex ratio.
+// Absolute sizes are scaled down (the originals reach 226B edges); the
+// claims under reproduction are relative — who wins on which category, and
+// by roughly what factor.
+package bench
+
+import (
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Scale selects instance sizes.
+type Scale int
+
+const (
+	// Small runs in seconds; used by the checked-in Go benchmarks and CI.
+	Small Scale = iota
+	// Medium is the default for cmd/bccbench (minutes for the full suite).
+	Medium
+	// Large approaches memory limits of a laptop; use selectively.
+	Large
+)
+
+// ParseScale maps a flag string to a Scale.
+func ParseScale(s string) Scale {
+	switch s {
+	case "medium":
+		return Medium
+	case "large":
+		return Large
+	default:
+		return Small
+	}
+}
+
+// Instance is one benchmark graph.
+type Instance struct {
+	// Name matches the paper's abbreviation (YT, OK, ..., Chn8).
+	Name string
+	// Category is one of Social, Web, Road, k-NN, Synthetic.
+	Category string
+	// Paper describes the original graph this instance stands in for.
+	Paper string
+	// SMSupported mirrors Tab. 2's "n = no support": SM'14 runs only on
+	// connected graphs; the paper reports it on these instances.
+	SMSupported bool
+	// Build constructs the graph at the given scale.
+	Build func(sc Scale) *graph.Graph
+}
+
+// pick returns a, b, or c depending on scale.
+func pick(sc Scale, a, b, c int) int {
+	switch sc {
+	case Medium:
+		return b
+	case Large:
+		return c
+	default:
+		return a
+	}
+}
+
+// Suite returns the 27 instances of Tab. 2 in the paper's order.
+func Suite() []Instance {
+	return []Instance{
+		// ---- Social: power-law, low diameter -------------------------------
+		{"YT", "Social", "com-youtube", true, func(sc Scale) *graph.Graph {
+			return gen.RMAT(pick(sc, 12, 15, 17), 5, 0xA1)
+		}},
+		{"OK", "Social", "com-orkut", true, func(sc Scale) *graph.Graph {
+			return gen.RMAT(pick(sc, 11, 14, 16), 38, 0xA2)
+		}},
+		{"LJ", "Social", "soc-LiveJournal1", false, func(sc Scale) *graph.Graph {
+			return gen.RMAT(pick(sc, 12, 15, 17), 9, 0xA3)
+		}},
+		{"TW", "Social", "Twitter", true, func(sc Scale) *graph.Graph {
+			return gen.RMAT(pick(sc, 11, 14, 16), 29, 0xA4)
+		}},
+		{"FT", "Social", "Friendster", true, func(sc Scale) *graph.Graph {
+			return gen.RMAT(pick(sc, 12, 15, 17), 27, 0xA5)
+		}},
+		// ---- Web: power-law, slightly deeper -------------------------------
+		{"GG", "Web", "web-Google", false, func(sc Scale) *graph.Graph {
+			return gen.RMAT(pick(sc, 12, 15, 17), 5, 0xB1)
+		}},
+		{"SD", "Web", "sd_arc", false, func(sc Scale) *graph.Graph {
+			return gen.RMAT(pick(sc, 11, 14, 16), 22, 0xB2)
+		}},
+		{"CW", "Web", "ClueWeb", false, func(sc Scale) *graph.Graph {
+			return gen.RMAT(pick(sc, 11, 14, 16), 38, 0xB3)
+		}},
+		{"HL14", "Web", "Hyperlink14", false, func(sc Scale) *graph.Graph {
+			return gen.RMAT(pick(sc, 12, 15, 17), 36, 0xB4)
+		}},
+		{"HL12", "Web", "Hyperlink12", false, func(sc Scale) *graph.Graph {
+			return gen.RMAT(pick(sc, 12, 15, 17), 32, 0xB5)
+		}},
+		// ---- Road: mesh-like, low degree, large diameter --------------------
+		{"CA", "Road", "roadnet-CA", false, func(sc Scale) *graph.Graph {
+			d := pick(sc, 64, 350, 700)
+			return gen.RoadLike(d, d, 0.15, 0xC1)
+		}},
+		{"USA", "Road", "RoadUSA", true, func(sc Scale) *graph.Graph {
+			return gen.RoadLike(pick(sc, 160, 1200, 2400), pick(sc, 32, 200, 400), 0.1, 0xC2)
+		}},
+		{"GE", "Road", "Germany", true, func(sc Scale) *graph.Graph {
+			return gen.RoadLike(pick(sc, 96, 600, 1200), pick(sc, 48, 300, 600), 0.12, 0xC3)
+		}},
+		// ---- k-NN: geometric, moderate-to-large diameter --------------------
+		{"HH5", "k-NN", "Household, k=5", false, func(sc Scale) *graph.Graph {
+			return gen.KNN(pick(sc, 4000, 120000, 500000), 5, 0xD1)
+		}},
+		{"CH5", "k-NN", "CHEM, k=5", false, func(sc Scale) *graph.Graph {
+			return gen.KNN(pick(sc, 5000, 150000, 600000), 5, 0xD2)
+		}},
+		{"GL2", "k-NN", "GeoLife, k=2", false, func(sc Scale) *graph.Graph {
+			return gen.KNN(pick(sc, 6000, 200000, 800000), 2, 0xD3)
+		}},
+		{"GL5", "k-NN", "GeoLife, k=5", false, func(sc Scale) *graph.Graph {
+			return gen.KNN(pick(sc, 6000, 200000, 800000), 5, 0xD3)
+		}},
+		{"GL10", "k-NN", "GeoLife, k=10", false, func(sc Scale) *graph.Graph {
+			return gen.KNN(pick(sc, 6000, 200000, 800000), 10, 0xD3)
+		}},
+		{"GL15", "k-NN", "GeoLife, k=15", false, func(sc Scale) *graph.Graph {
+			return gen.KNN(pick(sc, 6000, 200000, 800000), 15, 0xD3)
+		}},
+		{"GL20", "k-NN", "GeoLife, k=20", false, func(sc Scale) *graph.Graph {
+			return gen.KNN(pick(sc, 6000, 200000, 800000), 20, 0xD3)
+		}},
+		{"COS5", "k-NN", "Cosmo50, k=5", false, func(sc Scale) *graph.Graph {
+			return gen.KNN(pick(sc, 8000, 300000, 1200000), 5, 0xD4)
+		}},
+		// ---- Synthetic: grids and chains, exactly as in Sec. 6 --------------
+		{"SQR", "Synthetic", "2D grid 10^4×10^4 (circular)", true, func(sc Scale) *graph.Graph {
+			d := pick(sc, 80, 500, 1000)
+			return gen.Grid2D(d, d, true)
+		}},
+		{"REC", "Synthetic", "2D grid 10^3×10^5 (circular)", true, func(sc Scale) *graph.Graph {
+			return gen.Grid2D(pick(sc, 20, 100, 200), pick(sc, 320, 2500, 5000), true)
+		}},
+		{"SQR'", "Synthetic", "sampled SQR (p=0.6)", false, func(sc Scale) *graph.Graph {
+			d := pick(sc, 80, 500, 1000)
+			return gen.SampledGrid(d, d, 0.6, 0xE1)
+		}},
+		{"REC'", "Synthetic", "sampled REC (p=0.6)", false, func(sc Scale) *graph.Graph {
+			return gen.SampledGrid(pick(sc, 20, 100, 200), pick(sc, 320, 2500, 5000), 0.6, 0xE2)
+		}},
+		{"Chn7", "Synthetic", "chain of 10^7", true, func(sc Scale) *graph.Graph {
+			return gen.Chain(pick(sc, 30000, 1000000, 4000000))
+		}},
+		{"Chn8", "Synthetic", "chain of 10^8", true, func(sc Scale) *graph.Graph {
+			return gen.Chain(pick(sc, 100000, 3000000, 10000000))
+		}},
+	}
+}
+
+// ByName returns the instance with the given name, or false.
+func ByName(name string) (Instance, bool) {
+	for _, ins := range Suite() {
+		if ins.Name == name {
+			return ins, true
+		}
+	}
+	return Instance{}, false
+}
+
+// Categories in the paper's order.
+func Categories() []string {
+	return []string{"Social", "Web", "Road", "k-NN", "Synthetic"}
+}

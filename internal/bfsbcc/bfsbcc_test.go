@@ -1,0 +1,109 @@
+package bfsbcc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/check"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/seqbcc"
+)
+
+func assertMatchesSeq(t *testing.T, g *graph.Graph, opt Options) {
+	t.Helper()
+	res := BCC(g, opt)
+	ref := seqbcc.BCC(g)
+	if res.NumBCC != ref.NumBCC() {
+		t.Fatalf("NumBCC = %d, want %d", res.NumBCC, ref.NumBCC())
+	}
+	if !check.Equal(res.Blocks(), ref.Blocks) {
+		t.Fatalf("blocks differ:\n bfs: %s\n seq: %s",
+			check.Describe(res.Blocks()), check.Describe(ref.Blocks))
+	}
+}
+
+func TestStructuredGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"triangle", gen.Clique(3)},
+		{"clique", gen.Clique(9)},
+		{"chain", gen.Chain(50)},
+		{"cycle", gen.Cycle(33)},
+		{"star", gen.Star(15)},
+		{"barbell", gen.Barbell(4, 4)},
+		{"cliquechain", gen.CliqueChain(4, 5)},
+		{"grid", gen.Grid2D(7, 8, false)},
+		{"torus", gen.Grid2D(7, 8, true)},
+		{"tree", gen.RandomTree(70, 1)},
+		{"er", gen.ER(90, 180, 2)},
+		{"disjoint", gen.Disjoint(gen.Cycle(8), gen.Chain(6), gen.Clique(4))},
+		{"edgeless", graph.MustFromEdges(4, nil)},
+		{"empty", graph.MustFromEdges(0, nil)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assertMatchesSeq(t, tc.g, Options{Seed: 5})
+		})
+	}
+}
+
+func TestMultiEdgesAndSelfLoops(t *testing.T) {
+	cases := [][]graph.Edge{
+		{{U: 0, W: 1}, {U: 0, W: 1}},
+		{{U: 0, W: 0}, {U: 0, W: 1}, {U: 1, W: 2}},
+		{{U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 0}, {U: 1, W: 2}},
+	}
+	for i, edges := range cases {
+		g := graph.MustFromEdges(3, edges)
+		res := BCC(g, Options{Seed: 1})
+		ref := seqbcc.BCC(g)
+		if !check.Equal(res.Blocks(), ref.Blocks) {
+			t.Fatalf("case %d: %s != %s", i,
+				check.Describe(res.Blocks()), check.Describe(ref.Blocks))
+		}
+	}
+}
+
+func TestQuickRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(70)
+		m := rng.Intn(3 * n)
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), W: int32(rng.Intn(n))})
+		}
+		g := graph.MustFromEdges(n, edges)
+		res := BCC(g, Options{Seed: uint64(seed)})
+		return check.Equal(res.Blocks(), seqbcc.BCC(g).Blocks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeDiameterGraphs(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.Chain(20000),
+		gen.Grid2D(60, 60, true),
+		gen.RoadLike(40, 40, 0.05, 3),
+	} {
+		res := BCC(g, Options{Seed: 2})
+		ref := seqbcc.BCC(g)
+		if res.NumBCC != ref.NumBCC() {
+			t.Fatalf("NumBCC %d != %d", res.NumBCC, ref.NumBCC())
+		}
+	}
+}
+
+func TestStepTimes(t *testing.T) {
+	g := gen.Grid2D(40, 40, true)
+	res := BCC(g, Options{Seed: 3})
+	if res.Times.Total() <= 0 || res.AuxBytes <= 0 {
+		t.Fatal("metrics not populated")
+	}
+}

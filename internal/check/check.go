@@ -1,0 +1,135 @@
+// Package check provides cross-algorithm verification utilities: a
+// canonical form for block decompositions, equality testing, and an
+// independent recursive reference implementation of biconnected components
+// used as a second oracle besides seqbcc (the two share no code, so
+// agreement is strong evidence of correctness).
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Canonical sorts each block and then the list of blocks, producing a
+// canonical form suitable for equality comparison.
+func Canonical(blocks [][]int32) [][]int32 {
+	out := make([][]int32, len(blocks))
+	for i, b := range blocks {
+		c := append([]int32(nil), b...)
+		sort.Slice(c, func(x, y int) bool { return c[x] < c[y] })
+		out[i] = c
+	}
+	sort.Slice(out, func(x, y int) bool { return lessBlock(out[x], out[y]) })
+	return out
+}
+
+func lessBlock(a, b []int32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Equal reports whether two block decompositions are identical up to
+// ordering. Inputs need not be canonical.
+func Equal(a, b [][]int32) bool {
+	ca, cb := Canonical(a), Canonical(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if len(ca[i]) != len(cb[i]) {
+			return false
+		}
+		for j := range ca[i] {
+			if ca[i][j] != cb[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Describe renders a canonical decomposition compactly for test failures.
+func Describe(blocks [][]int32) string {
+	return fmt.Sprint(Canonical(blocks))
+}
+
+// NaiveBCC is a recursive textbook Hopcroft–Tarjan implementation used as
+// an independent oracle in tests. It must only be called on small graphs
+// (recursion depth is O(n)).
+func NaiveBCC(g *graph.Graph) [][]int32 {
+	n := int(g.N)
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var timer int32
+	var estack []graph.Edge
+	var blocks [][]int32
+	var dfs func(v, parent int32)
+	dfs = func(v, parent int32) {
+		disc[v] = timer
+		low[v] = timer
+		timer++
+		skipped := false
+		for _, w := range g.Neighbors(v) {
+			if w == v {
+				continue
+			}
+			if w == parent && !skipped {
+				skipped = true
+				continue
+			}
+			if disc[w] == -1 {
+				estack = append(estack, graph.Edge{U: v, W: w})
+				dfs(w, v)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+				if low[w] >= disc[v] {
+					// pop to (v,w)
+					i := len(estack) - 1
+					for estack[i].U != v || estack[i].W != w {
+						i--
+					}
+					blocks = append(blocks, vertsOf(estack[i:]))
+					estack = estack[:i]
+				}
+			} else if disc[w] < disc[v] {
+				estack = append(estack, graph.Edge{U: v, W: w})
+				if disc[w] < low[v] {
+					low[v] = disc[w]
+				}
+			}
+		}
+	}
+	for s := int32(0); s < int32(n); s++ {
+		if disc[s] == -1 {
+			dfs(s, -1)
+		}
+	}
+	return blocks
+}
+
+func vertsOf(es []graph.Edge) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, e := range es {
+		if !seen[e.U] {
+			seen[e.U] = true
+			out = append(out, e.U)
+		}
+		if !seen[e.W] {
+			seen[e.W] = true
+			out = append(out, e.W)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

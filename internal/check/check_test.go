@@ -1,0 +1,76 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestCanonicalSortsBlocksAndLists(t *testing.T) {
+	in := [][]int32{{3, 1, 2}, {0, 5}, {4}}
+	out := Canonical(in)
+	if len(out) != 3 {
+		t.Fatal("length changed")
+	}
+	if out[0][0] != 0 || out[1][0] != 1 || out[2][0] != 4 {
+		t.Fatalf("ordering wrong: %v", out)
+	}
+	if out[1][0] != 1 || out[1][1] != 2 || out[1][2] != 3 {
+		t.Fatalf("inner sort wrong: %v", out[1])
+	}
+	// Input untouched.
+	if in[0][0] != 3 {
+		t.Fatal("canonical mutated input")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := [][]int32{{1, 2, 3}, {4, 5}}
+	b := [][]int32{{5, 4}, {3, 2, 1}}
+	if !Equal(a, b) {
+		t.Fatal("permuted decompositions must be equal")
+	}
+	c := [][]int32{{1, 2}, {4, 5}}
+	if Equal(a, c) {
+		t.Fatal("different decompositions must differ")
+	}
+	d := [][]int32{{1, 2, 3}}
+	if Equal(a, d) {
+		t.Fatal("different counts must differ")
+	}
+	if !Equal(nil, nil) {
+		t.Fatal("empty decompositions are equal")
+	}
+}
+
+func TestEqualPrefixBlocks(t *testing.T) {
+	a := [][]int32{{1, 2}}
+	b := [][]int32{{1, 2, 3}}
+	if Equal(a, b) {
+		t.Fatal("prefix blocks must not be equal")
+	}
+}
+
+func TestNaiveBCCKnownShapes(t *testing.T) {
+	if got := NaiveBCC(gen.Cycle(7)); len(got) != 1 || len(got[0]) != 7 {
+		t.Fatalf("cycle: %v", got)
+	}
+	if got := NaiveBCC(gen.Chain(5)); len(got) != 4 {
+		t.Fatalf("chain: %v", got)
+	}
+	if got := NaiveBCC(gen.Star(6)); len(got) != 5 {
+		t.Fatalf("star: %v", got)
+	}
+	if got := NaiveBCC(graph.MustFromEdges(3, nil)); len(got) != 0 {
+		t.Fatalf("edgeless: %v", got)
+	}
+}
+
+func TestDescribeStable(t *testing.T) {
+	a := Describe([][]int32{{2, 1}, {0, 3}})
+	b := Describe([][]int32{{3, 0}, {1, 2}})
+	if a != b {
+		t.Fatalf("describe not canonical: %q vs %q", a, b)
+	}
+}

@@ -1,0 +1,80 @@
+package conn
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Ablation benches for the connectivity design choices DESIGN.md calls out:
+// the algorithm (LDD-UF-JTB vs plain UF-Async), the LDD rate β, and the
+// local-search optimization. The paper notes (Sec. 5) that no CC algorithm
+// wins everywhere and the choice is input-dependent; these benches make the
+// trade-off measurable per graph category.
+
+func ablationGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"rmat":  gen.RMAT(14, 8, 1),
+		"grid":  gen.Grid2D(160, 160, true),
+		"chain": gen.Chain(100000),
+	}
+}
+
+func BenchmarkConnAlgorithm(b *testing.B) {
+	for name, g := range ablationGraphs() {
+		for algName, alg := range map[string]Algorithm{"LDDUFJTB": LDDUFJTB, "UFAsync": UFAsync} {
+			b.Run(name+"/"+algName, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					Connectivity(g, Options{Algorithm: alg, Seed: 7})
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkConnBeta(b *testing.B) {
+	for name, g := range ablationGraphs() {
+		for _, beta := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+			b.Run(fmt.Sprintf("%s/beta=%.2f", name, beta), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					Connectivity(g, Options{Beta: beta, Seed: 7})
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkConnLocalSearch(b *testing.B) {
+	for name, g := range ablationGraphs() {
+		for _, ls := range []bool{false, true} {
+			label := "orig"
+			if ls {
+				label = "opt"
+			}
+			b.Run(name+"/"+label, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					Connectivity(g, Options{LocalSearch: ls, Seed: 7})
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkConnSpanningForest(b *testing.B) {
+	// Cost of harvesting the spanning forest (needed by First-CC but not
+	// Last-CC).
+	g := gen.RMAT(14, 8, 2)
+	for _, want := range []bool{false, true} {
+		label := "labels-only"
+		if want {
+			label = "with-forest"
+		}
+		b.Run(label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Connectivity(g, Options{Seed: 7, WantForest: want})
+			}
+		})
+	}
+}

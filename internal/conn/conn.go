@@ -1,0 +1,202 @@
+// Package conn implements parallel graph connectivity.
+//
+// The primary algorithm is LDD-UF-JTB (Thm. 5.1 of the paper): a low-
+// diameter decomposition shrinks the graph into clusters with O(βm) cut
+// edges, then a concurrent union-find (Jayanti–Tarjan–Boix-Adserà style)
+// unions the cut edges. With β = Θ(1/log n) this gives O(n+m) expected work
+// and polylog span. FAST-BCC runs it twice: on the input graph (First-CC,
+// producing a spanning forest) and on the implicit skeleton (Last-CC,
+// via the edge Filter, never materializing the skeleton).
+//
+// A plain union-find algorithm (UFAsync, the variant GBBS uses) is provided
+// for baselines, and both support the hash-bag/local-search optimization
+// toggle the paper ablates in Fig. 6.
+package conn
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/ldd"
+	"repro/internal/parallel"
+	"repro/internal/prim"
+	"repro/internal/uf"
+)
+
+// Algorithm selects the connectivity implementation.
+type Algorithm int
+
+const (
+	// LDDUFJTB is the theoretically-efficient algorithm of Thm. 5.1.
+	LDDUFJTB Algorithm = iota
+	// UFAsync unions every edge directly with the concurrent union-find.
+	UFAsync
+)
+
+// Options configures Connectivity.
+type Options struct {
+	Algorithm Algorithm
+	// Beta is the LDD rate (0 = default 0.2). Ignored by UFAsync.
+	Beta float64
+	// Seed drives LDD shifts.
+	Seed uint64
+	// LocalSearch enables the hash-bag/local-search LDD optimization
+	// (the paper's "Opt" variant).
+	LocalSearch bool
+	// Filter, when non-nil, restricts connectivity to edges with
+	// Filter(u,w) true. Must be symmetric.
+	Filter func(u, w int32) bool
+	// WantForest requests a spanning forest of the (filtered) graph.
+	WantForest bool
+}
+
+// Result is the output of Connectivity.
+type Result struct {
+	// Comp[v] is the component representative of v (Comp[r] == r).
+	Comp []int32
+	// NumComp is the number of connected components.
+	NumComp int
+	// Forest holds spanning forest edges when requested: exactly
+	// n - NumComp edges, forming a forest that spans every component.
+	Forest []graph.Edge
+}
+
+// Connectivity computes the connected components of g under opt.
+func Connectivity(g *graph.Graph, opt Options) *Result {
+	switch opt.Algorithm {
+	case UFAsync:
+		return connUF(g, opt)
+	case LabelProp:
+		return connLabelProp(g, opt)
+	default:
+		return connLDD(g, opt)
+	}
+}
+
+func connLDD(g *graph.Graph, opt Options) *Result {
+	n := int(g.N)
+	dec := ldd.Decompose(g, ldd.Options{
+		Beta:        opt.Beta,
+		Seed:        opt.Seed,
+		LocalSearch: opt.LocalSearch,
+		Filter:      opt.Filter,
+	})
+	u := uf.New(n)
+	// Cluster parent edges connect each cluster; they are tree edges by
+	// construction, so all of them join the forest.
+	parallel.For(n, func(v int) {
+		if p := dec.Parent[v]; p != -1 {
+			u.Union(int32(v), p)
+		}
+	})
+	// Union cut edges (endpoints in different clusters); harvest the edges
+	// whose union merged two sets as forest edges.
+	forestCross := unionEdges(g, u, opt, func(v, w int32) bool {
+		return dec.Center[v] != dec.Center[w]
+	})
+	res := finish(g, u)
+	if opt.WantForest {
+		res.Forest = make([]graph.Edge, 0, n-res.NumComp)
+		for v := 0; v < n; v++ {
+			if p := dec.Parent[v]; p != -1 {
+				res.Forest = append(res.Forest, graph.Edge{U: p, W: int32(v)})
+			}
+		}
+		res.Forest = append(res.Forest, forestCross...)
+	}
+	return res
+}
+
+func connUF(g *graph.Graph, opt Options) *Result {
+	u := uf.New(int(g.N))
+	forest := unionEdges(g, u, opt, nil)
+	res := finish(g, u)
+	if opt.WantForest {
+		res.Forest = forest
+	}
+	return res
+}
+
+// unionEdges unions every undirected edge passing opt.Filter (and the extra
+// predicate, when non-nil) and returns the edges whose Union succeeded —
+// a spanning forest of the processed edge set relative to the current
+// union-find state.
+func unionEdges(g *graph.Graph, u *uf.UF, opt Options, extra func(v, w int32) bool) []graph.Edge {
+	n := int(g.N)
+	nb := (n + 511) / 512
+	outs := make([][]graph.Edge, nb)
+	collect := opt.WantForest
+	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*512, (b+1)*512
+			if hi > n {
+				hi = n
+			}
+			var out []graph.Edge
+			for v := int32(lo); v < int32(hi); v++ {
+				for _, w := range g.Neighbors(v) {
+					if v >= w { // each undirected edge once; skips self-loops
+						continue
+					}
+					if extra != nil && !extra(v, w) {
+						continue
+					}
+					if opt.Filter != nil && !opt.Filter(v, w) {
+						continue
+					}
+					if u.Union(v, w) && collect {
+						out = append(out, graph.Edge{U: v, W: w})
+					}
+				}
+			}
+			outs[b] = out
+		}
+	})
+	if !collect {
+		return nil
+	}
+	var forest []graph.Edge
+	for _, o := range outs {
+		forest = append(forest, o...)
+	}
+	return forest
+}
+
+// finish flattens the union-find into component labels.
+func finish(g *graph.Graph, u *uf.UF) *Result {
+	n := int(g.N)
+	comp := make([]int32, n)
+	parallel.For(n, func(v int) {
+		comp[v] = u.Find(int32(v))
+	})
+	var roots atomic.Int64
+	parallel.ForBlock(n, parallel.DefaultGrain, func(lo, hi int) {
+		c := 0
+		for v := lo; v < hi; v++ {
+			if comp[v] == int32(v) {
+				c++
+			}
+		}
+		roots.Add(int64(c))
+	})
+	return &Result{Comp: comp, NumComp: int(roots.Load())}
+}
+
+// Normalize remaps component representatives to dense ids 0..NumComp-1 and
+// returns the dense labels. The mapping is by increasing representative id,
+// so it is deterministic.
+func (r *Result) Normalize() []int32 {
+	n := len(r.Comp)
+	dense := make([]int32, n)
+	isRoot := make([]int32, n)
+	parallel.For(n, func(v int) {
+		if r.Comp[v] == int32(v) {
+			isRoot[v] = 1
+		}
+	})
+	prim.ExclusiveScanInt32(isRoot)
+	parallel.For(n, func(v int) {
+		dense[v] = isRoot[r.Comp[v]]
+	})
+	return dense
+}

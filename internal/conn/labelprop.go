@@ -1,0 +1,85 @@
+package conn
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/prim"
+)
+
+// LabelProp is classic min-label propagation connectivity: every vertex
+// starts with its own id and repeatedly adopts the minimum label among its
+// neighbors until a fixpoint. Span is O(D log n) — it is one of the simple
+// ConnectIt-family algorithms the paper contrasts with LDD-UF-JTB ("no one
+// is constantly faster, and the relative performance is decided by the
+// input graph properties", Sec. 5). Provided for the connectivity ablation
+// benches; it does not produce a spanning forest, so FAST-BCC's First-CC
+// cannot use it (Connectivity falls back to LDD-UF-JTB when a forest is
+// requested).
+const LabelProp Algorithm = 2
+
+func connLabelProp(g *graph.Graph, opt Options) *Result {
+	if opt.WantForest {
+		// Label propagation cannot harvest forest edges; preserve the
+		// caller's contract by delegating.
+		o := opt
+		o.Algorithm = LDDUFJTB
+		return connLDD(g, o)
+	}
+	n := int(g.N)
+	comp := make([]int32, n)
+	parallel.Iota(comp, 0)
+	if n == 0 {
+		return &Result{Comp: comp}
+	}
+	changed := int32(1)
+	for changed != 0 {
+		changed = 0
+		parallel.ForBlock(n, 512, func(lo, hi int) {
+			local := int32(0)
+			for v := int32(lo); v < int32(hi); v++ {
+				for _, w := range g.Neighbors(v) {
+					if opt.Filter != nil && !opt.Filter(v, w) {
+						continue
+					}
+					lw := atomic.LoadInt32(&comp[w])
+					if prim.WriteMin(&comp[v], lw) {
+						local = 1
+					}
+					lv := atomic.LoadInt32(&comp[v])
+					if prim.WriteMin(&comp[w], lv) {
+						local = 1
+					}
+				}
+			}
+			if local != 0 {
+				atomic.StoreInt32(&changed, 1)
+			}
+		})
+		// Pointer-jump labels toward their roots to accelerate convergence
+		// (shortcutting, as in the hook-and-compress family).
+		parallel.For(n, func(v int) {
+			for {
+				l := comp[v]
+				ll := comp[l]
+				if l == ll {
+					break
+				}
+				comp[v] = ll
+			}
+		})
+	}
+	// Labels are now component minima; minima are fixed points (comp[r]==r).
+	var roots atomic.Int64
+	parallel.ForBlock(n, parallel.DefaultGrain, func(lo, hi int) {
+		c := 0
+		for v := lo; v < hi; v++ {
+			if comp[v] == int32(v) {
+				c++
+			}
+		}
+		roots.Add(int64(c))
+	})
+	return &Result{Comp: comp, NumComp: int(roots.Load())}
+}

@@ -1,0 +1,91 @@
+package conn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestLabelPropAllGraphs(t *testing.T) {
+	for _, tc := range testGraphs {
+		t.Run(tc.name, func(t *testing.T) {
+			checkAgainstRef(t, tc.g(), Options{Algorithm: LabelProp})
+		})
+	}
+}
+
+func TestLabelPropLabelsAreMinima(t *testing.T) {
+	g := gen.Disjoint(gen.Cycle(10), gen.Chain(7), gen.Clique(5))
+	res := Connectivity(g, Options{Algorithm: LabelProp})
+	// With min-propagation, every component's label is its smallest vertex.
+	ref := refComponents(g, nil)
+	for v := int32(0); v < g.N; v++ {
+		smallest := v
+		for u := int32(0); u < g.N; u++ {
+			if ref.SameSet(u, v) && u < smallest {
+				smallest = u
+			}
+		}
+		if res.Comp[v] != smallest {
+			t.Fatalf("comp[%d] = %d, want %d", v, res.Comp[v], smallest)
+		}
+	}
+}
+
+func TestLabelPropWithFilter(t *testing.T) {
+	g := gen.Cycle(40)
+	filter := func(u, w int32) bool {
+		// Remove edges (0,1) and (20,21): two components.
+		if (u == 0 && w == 1) || (u == 1 && w == 0) {
+			return false
+		}
+		if (u == 20 && w == 21) || (u == 21 && w == 20) {
+			return false
+		}
+		return true
+	}
+	res := Connectivity(g, Options{Algorithm: LabelProp, Filter: filter})
+	if res.NumComp != 2 {
+		t.Fatalf("NumComp = %d, want 2", res.NumComp)
+	}
+}
+
+func TestLabelPropForestFallsBack(t *testing.T) {
+	g := gen.Grid2D(12, 12, true)
+	res := Connectivity(g, Options{Algorithm: LabelProp, WantForest: true, Seed: 1})
+	if len(res.Forest) != g.NumVertices()-res.NumComp {
+		t.Fatalf("fallback forest has %d edges", len(res.Forest))
+	}
+}
+
+func TestLabelPropQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(120)
+		m := rng.Intn(3 * n)
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), W: int32(rng.Intn(n))})
+		}
+		g := graph.MustFromEdges(n, edges)
+		res := Connectivity(g, Options{Algorithm: LabelProp})
+		ref := refComponents(g, nil)
+		if res.NumComp != ref.NumSets() {
+			return false
+		}
+		for v := int32(0); v < g.N; v++ {
+			for w := v + 1; w < g.N; w++ {
+				if ref.SameSet(v, w) != (res.Comp[v] == res.Comp[w]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

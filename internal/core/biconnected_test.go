@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/seqbcc"
+)
+
+func TestBiconnectedKnown(t *testing.T) {
+	// Barbell(3,1): K3 {0,1,2} — bridge 2-3 — K3 {3,4,5}.
+	g := gen.Barbell(3, 1)
+	res := BCC(g, Options{Seed: 1})
+	yes := [][2]int32{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}
+	no := [][2]int32{{0, 3}, {1, 4}, {2, 4}, {0, 5}}
+	for _, p := range yes {
+		if !res.Biconnected(p[0], p[1]) {
+			t.Fatalf("Biconnected(%d,%d) = false, want true", p[0], p[1])
+		}
+	}
+	for _, p := range no {
+		if res.Biconnected(p[0], p[1]) {
+			t.Fatalf("Biconnected(%d,%d) = true, want false", p[0], p[1])
+		}
+	}
+	if res.Biconnected(2, 2) {
+		t.Fatal("a vertex is not biconnected with itself")
+	}
+}
+
+func TestBiconnectedMatchesBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + rng.Intn(60)
+		m := rng.Intn(3 * n)
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), W: int32(rng.Intn(n))})
+		}
+		g := graph.MustFromEdges(n, edges)
+		res := BCC(g, Options{Seed: uint64(trial)})
+		// Reference relation from the sequential blocks.
+		ref := map[[2]int32]bool{}
+		for _, b := range seqbcc.BCC(g).Blocks {
+			for i := 0; i < len(b); i++ {
+				for j := i + 1; j < len(b); j++ {
+					ref[[2]int32{b[i], b[j]}] = true
+					ref[[2]int32{b[j], b[i]}] = true
+				}
+			}
+		}
+		for u := int32(0); u < int32(n); u++ {
+			for w := int32(0); w < int32(n); w++ {
+				if u == w {
+					continue
+				}
+				if res.Biconnected(u, w) != ref[[2]int32{u, w}] {
+					t.Fatalf("trial %d: Biconnected(%d,%d) = %v, blocks say %v",
+						trial, u, w, res.Biconnected(u, w), ref[[2]int32{u, w}])
+				}
+			}
+		}
+	}
+}
+
+func TestBiconnectedIsolatedAndRoots(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, W: 1}})
+	res := BCC(g, Options{Seed: 3})
+	if !res.Biconnected(0, 1) {
+		t.Fatal("edge endpoints must be biconnected")
+	}
+	if res.Biconnected(2, 3) || res.Biconnected(0, 2) {
+		t.Fatal("isolated vertices are biconnected with nothing")
+	}
+}

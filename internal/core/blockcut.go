@@ -1,0 +1,114 @@
+package core
+
+import "sort"
+
+// BlockCutTree is the block-cut tree (block forest) of a graph: one node
+// per block and one per articulation point, with an edge whenever the
+// articulation point belongs to the block. It is the standard substrate
+// for the applications the paper cites (betweenness/closeness centrality
+// decomposition, planarity testing, network robustness).
+type BlockCutTree struct {
+	// NumBlocks is the number of block nodes (ids 0..NumBlocks-1).
+	NumBlocks int
+	// Cuts lists the articulation points; cut node i corresponds to
+	// tree node NumBlocks + i.
+	Cuts []int32
+	// Adj[node] lists the tree neighbors of each node (block nodes first,
+	// then cut nodes).
+	Adj [][]int32
+	// BlockOf maps a dense label (Result.Label) to its block node id, or
+	// -1 for root-singleton labels that are not blocks.
+	BlockOf []int32
+}
+
+// BlockCutTree derives the block-cut tree from the decomposition.
+func (r *Result) BlockCutTree() *BlockCutTree {
+	n := len(r.Label)
+	t := &BlockCutTree{BlockOf: make([]int32, r.NumLabels)}
+	// Blocks: labels with a head.
+	for l := range t.BlockOf {
+		t.BlockOf[l] = -1
+	}
+	for l, h := range r.Head {
+		if h != -1 {
+			t.BlockOf[l] = int32(t.NumBlocks)
+			t.NumBlocks++
+		}
+	}
+	t.Cuts = r.ArticulationPoints()
+	cutNode := make(map[int32]int32, len(t.Cuts))
+	for i, v := range t.Cuts {
+		cutNode[v] = int32(t.NumBlocks + i)
+	}
+	t.Adj = make([][]int32, t.NumBlocks+len(t.Cuts))
+	link := func(block, cut int32) {
+		t.Adj[block] = append(t.Adj[block], cut)
+		t.Adj[cut] = append(t.Adj[cut], block)
+	}
+	// An articulation point a belongs to: the blocks it heads, and (when
+	// a is not a root) the block of its own label.
+	seen := map[[2]int32]bool{}
+	for l, h := range r.Head {
+		if h == -1 {
+			continue
+		}
+		if c, ok := cutNode[h]; ok {
+			key := [2]int32{t.BlockOf[l], c}
+			if !seen[key] {
+				seen[key] = true
+				link(t.BlockOf[l], c)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		c, ok := cutNode[int32(v)]
+		if !ok || r.Parent[v] == -1 {
+			continue
+		}
+		b := t.BlockOf[r.Label[v]]
+		key := [2]int32{b, c}
+		if !seen[key] {
+			seen[key] = true
+			link(b, c)
+		}
+	}
+	for _, a := range t.Adj {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	}
+	return t
+}
+
+// IsTree verifies the block-cut structure is a forest with one tree per
+// 2-edge-connected... per connected component containing at least one
+// block: #edges == #nodes - #trees. Used by tests and as a sanity check.
+func (t *BlockCutTree) IsTree() bool {
+	nodes := len(t.Adj)
+	edges := 0
+	for _, a := range t.Adj {
+		edges += len(a)
+	}
+	edges /= 2
+	// Count connected components of the tree with a scratch DFS.
+	visited := make([]bool, nodes)
+	comps := 0
+	stack := []int32{}
+	for s := 0; s < nodes; s++ {
+		if visited[s] {
+			continue
+		}
+		comps++
+		visited[s] = true
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range t.Adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return edges == nodes-comps
+}

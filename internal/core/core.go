@@ -1,0 +1,311 @@
+// Package core implements FAST-BCC (Fencing an Arbitrary Spanning Tree),
+// the parallel biconnectivity algorithm of Dong, Wang, Gu, and Sun
+// (PPoPP 2023) — Alg. 1 of the paper.
+//
+// The four steps mirror the paper exactly:
+//
+//  1. First-CC — parallel connectivity (LDD-UF-JTB) over the input graph,
+//     producing a spanning forest as a by-product.
+//  2. Rooting — the Euler tour technique roots every tree at its component
+//     representative and yields first/last tour positions and parents.
+//  3. Tagging — w1/w2 are folded over non-tree edges with atomic min/max
+//     writes, then low/high come from 1-D range min/max queries over the
+//     tour-ordered w1/w2 arrays.
+//  4. Last-CC — connectivity over the *implicit* skeleton: the input graph
+//     with fence tree edges and back edges skipped by the InSkeleton
+//     predicate (never materialized, keeping auxiliary space O(n));
+//     component heads are then read off the fence edges whose endpoints
+//     got different labels.
+//
+// The output is the paper's O(n) BCC representation: a label per non-root
+// vertex plus a component head per label. Articulation points, bridges,
+// and explicit blocks are derived from it on demand.
+//
+// Multigraphs are supported: parallel edges are all classified as tree
+// edges when they parallel a tree edge, which provably never changes any
+// fence predicate (the duplicate's w1/w2 contribution equals first[parent],
+// and Fence compares with ≤/≥), and self-loops are skipped; neither affects
+// vertex-set biconnectivity.
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/conn"
+	"repro/internal/etour"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/prim"
+	"repro/internal/tags"
+)
+
+// Options configures FAST-BCC.
+type Options struct {
+	// Seed drives the randomized connectivity (LDD shifts).
+	Seed uint64
+	// LocalSearch enables the hash-bag/local-search connectivity
+	// optimization (the paper's "Opt" variant, Fig. 6). Default off.
+	LocalSearch bool
+	// Beta is the LDD rate (0 = default).
+	Beta float64
+	// ConnAlg selects the connectivity algorithm for both CC phases.
+	ConnAlg conn.Algorithm
+}
+
+// StepTimes records the per-step running times that Fig. 5 of the paper
+// breaks down.
+type StepTimes struct {
+	FirstCC time.Duration
+	Rooting time.Duration
+	Tagging time.Duration
+	LastCC  time.Duration
+}
+
+// Total returns the sum of the step times.
+func (s StepTimes) Total() time.Duration {
+	return s.FirstCC + s.Rooting + s.Tagging + s.LastCC
+}
+
+// Result is the biconnectivity decomposition of a graph in the paper's
+// O(n) representation.
+type Result struct {
+	// Label[v] is the dense skeleton-component id of v in [0, NumLabels).
+	// Vertices with the same label are biconnected (Thm. 4.11); a label
+	// together with its Head forms one BCC.
+	Label []int32
+	// Head[l] is the component head attached to label l, or -1 when label
+	// l is a tree root's singleton component (not a BCC).
+	Head []int32
+	// Parent[v] is v's parent in the spanning forest, -1 for roots.
+	Parent []int32
+	// NumLabels is the number of distinct labels (= len(Head)).
+	NumLabels int
+	// NumBCC is the number of biconnected components.
+	NumBCC int
+	// Times holds the per-step breakdown.
+	Times StepTimes
+	// AuxBytes estimates the peak auxiliary memory in bytes (tags, tour,
+	// RMQ tables, connectivity state — everything beyond the input graph).
+	AuxBytes int64
+}
+
+// BCC computes the biconnected components of g with FAST-BCC.
+func BCC(g *graph.Graph, opt Options) *Result {
+	n := int(g.N)
+	res := &Result{}
+
+	// ---- Step 1: First-CC ------------------------------------------------
+	t0 := time.Now()
+	cc := conn.Connectivity(g, conn.Options{
+		Algorithm:   opt.ConnAlg,
+		Beta:        opt.Beta,
+		Seed:        opt.Seed,
+		LocalSearch: opt.LocalSearch,
+		WantForest:  true,
+	})
+	res.Times.FirstCC = time.Since(t0)
+
+	// ---- Step 2: Rooting -------------------------------------------------
+	t0 = time.Now()
+	rt := etour.Root(n, cc.Forest, cc.Comp)
+	res.Parent = rt.Parent
+	res.Times.Rooting = time.Since(t0)
+
+	// ---- Step 3: Tagging -------------------------------------------------
+	t0 = time.Now()
+	tg := tags.Compute(g, rt)
+	parent := tg.Parent
+	res.Times.Tagging = time.Since(t0)
+
+	// ---- Step 4: Last-CC -------------------------------------------------
+	t0 = time.Now()
+	sk := conn.Connectivity(g, conn.Options{
+		Algorithm:   opt.ConnAlg,
+		Beta:        opt.Beta,
+		Seed:        opt.Seed + 0x5eed,
+		LocalSearch: opt.LocalSearch,
+		Filter:      tg.InSkeleton,
+	})
+	res.Label = sk.Normalize()
+	res.NumLabels = sk.NumComp
+	res.Head = make([]int32, sk.NumComp)
+	parallel.Fill(res.Head, -1)
+	parallel.For(n, func(v int) {
+		p := parent[v]
+		if p != -1 && res.Label[v] != res.Label[p] {
+			// Fence edge leaving v's skeleton component upward: p is the
+			// component head. All writers of one label agree on the value
+			// (Thm. 4.9: the head is unique); the store is atomic to keep
+			// the concurrent same-value writes well-defined under the Go
+			// memory model.
+			atomic.StoreInt32(&res.Head[res.Label[v]], p)
+		}
+	})
+	nBCC := 0
+	for _, h := range res.Head {
+		if h != -1 {
+			nBCC++
+		}
+	}
+	res.NumBCC = nBCC
+	res.Times.LastCC = time.Since(t0)
+
+	// Auxiliary space estimate (bytes): per-vertex tag arrays (w1, w2,
+	// low, high, first, last, parent, comp, labels, head ≈ 10n int32),
+	// tour + RMQ value arrays (≈ 3·2n), RMQ block tables (≈ 4·2n/16),
+	// connectivity state (≈ 3n), spanning forest (2n).
+	res.AuxBytes = int64(n) * 4 * (10 + 6 + 1 + 3 + 2)
+	return res
+}
+
+// Blocks materializes the explicit biconnected components as sorted vertex
+// sets (the label's vertices plus its head). Intended for verification and
+// modest-size outputs; the O(n) Label/Head representation is the scalable
+// interface.
+func (r *Result) Blocks() [][]int32 {
+	buckets := make([][]int32, r.NumLabels)
+	for v, l := range r.Label {
+		if r.Parent[v] != -1 { // non-root vertices define block membership
+			buckets[l] = append(buckets[l], int32(v))
+		}
+	}
+	var blocks [][]int32
+	for l, members := range buckets {
+		if r.Head[l] == -1 {
+			continue
+		}
+		blk := append([]int32{r.Head[l]}, members...)
+		sortInt32(blk) // canonical form
+		blocks = append(blocks, blk)
+	}
+	return blocks
+}
+
+// ArticulationPoints returns the articulation points: vertices belonging
+// to at least two blocks (Thm. 4.4: exactly the BCC heads, counting the
+// parent-side block for non-roots).
+func (r *Result) ArticulationPoints() []int32 {
+	n := len(r.Label)
+	blocksOf := make([]int32, n)
+	for _, h := range r.Head {
+		if h != -1 {
+			blocksOf[h]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if r.Parent[v] != -1 {
+			blocksOf[v]++
+		}
+	}
+	var out []int32
+	for v := 0; v < n; v++ {
+		if blocksOf[v] >= 2 {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// IsBridge reports whether the edge {u,w} of g is a bridge: its block has
+// exactly two vertices and the edge is not duplicated in the multigraph.
+func (r *Result) IsBridge(g *graph.Graph, u, w int32) bool {
+	if u == w {
+		return false
+	}
+	// Orient so that w is the child.
+	if r.Parent[w] != u {
+		u, w = w, u
+		if r.Parent[w] != u {
+			return false // non-tree edges are never bridges
+		}
+	}
+	// Bridge iff w's skeleton component is the singleton {w}, its head is
+	// u, and the block is exactly {u,w} — i.e. no other vertex shares w's
+	// label — and the edge has multiplicity 1.
+	if labelSize(r, r.Label[w]) != 1 {
+		return false
+	}
+	mult := 0
+	for _, x := range g.Neighbors(u) {
+		if x == w {
+			mult++
+		}
+	}
+	return mult == 1
+}
+
+// Bridges returns all bridge edges of g.
+func (r *Result) Bridges(g *graph.Graph) []graph.Edge {
+	n := len(r.Label)
+	count := make([]int32, r.NumLabels)
+	for v := 0; v < n; v++ {
+		if r.Parent[v] != -1 {
+			count[r.Label[v]]++
+		}
+	}
+	var out []graph.Edge
+	for v := 0; v < n; v++ {
+		p := r.Parent[v]
+		if p == -1 || count[r.Label[v]] != 1 {
+			continue
+		}
+		mult := 0
+		for _, x := range g.Neighbors(int32(v)) {
+			if x == p {
+				mult++
+			}
+		}
+		if mult == 1 {
+			e := graph.Edge{U: p, W: int32(v)}
+			if e.U > e.W {
+				e.U, e.W = e.W, e.U
+			}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].U != out[b].U {
+			return out[a].U < out[b].U
+		}
+		return out[a].W < out[b].W
+	})
+	return out
+}
+
+func labelSize(r *Result, l int32) int {
+	c := 0
+	for v := 0; v < len(r.Label); v++ {
+		if r.Label[v] == l && r.Parent[v] != -1 {
+			c++
+		}
+	}
+	return c
+}
+
+func sortInt32(a []int32) {
+	// Blocks can be as large as the graph (the giant biconnected core of a
+	// social network); use the parallel sample sort.
+	prim.SortInt32(a)
+}
+
+// Biconnected reports whether u and w lie in a common block, in O(1):
+// either they share a label, or one is the component head of the other's
+// label. Roots and isolated vertices are biconnected with nothing.
+func (r *Result) Biconnected(u, w int32) bool {
+	if u == w {
+		return false
+	}
+	lu, lw := r.Label[u], r.Label[w]
+	if r.Parent[u] != -1 && r.Parent[w] != -1 && lu == lw {
+		return true
+	}
+	if r.Parent[w] != -1 && r.Head[lw] == u {
+		return true
+	}
+	if r.Parent[u] != -1 && r.Head[lu] == w {
+		return true
+	}
+	return false
+}

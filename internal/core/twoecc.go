@@ -1,0 +1,52 @@
+package core
+
+import (
+	"repro/internal/conn"
+	"repro/internal/graph"
+)
+
+// TwoECC computes the 2-edge-connected components of g from an existing
+// biconnectivity decomposition: vertices are in the same 2ECC iff they are
+// connected without crossing a bridge. Returned as dense labels per vertex
+// (every vertex gets a label; isolated vertices are singleton components).
+//
+// This is the bridge-side sibling of the block decomposition: blocks split
+// at articulation points, 2ECCs split at bridges. It reuses the filtered
+// connectivity machinery of Last-CC with a "skip bridges" predicate, so it
+// runs in the same O(n+m) work / polylog span / O(n) space envelope.
+func (r *Result) TwoECC(g *graph.Graph) []int32 {
+	n := len(r.Label)
+	// Per-label member counts identify bridge tree edges: a tree edge
+	// (p(v), v) is a bridge iff v's label is a singleton and the edge has
+	// multiplicity 1 (same logic as Bridges).
+	count := make([]int32, r.NumLabels)
+	for v := 0; v < n; v++ {
+		if r.Parent[v] != -1 {
+			count[r.Label[v]]++
+		}
+	}
+	isBridge := func(u, w int32) bool {
+		// Orient to (parent, child).
+		if r.Parent[w] != u {
+			u, w = w, u
+			if r.Parent[w] != u {
+				return false
+			}
+		}
+		if count[r.Label[w]] != 1 {
+			return false
+		}
+		mult := 0
+		for _, x := range g.Neighbors(w) {
+			if x == u {
+				mult++
+			}
+		}
+		return mult == 1
+	}
+	cc := conn.Connectivity(g, conn.Options{
+		Seed:   0x2ecc,
+		Filter: func(u, w int32) bool { return !isBridge(u, w) },
+	})
+	return cc.Normalize()
+}

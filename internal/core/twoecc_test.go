@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/seqbcc"
+	"repro/internal/uf"
+)
+
+// refTwoECC computes 2-edge-connected components sequentially: union all
+// edges except bridges (taken from Hopcroft–Tarjan).
+func refTwoECC(g *graph.Graph) *uf.Seq {
+	bridges := map[graph.Edge]bool{}
+	for _, e := range seqbcc.BCC(g).Bridges() {
+		bridges[e] = true
+	}
+	s := uf.NewSeq(g.NumVertices())
+	for v := int32(0); v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			if v >= w {
+				continue
+			}
+			if !bridges[graph.Edge{U: v, W: w}] {
+				s.Union(v, w)
+			}
+		}
+	}
+	return s
+}
+
+func assertTwoECCMatches(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	res := BCC(g, Options{Seed: 1})
+	got := res.TwoECC(g)
+	ref := refTwoECC(g)
+	for u := int32(0); u < g.N; u++ {
+		for w := u + 1; w < g.N; w++ {
+			if (got[u] == got[w]) != ref.SameSet(u, w) {
+				t.Fatalf("2ECC(%d,%d): got %v, ref %v", u, w, got[u] == got[w], ref.SameSet(u, w))
+			}
+		}
+	}
+}
+
+func TestTwoECCStructured(t *testing.T) {
+	cases := []*graph.Graph{
+		gen.Cycle(12),               // one 2ECC
+		gen.Chain(10),               // all singletons
+		gen.Barbell(4, 2),           // two K4 plus path vertices
+		gen.Star(8),                 // all singletons
+		gen.CliqueChain(3, 4),       // one 2ECC (no bridges!)
+		gen.Grid2D(5, 6, true),      // one 2ECC
+		graph.MustFromEdges(0, nil), // empty
+		graph.MustFromEdges(3, nil), // isolated
+		gen.Disjoint(gen.Cycle(5), gen.Chain(4)),
+	}
+	for i, g := range cases {
+		t.Run(string(rune('a'+i)), func(t *testing.T) {
+			assertTwoECCMatches(t, g)
+		})
+	}
+}
+
+func TestTwoECCCliqueChainIsOneComponent(t *testing.T) {
+	// Clique chains have articulation points but no bridges: a single
+	// 2ECC despite multiple blocks — the decompositions genuinely differ.
+	g := gen.CliqueChain(4, 4)
+	res := BCC(g, Options{Seed: 2})
+	labels := res.TwoECC(g)
+	for v := 1; v < g.NumVertices(); v++ {
+		if labels[v] != labels[0] {
+			t.Fatalf("clique chain split at %d", v)
+		}
+	}
+	if res.NumBCC != 4 {
+		t.Fatalf("but it still has %d blocks, want 4", res.NumBCC)
+	}
+}
+
+func TestTwoECCParallelEdgeNotBridge(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, W: 1}, {U: 0, W: 1}, {U: 1, W: 2}})
+	res := BCC(g, Options{Seed: 3})
+	labels := res.TwoECC(g)
+	if labels[0] != labels[1] {
+		t.Fatal("parallel pair must stay together")
+	}
+	if labels[1] == labels[2] {
+		t.Fatal("bridge endpoint merged")
+	}
+}
+
+func TestTwoECCQuickRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(80)
+		m := rng.Intn(3 * n)
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), W: int32(rng.Intn(n))})
+		}
+		assertTwoECCMatches(t, graph.MustFromEdges(n, edges))
+	}
+}

@@ -1,0 +1,55 @@
+package crosstest
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/parallel"
+)
+
+// TestAllAlgorithmsAgreeWithWorkers forces multi-worker execution even on a
+// single-CPU host: raising GOMAXPROCS and the worker count makes the
+// chunked fork-join layer actually spawn goroutines, so the CAS paths
+// (union-find links, LDD claims, frontier dedup, atomic min/max tags) run
+// interleaved. Combined with `go test -race` this exercises the concurrency
+// the plain suite short-circuits when Procs() == 1.
+func TestAllAlgorithmsAgreeWithWorkers(t *testing.T) {
+	oldGomax := runtime.GOMAXPROCS(8)
+	oldProcs := parallel.SetProcs(8)
+	defer func() {
+		runtime.GOMAXPROCS(oldGomax)
+		parallel.SetProcs(oldProcs)
+	}()
+	names := []string{"YT", "OK", "USA", "GL5", "SQR", "Chn7", "REC'"}
+	if testing.Short() {
+		names = names[:3]
+	}
+	for _, name := range names {
+		ins, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("missing instance %s", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			assertAllAgree(t, ins.Build(bench.Small), 29)
+		})
+	}
+}
+
+// TestRepeatedRunsWithWorkersAreConsistent hammers FAST-BCC with many
+// worker-parallel repetitions on one graph: the decomposition must be
+// identical every time even though the spanning forest construction races
+// internally (CAS winners may differ between runs with different seeds).
+func TestRepeatedRunsWithWorkersAreConsistent(t *testing.T) {
+	oldGomax := runtime.GOMAXPROCS(8)
+	oldProcs := parallel.SetProcs(8)
+	defer func() {
+		runtime.GOMAXPROCS(oldGomax)
+		parallel.SetProcs(oldProcs)
+	}()
+	ins, _ := bench.ByName("GL2")
+	g := ins.Build(bench.Small)
+	for seed := uint64(0); seed < 6; seed++ {
+		assertAllAgree(t, g, seed)
+	}
+}

@@ -1,0 +1,131 @@
+// Package crosstest cross-checks every BCC implementation in the
+// repository against every other on the full benchmark suite and on random
+// multigraphs — the strongest correctness statement the repository makes
+// (five algorithms sharing almost no code must produce identical block
+// decompositions).
+package crosstest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bench"
+	"repro/internal/bfsbcc"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/seqbcc"
+	"repro/internal/smbcc"
+	"repro/internal/tv"
+)
+
+// allDecompositions runs every algorithm on g, returning named block sets.
+func allDecompositions(g *graph.Graph, seed uint64) map[string][][]int32 {
+	out := map[string][][]int32{
+		"seq":      seqbcc.BCC(g).Blocks,
+		"fast":     core.BCC(g, core.Options{Seed: seed}).Blocks(),
+		"fast-opt": core.BCC(g, core.Options{Seed: seed + 1, LocalSearch: true}).Blocks(),
+		"gbbs":     bfsbcc.BCC(g, bfsbcc.Options{Seed: seed}).Blocks(),
+		"tv":       tv.BCC(g, tv.Options{Seed: seed}).Blocks(),
+	}
+	if sm, err := smbcc.BCC(g, smbcc.Options{}); err == nil {
+		out["sm14"] = sm.Blocks()
+	}
+	return out
+}
+
+func assertAllAgree(t *testing.T, g *graph.Graph, seed uint64) {
+	t.Helper()
+	ds := allDecompositions(g, seed)
+	ref := ds["seq"]
+	for name, blocks := range ds {
+		if !check.Equal(blocks, ref) {
+			t.Fatalf("%s disagrees with seq:\n %s\n vs\n %s",
+				name, check.Describe(blocks), check.Describe(ref))
+		}
+	}
+}
+
+func TestAllAlgorithmsAgreeOnSuite(t *testing.T) {
+	// The full 27-instance suite at Small scale: every algorithm must
+	// produce the identical decomposition on every instance.
+	for _, ins := range bench.Suite() {
+		ins := ins
+		t.Run(ins.Name, func(t *testing.T) {
+			if testing.Short() && (ins.Name == "Chn8" || ins.Name == "COS5") {
+				t.Skip("short mode")
+			}
+			assertAllAgree(t, ins.Build(bench.Small), 11)
+		})
+	}
+}
+
+func TestAllAlgorithmsAgreeOnAdversarial(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"empty", graph.MustFromEdges(0, nil)},
+		{"singleton", graph.MustFromEdges(1, nil)},
+		{"selfloop", graph.MustFromEdges(1, []graph.Edge{{U: 0, W: 0}})},
+		{"paralleltriple", graph.MustFromEdges(2, []graph.Edge{{U: 0, W: 1}, {U: 0, W: 1}, {U: 0, W: 1}})},
+		{"star", gen.Star(200)},
+		{"clique", gen.Clique(40)},
+		{"longchain", gen.Chain(50000)},
+		{"binarytree", gen.RandomTree(5000, 3)},
+		{"denseclusters", gen.CliqueChain(20, 8)},
+		{"bigcycle", gen.Cycle(30000)},
+		{"manyisolated", graph.MustFromEdges(1000, []graph.Edge{{U: 0, W: 999}})},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			assertAllAgree(t, tc.g, 13)
+		})
+	}
+}
+
+func TestQuickAllAlgorithmsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		m := rng.Intn(4 * n)
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			// Bias toward multigraph features: occasional duplicates and
+			// self-loops.
+			u, w := int32(rng.Intn(n)), int32(rng.Intn(n))
+			edges = append(edges, graph.Edge{U: u, W: w})
+			if rng.Intn(10) == 0 && len(edges) > 0 {
+				edges = append(edges, edges[rng.Intn(len(edges))])
+			}
+		}
+		g := graph.MustFromEdges(n, edges)
+		ds := allDecompositions(g, uint64(seed))
+		ref := ds["seq"]
+		for _, blocks := range ds {
+			if !check.Equal(blocks, ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumBCCMatchesAcrossScales(t *testing.T) {
+	// #BCC must be identical between FAST-BCC and SEQ on every small
+	// instance — the check the paper runs on every experiment.
+	for _, ins := range bench.Suite() {
+		g := ins.Build(bench.Small)
+		fast := core.BCC(g, core.Options{Seed: 3})
+		seq := seqbcc.BCC(g)
+		if fast.NumBCC != seq.NumBCC() {
+			t.Fatalf("%s: fast %d != seq %d", ins.Name, fast.NumBCC, seq.NumBCC())
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package etour implements the Euler tour technique (ETT) used by the
+// Rooting step of FAST-BCC (and of Tarjan–Vishkin).
+//
+// Given a spanning forest produced by the First-CC step, ETT roots every
+// tree at its component representative: each undirected tree edge is
+// replicated into two directed arcs, arcs are semisorted by source vertex
+// (a stable counting sort), a circular successor list — the Euler circuit —
+// is built, and list ranking flattens the circuit into an array. From arc
+// ranks we derive, per vertex, the first/last appearance on the tour and
+// the parent, exactly the tags Alg. 1 needs. The tours of all trees are
+// concatenated, so one global array serves the later RMQ-based Tagging.
+//
+// List ranking coarsens with ~√m samples as described in Sec. 5 of the
+// paper: samples walk to the next sample in parallel, a prefix pass over
+// the (short) sample chains assigns global offsets, and a second parallel
+// walk scatters ranks. Work is O(n); span is proportional to the largest
+// inter-sample gap (√n in expectation for the tours generated here).
+package etour
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/prim"
+)
+
+// Rooted is the result of rooting a spanning forest.
+type Rooted struct {
+	// Parent[v] is v's parent in its rooted tree; -1 for tree roots.
+	Parent []int32
+	// First and Last are each vertex's first and last position on the
+	// global tour array (First == Last for isolated vertices).
+	First, Last []int32
+	// Tour lists the vertex at every tour position. Its length is
+	// 2n - NumTrees: each tree of size s contributes 2s-1 contiguous slots.
+	Tour []int32
+	// NumTrees is the number of trees in the forest (= #components).
+	NumTrees int
+}
+
+// Root roots the spanning forest given by forest edges over n vertices.
+// comp[v] must be the component representative of v (comp[r] == r), as
+// produced by conn.Connectivity; each tree is rooted at its representative.
+func Root(n int, forest []graph.Edge, comp []int32) *Rooted {
+	r := &Rooted{
+		Parent: make([]int32, n),
+		First:  make([]int32, n),
+		Last:   make([]int32, n),
+	}
+	parallel.Fill(r.Parent, -1)
+	if n == 0 {
+		r.Tour = []int32{}
+		return r
+	}
+
+	// Tree sizes and per-tree base offsets in the concatenated tour.
+	// size[root] = #vertices; base[root] = start slot of its tour segment.
+	size := make([]int32, n)
+	for v := 0; v < n; v++ {
+		size[comp[v]]++
+	}
+	numTrees := 0
+	tourLen := int32(0)
+	base := make([]int32, n)
+	for v := 0; v < n; v++ {
+		if comp[v] == int32(v) {
+			numTrees++
+			base[v] = tourLen
+			tourLen += 2*size[v] - 1
+		}
+	}
+	r.NumTrees = numTrees
+	r.Tour = make([]int32, tourLen)
+
+	m2 := 2 * len(forest)
+	if m2 == 0 {
+		// Forest with no edges: every vertex is isolated.
+		parallel.For(n, func(v int) {
+			r.First[v] = base[v]
+			r.Last[v] = base[v]
+			r.Tour[base[v]] = int32(v)
+		})
+		return r
+	}
+
+	// Directed arcs: arc 2i = (U→W), arc 2i+1 = (W→U).
+	src := make([]int32, m2)
+	dst := make([]int32, m2)
+	parallel.ForBlock(len(forest), parallel.DefaultGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := forest[i]
+			src[2*i], dst[2*i] = e.U, e.W
+			src[2*i+1], dst[2*i+1] = e.W, e.U
+		}
+	})
+	// Semisort arcs by source vertex.
+	perm, off := prim.CountingSortByKey(m2, int32(n), func(i int) int32 { return src[i] })
+	pos := make([]int32, m2) // original arc -> sorted position
+	parallel.For(m2, func(j int) { pos[perm[j]] = int32(j) })
+
+	// Euler circuit successor: succ(u→v) = the arc after (v→u) in v's
+	// bucket, cyclically. Then break each circuit before its root's first
+	// outgoing arc so list ranking sees one chain per tree.
+	next := make([]int32, m2)
+	parallel.For(m2, func(j int) {
+		orig := perm[j]
+		twin := pos[orig^1] // sorted position of the reverse arc
+		v := dst[orig]      // src of the twin
+		s := twin + 1
+		if s >= off[v+1] {
+			s = off[v]
+		}
+		root := comp[v]
+		if s == off[root] {
+			s = -1 // circuit break: succ would re-enter the tour start
+		}
+		next[j] = s
+	})
+
+	rank := listRank(next, off, comp, src, perm, n)
+
+	// Scatter the tour, first/last, and parents.
+	// Slot of arc j (sorted) = base(tree) + rank[j] + 1 holds dst(arc).
+	// Slot base(tree) holds the root.
+	const inf = int32(math.MaxInt32)
+	parallel.Fill(r.First, inf)
+	parallel.Fill(r.Last, -1)
+	parallel.For(n, func(v int) {
+		if comp[v] == int32(v) {
+			b := base[v]
+			r.Tour[b] = int32(v)
+			r.First[v] = b
+			r.Last[v] = b
+		} else if size[comp[v]] == 1 {
+			panic("etour: non-representative vertex in singleton tree")
+		}
+	})
+	// Isolated non-root vertices cannot exist (comp[v] != v implies an
+	// edge path to the rep), so every remaining vertex appears as some
+	// arc head.
+	parallel.For(m2, func(j int) {
+		orig := perm[j]
+		head := dst[orig]
+		slot := base[comp[head]] + rank[j] + 1
+		r.Tour[slot] = head
+		prim.WriteMin(&r.First[head], slot)
+		prim.WriteMax(&r.Last[head], slot)
+	})
+	parallel.ForBlock(len(forest), parallel.DefaultGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			down := pos[2*i] // (U→W)
+			up := pos[2*i+1] // (W→U)
+			e := forest[i]
+			if rank[down] < rank[up] {
+				r.Parent[e.W] = e.U
+			} else {
+				r.Parent[e.U] = e.W
+			}
+		}
+	})
+	return r
+}
+
+// listRank computes, for every arc in the sorted arc array, its distance
+// from the start of its tree's chain (the root's first outgoing arc).
+// next[j] = -1 terminates a chain.
+func listRank(next []int32, off []int32, comp []int32, src []int32, perm []int32, n int) []int32 {
+	m2 := len(next)
+	rank := make([]int32, m2)
+	step := int(math.Sqrt(float64(m2)))
+	if step < 1 {
+		step = 1
+	}
+	isSample := make([]bool, m2)
+	for j := 0; j < m2; j += step {
+		isSample[j] = true
+	}
+	// Chain heads (roots' first outgoing arcs) must be samples.
+	heads := make([]int32, 0, n/step+8)
+	for v := 0; v < n; v++ {
+		if comp[v] == int32(v) && off[v] < off[v+1] {
+			isSample[off[v]] = true
+		}
+	}
+	samples := prim.PackIndices(m2, func(j int) bool { return isSample[j] })
+	for _, s := range samples {
+		orig := perm[s]
+		v := src[orig]
+		if comp[v] == v && s == off[v] {
+			heads = append(heads, s)
+		}
+	}
+	// Phase 1: each sample walks to the next sample (or chain end),
+	// recording the hop count and the sample reached.
+	sampleIdx := make([]int32, m2) // sorted arc -> index in samples, -1 otherwise
+	parallel.Fill(sampleIdx, -1)
+	parallel.For(len(samples), func(i int) { sampleIdx[samples[i]] = int32(i) })
+	nextSample := make([]int32, len(samples)) // index into samples, -1 at end
+	gap := make([]int32, len(samples))
+	parallel.ForGrain(len(samples), 1, func(i int) {
+		j := samples[i]
+		d := int32(0)
+		for {
+			j = next[j]
+			d++
+			if j == -1 {
+				nextSample[i] = -1
+				break
+			}
+			if si := sampleIdx[j]; si >= 0 {
+				nextSample[i] = si
+				break
+			}
+		}
+		gap[i] = d
+	})
+	// Phase 2: walk the sample chains sequentially (they are short),
+	// one chain per tree, assigning each sample its global rank.
+	sampleRank := make([]int32, len(samples))
+	parallel.ForGrain(len(heads), 1, func(h int) {
+		i := sampleIdx[heads[h]]
+		r := int32(0)
+		for i != -1 {
+			sampleRank[i] = r
+			r += gap[i]
+			i = nextSample[i]
+		}
+	})
+	// Phase 3: re-walk from each sample scattering ranks to intermediates.
+	parallel.ForGrain(len(samples), 1, func(i int) {
+		j := samples[i]
+		r := sampleRank[i]
+		rank[j] = r
+		for {
+			j = next[j]
+			if j == -1 || sampleIdx[j] >= 0 {
+				break
+			}
+			r++
+			rank[j] = r
+		}
+	})
+	return rank
+}

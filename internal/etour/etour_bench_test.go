@@ -1,0 +1,55 @@
+package etour
+
+import (
+	"testing"
+
+	"repro/internal/conn"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Microbenchmarks for the Rooting step: the paper attributes FAST-BCC's win
+// on large-diameter graphs largely to replacing BFS rooting (span ∝ D) with
+// ETT + list ranking (polylog span). These benches isolate that cost.
+
+func benchForest(g *graph.Graph) ([]graph.Edge, []int32) {
+	cc := conn.Connectivity(g, conn.Options{Seed: 7, WantForest: true})
+	return cc.Forest, cc.Comp
+}
+
+func BenchmarkRootChain(b *testing.B) {
+	g := gen.Chain(200000)
+	forest, comp := benchForest(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Root(g.NumVertices(), forest, comp)
+	}
+}
+
+func BenchmarkRootGrid(b *testing.B) {
+	g := gen.Grid2D(450, 450, true)
+	forest, comp := benchForest(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Root(g.NumVertices(), forest, comp)
+	}
+}
+
+func BenchmarkRootRMAT(b *testing.B) {
+	g := gen.RMAT(15, 8, 3)
+	forest, comp := benchForest(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Root(g.NumVertices(), forest, comp)
+	}
+}
+
+func BenchmarkRootStar(b *testing.B) {
+	// Adversarial for list ranking: one vertex owns half the arcs.
+	g := gen.Star(200000)
+	forest, comp := benchForest(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Root(g.NumVertices(), forest, comp)
+	}
+}

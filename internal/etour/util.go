@@ -1,0 +1,60 @@
+package etour
+
+import (
+	"repro/internal/parallel"
+)
+
+// SubtreeSizes returns the number of vertices in each vertex's subtree,
+// derived in O(n) from the tour interval: a subtree of size s spans exactly
+// 2s-1 tour slots. This is the classic ETT application ("maintaining
+// subtree or tree path sums", Sec. 2 of the paper).
+func (r *Rooted) SubtreeSizes() []int32 {
+	n := len(r.First)
+	sizes := make([]int32, n)
+	parallel.For(n, func(v int) {
+		sizes[v] = (r.Last[v]-r.First[v])/2 + 1
+	})
+	return sizes
+}
+
+// IsAncestor reports whether u is an ancestor of v (u == v counts), via
+// tour-interval nesting — the same O(1) test Alg. 1's Back predicate uses.
+func (r *Rooted) IsAncestor(u, v int32) bool {
+	return r.First[u] <= r.First[v] && r.Last[u] >= r.Last[v]
+}
+
+// Depths returns each vertex's depth (root = 0), computed in O(n) total
+// work by counting direction flips along the tour: walking the tour, a
+// step from parent to child descends, child to parent ascends. Depth of a
+// vertex is the depth at its first appearance.
+func (r *Rooted) Depths() []int32 {
+	n := len(r.First)
+	depth := make([]int32, n)
+	if n == 0 {
+		return depth
+	}
+	// Tour segments per tree are contiguous; a slot's depth equals the
+	// number of ancestors-so-far. Because First[v] is v's first appearance
+	// and its parent's first appearance precedes it, depth[v] =
+	// depth[parent]+1 — computable by pointer doubling or, simpler here,
+	// by walking tour slots once (sequential per tree segment, parallel
+	// over trees at the caller's discretion). We process the whole tour
+	// sequentially: the tour length is O(n).
+	d := int32(0)
+	for t := 1; t < len(r.Tour); t++ {
+		u, v := r.Tour[t-1], r.Tour[t]
+		switch {
+		case r.Parent[v] == u:
+			// Each downward arc appears exactly once, at v's first
+			// appearance.
+			d++
+			depth[v] = d
+		case r.Parent[u] == v:
+			d--
+		default:
+			// Tree boundary in the concatenated tour: a new root at depth 0.
+			d = 0
+		}
+	}
+	return depth
+}

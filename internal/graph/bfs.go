@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parallel"
+	"repro/internal/prim"
+)
+
+// BFSResult holds the output of a breadth-first search.
+type BFSResult struct {
+	Parent []V     // Parent[v] = BFS-tree parent, source's parent = source, -1 if unreached
+	Level  []int32 // Level[v] = hop distance from source, -1 if unreached
+	Depth  int32   // number of levels minus one (eccentricity of source)
+}
+
+// BFS runs a parallel frontier-based breadth-first search from src.
+// Frontiers are expanded level by level, so the span is proportional to the
+// source's eccentricity — this is exactly the weakness of BFS-based BCC
+// skeletons the paper targets, and the baselines here inherit it.
+func BFS(g *Graph, src V) *BFSResult {
+	n := int(g.N)
+	res := &BFSResult{
+		Parent: make([]V, n),
+		Level:  make([]int32, n),
+	}
+	parallel.Fill(res.Parent, -1)
+	parallel.Fill(res.Level, -1)
+	res.Parent[src] = src
+	res.Level[src] = 0
+	frontier := []V{src}
+	level := int32(0)
+	for len(frontier) > 0 {
+		level++
+		next := bfsExpand(g, frontier, res.Parent, res.Level, level)
+		frontier = next
+	}
+	res.Depth = level - 1
+	return res
+}
+
+// bfsExpand claims the unvisited neighbors of the frontier via CAS on
+// Parent and returns the next frontier (deduplicated by the CAS).
+func bfsExpand(g *Graph, frontier []V, parent []V, lvl []int32, level int32) []V {
+	// Per-block output buffers stitched together with a scan keep the
+	// result deterministic in size (order varies but is sorted afterwards
+	// only where needed by callers).
+	type block struct{ out []V }
+	nb := (len(frontier) + 255) / 256
+	blocks := make([]block, nb)
+	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*256, (b+1)*256
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			var out []V
+			for i := lo; i < hi; i++ {
+				u := frontier[i]
+				for _, w := range g.Neighbors(u) {
+					if atomic.LoadInt32(&parent[w]) == -1 &&
+						atomic.CompareAndSwapInt32(&parent[w], -1, u) {
+						lvl[w] = level
+						out = append(out, w)
+					}
+				}
+			}
+			blocks[b].out = out
+		}
+	})
+	sizes := make([]int32, nb)
+	for b := range blocks {
+		sizes[b] = int32(len(blocks[b].out))
+	}
+	total := prim.ExclusiveScanInt32(sizes)
+	next := make([]V, total)
+	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			copy(next[sizes[b]:], blocks[b].out)
+		}
+	})
+	return next
+}
+
+// ApproxDiameter estimates the diameter with a double-sweep BFS: BFS from
+// src, then BFS from the farthest vertex found. The result lower-bounds the
+// true diameter and is exact on trees.
+func ApproxDiameter(g *Graph, src V) int32 {
+	if g.N == 0 {
+		return 0
+	}
+	r1 := BFS(g, src)
+	far := src
+	for v := V(0); v < g.N; v++ {
+		if r1.Level[v] > r1.Level[far] {
+			far = v
+		}
+	}
+	r2 := BFS(g, far)
+	return r2.Depth
+}
+
+// ConnectedBFS reports whether g is connected, via a single BFS from 0.
+func ConnectedBFS(g *Graph) bool {
+	if g.N == 0 {
+		return true
+	}
+	r := BFS(g, 0)
+	for v := V(0); v < g.N; v++ {
+		if r.Parent[v] == -1 {
+			return false
+		}
+	}
+	return true
+}

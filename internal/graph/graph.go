@@ -1,0 +1,182 @@
+// Package graph provides the compressed-sparse-row (CSR) graph substrate
+// shared by every algorithm in this repository: construction from edge
+// lists, symmetrization, parallel BFS, component reordering, statistics,
+// and a simple binary interchange format.
+//
+// Vertices are int32 ids in [0, N). Graphs are undirected and stored with
+// both arc directions in the adjacency array, matching the paper's setting
+// ("for directed graphs, we symmetrize them to test BCC"). Self-loops and
+// parallel edges are permitted by the algorithms (they never affect
+// biconnectivity beyond the trivial ways) but can be removed with Simplify.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+	"repro/internal/prim"
+)
+
+// V is the vertex id type.
+type V = int32
+
+// Edge is an undirected edge between U and W.
+type Edge struct {
+	U, W V
+}
+
+// Graph is an undirected graph in CSR form. Adj[Offsets[v]:Offsets[v+1]]
+// lists the neighbors of v. For an undirected edge {u,w} both (u→w) and
+// (w→u) arcs are present, so len(Adj) == 2·NumEdges().
+type Graph struct {
+	N       int32
+	Offsets []int32
+	Adj     []V
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return int(g.N) }
+
+// NumArcs returns the number of directed arcs (2m for a symmetric graph).
+func (g *Graph) NumArcs() int { return len(g.Adj) }
+
+// NumEdges returns the number of undirected edges m (arcs/2).
+func (g *Graph) NumEdges() int { return len(g.Adj) / 2 }
+
+// Neighbors returns the adjacency slice of v.
+func (g *Graph) Neighbors(v V) []V {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// Degree returns the degree of v (counting both endpoints of self-loops).
+func (g *Graph) Degree(v V) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// FromEdges builds a symmetric CSR graph over n vertices from the given
+// undirected edge list. Both arc directions are inserted for every edge.
+// Construction is parallel: atomic degree counting, prefix-sum offsets, and
+// atomic-cursor scatter. Neighbor lists are then sorted for determinism.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if int64(len(edges))*2 >= int64(1)<<31 {
+		return nil, fmt.Errorf("graph: %d edges exceeds int32 arc capacity", len(edges))
+	}
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.W < 0 || int(e.W) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.W, n)
+		}
+	}
+	deg := make([]int32, n+1)
+	parallel.ForBlock(len(edges), parallel.DefaultGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&deg[edges[i].U], 1)
+			atomic.AddInt32(&deg[edges[i].W], 1)
+		}
+	})
+	total := prim.ExclusiveScanInt32(deg)
+	adj := make([]V, total)
+	cursor := make([]int32, n)
+	parallel.ForBlock(n, parallel.DefaultGrain, func(lo, hi int) {
+		copy(cursor[lo:hi], deg[lo:hi])
+	})
+	parallel.ForBlock(len(edges), parallel.DefaultGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u, w := edges[i].U, edges[i].W
+			adj[atomic.AddInt32(&cursor[u], 1)-1] = w
+			adj[atomic.AddInt32(&cursor[w], 1)-1] = u
+		}
+	})
+	g := &Graph{N: int32(n), Offsets: deg, Adj: adj}
+	g.sortAdjacency()
+	return g, nil
+}
+
+// MustFromEdges is FromEdges that panics on error; for tests and generators
+// whose inputs are valid by construction.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// sortAdjacency sorts each neighbor list so that graph construction is
+// deterministic regardless of the parallel scatter order.
+func (g *Graph) sortAdjacency() {
+	parallel.ForBlock(int(g.N), 256, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			nb := g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+			sort.Slice(nb, func(a, b int) bool { return nb[a] < nb[b] })
+		}
+	})
+}
+
+// Edges returns the undirected edge list (u <= w once per edge; self-loops
+// once). Mostly for tests and verification.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for v := V(0); v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			if v < w {
+				out = append(out, Edge{v, w})
+			}
+		}
+	}
+	// Self-loops appear twice in adjacency; emit each once.
+	for v := V(0); v < g.N; v++ {
+		c := 0
+		for _, w := range g.Neighbors(v) {
+			if w == v {
+				c++
+			}
+		}
+		for i := 0; i < c/2; i++ {
+			out = append(out, Edge{v, v})
+		}
+	}
+	return out
+}
+
+// Simplify returns a copy of g with self-loops and parallel edges removed.
+func (g *Graph) Simplify() *Graph {
+	seen := make(map[int64]bool)
+	var edges []Edge
+	for v := V(0); v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			if v >= w {
+				continue
+			}
+			key := int64(v)<<32 | int64(w)
+			if !seen[key] {
+				seen[key] = true
+				edges = append(edges, Edge{v, w})
+			}
+		}
+	}
+	return MustFromEdges(int(g.N), edges)
+}
+
+// HasEdge reports whether the undirected edge {u,w} exists (binary search;
+// adjacency lists are sorted).
+func (g *Graph) HasEdge(u, w V) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= w })
+	return i < len(nb) && nb[i] == w
+}
+
+// MaxDegree returns the largest vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	var m int64
+	for v := V(0); v < g.N; v++ {
+		if d := int64(g.Degree(v)); d > m {
+			m = d
+		}
+	}
+	return int(m)
+}

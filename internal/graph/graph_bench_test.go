@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n, deg int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, n*deg/2)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{V(rng.Intn(i)), V(i)}) // connected
+	}
+	for i := 0; i < n*(deg-2)/2; i++ {
+		u, w := V(rng.Intn(n)), V(rng.Intn(n))
+		if u != w {
+			edges = append(edges, Edge{u, w})
+		}
+	}
+	return MustFromEdges(n, edges)
+}
+
+func BenchmarkFromEdges(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 18
+	edges := make([]Edge, 1<<20)
+	for i := range edges {
+		edges[i] = Edge{V(rng.Intn(n)), V(rng.Intn(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustFromEdges(n, edges)
+	}
+}
+
+func BenchmarkBFSLowDiameter(b *testing.B) {
+	g := benchGraph(1<<17, 16, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BFS(g, 0)
+	}
+}
+
+func BenchmarkBFSChain(b *testing.B) {
+	n := 200000
+	edges := make([]Edge, n-1)
+	for i := range edges {
+		edges[i] = Edge{V(i), V(i + 1)}
+	}
+	g := MustFromEdges(n, edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BFS(g, 0)
+	}
+}
+
+func BenchmarkComputeStats(b *testing.B) {
+	g := benchGraph(1<<17, 16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeStats(g)
+	}
+}

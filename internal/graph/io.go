@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary interchange format:
+//
+//	magic   uint32  = 0x42434331 ("BCC1")
+//	n       uint32
+//	arcs    uint32  (len(Adj))
+//	offsets (n+1) × int32, little endian
+//	adj     arcs × int32, little endian
+const binaryMagic = 0x42434331
+
+// WriteBinary serializes g to w in the repository's binary CSR format.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := []uint32{binaryMagic, uint32(g.N), uint32(len(g.Adj))}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Adj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [3]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	n, arcs := int(hdr[1]), int(hdr[2])
+	g := &Graph{
+		N:       int32(n),
+		Offsets: make([]int32, n+1),
+		Adj:     make([]V, arcs),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Offsets); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Adj); err != nil {
+		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+	}
+	if int(g.Offsets[n]) != arcs {
+		return nil, fmt.Errorf("graph: offsets end %d != arcs %d", g.Offsets[n], arcs)
+	}
+	for v := 0; v < n; v++ {
+		if g.Offsets[v] > g.Offsets[v+1] {
+			return nil, fmt.Errorf("graph: decreasing offsets at %d", v)
+		}
+	}
+	for _, w := range g.Adj {
+		if w < 0 || int(w) >= n {
+			return nil, fmt.Errorf("graph: neighbor %d out of range", w)
+		}
+	}
+	return g, nil
+}
+
+// SaveFile writes g to path in binary format.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.WriteBinary(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph from a binary file written by SaveFile.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// WriteEdgeList writes the graph as "n m" header plus one "u w" line per
+// undirected edge, a common text interchange format.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N, g.NumEdges()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text format written by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var n, m int
+	if _, err := fmt.Fscan(br, &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: reading edge-list header: %w", err)
+	}
+	edges := make([]Edge, m)
+	for i := 0; i < m; i++ {
+		if _, err := fmt.Fscan(br, &edges[i].U, &edges[i].W); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+	}
+	return FromEdges(n, edges)
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// Failure-injection tests for the binary reader: every malformed input must
+// produce an error, never a panic or a silently corrupt graph.
+
+func validBytes(t *testing.T) []byte {
+	t.Helper()
+	g := MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadBinaryTruncatedAtEveryPoint(t *testing.T) {
+	data := validBytes(t)
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ReadBinary(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(data))
+		}
+	}
+	if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+		t.Fatalf("full data rejected: %v", err)
+	}
+}
+
+func TestReadBinaryCorruptOffsets(t *testing.T) {
+	data := validBytes(t)
+	// Offsets start right after the 12-byte header; make them decrease.
+	corrupt := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(corrupt[12+4:], 100) // offsets[1] = 100 > arcs
+	if _, err := ReadBinary(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("corrupt offsets accepted")
+	}
+}
+
+func TestReadBinaryOutOfRangeNeighbor(t *testing.T) {
+	data := validBytes(t)
+	corrupt := append([]byte(nil), data...)
+	// Adjacency begins after header (12) + offsets (5*4).
+	binary.LittleEndian.PutUint32(corrupt[12+20:], 999)
+	if _, err := ReadBinary(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("out-of-range neighbor accepted")
+	}
+}
+
+func TestReadEdgeListMalformed(t *testing.T) {
+	cases := []string{
+		"",         // empty
+		"3",        // missing m
+		"3 2\n0 1", // missing edge
+		"3 1\n0 x", // non-numeric
+		"2 1\n0 5", // endpoint out of range
+		"-1 0",     // negative n
+	}
+	for i, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d (%q) accepted", i, c)
+		}
+	}
+}
+
+func TestReadEdgeListValid(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("3 2\n0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+}

@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/prim"
+)
+
+// ReorderByComponent relabels vertices so that each connected component
+// occupies a contiguous id range (components ordered by their smallest
+// original vertex, original order preserved inside each component). The
+// paper's implementation performs this CSR reordering after First-CC for
+// locality ("re-order the vertices in the CSR format to let each CC be
+// contiguous", Sec. 5).
+//
+// comp[v] must be the component representative of v. It returns the
+// reordered graph and the permutation: newID[v] is v's id in the new graph.
+func ReorderByComponent(g *Graph, comp []int32) (*Graph, []int32) {
+	n := int(g.N)
+	if n == 0 {
+		return &Graph{Offsets: []int32{0}}, nil
+	}
+	// Stable counting sort of vertices by representative gives the new
+	// order: components sorted by rep id, members in original order.
+	perm, _ := prim.CountingSortByKey(n, int32(n), func(i int) int32 { return comp[i] })
+	newID := make([]int32, n)
+	parallel.For(n, func(i int) { newID[perm[i]] = int32(i) })
+
+	offsets := make([]int32, n+1)
+	parallel.For(n, func(i int) {
+		old := perm[i]
+		offsets[i] = g.Offsets[old+1] - g.Offsets[old]
+	})
+	prim.ExclusiveScanInt32(offsets)
+	adj := make([]V, len(g.Adj))
+	parallel.ForBlock(n, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			old := perm[i]
+			out := adj[offsets[i]:offsets[i+1]]
+			src := g.Adj[g.Offsets[old]:g.Offsets[old+1]]
+			for j, w := range src {
+				out[j] = newID[w]
+			}
+		}
+	})
+	ng := &Graph{N: int32(n), Offsets: offsets, Adj: adj}
+	ng.sortAdjacency()
+	return ng, newID
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/uf"
+)
+
+func compOf(g *Graph) []int32 {
+	s := uf.NewSeq(g.NumVertices())
+	for v := V(0); v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			s.Union(v, w)
+		}
+	}
+	comp := make([]int32, g.NumVertices())
+	// Representative = smallest vertex in the set, to satisfy the
+	// comp[r] == r convention with deterministic reps.
+	min := make([]int32, g.NumVertices())
+	for v := range min {
+		min[v] = int32(v)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		r := s.Find(int32(v))
+		if int32(v) < min[r] {
+			min[r] = int32(v)
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		comp[v] = min[s.Find(int32(v))]
+	}
+	return comp
+}
+
+func TestReorderByComponentContiguous(t *testing.T) {
+	// Two interleaved components: evens form a path, odds form a path.
+	n := 20
+	var edges []Edge
+	for i := 0; i+2 < n; i += 2 {
+		edges = append(edges, Edge{V(i), V(i + 2)})
+		edges = append(edges, Edge{V(i + 1), V(i + 3)})
+	}
+	g := MustFromEdges(n, edges)
+	comp := compOf(g)
+	ng, newID := ReorderByComponent(g, comp)
+	if ng.NumVertices() != n || ng.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: n=%d m=%d", ng.NumVertices(), ng.NumEdges())
+	}
+	// Components must be contiguous in the new numbering.
+	ncomp := compOf(ng)
+	for v := 1; v < n; v++ {
+		if ncomp[v] < ncomp[v-1] {
+			t.Fatalf("component ids not monotone at %d", v)
+		}
+	}
+	// Permutation is a bijection preserving adjacency.
+	seen := make([]bool, n)
+	for _, id := range newID {
+		if seen[id] {
+			t.Fatal("newID not a bijection")
+		}
+		seen[id] = true
+	}
+	for v := V(0); v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			if !ng.HasEdge(newID[v], newID[w]) {
+				t.Fatalf("edge (%d,%d) lost in reorder", v, w)
+			}
+		}
+	}
+}
+
+func TestReorderEmptyAndSingle(t *testing.T) {
+	g := MustFromEdges(0, nil)
+	ng, _ := ReorderByComponent(g, nil)
+	if ng.NumVertices() != 0 {
+		t.Fatal("empty reorder wrong")
+	}
+	g = MustFromEdges(1, nil)
+	ng, id := ReorderByComponent(g, []int32{0})
+	if ng.NumVertices() != 1 || id[0] != 0 {
+		t.Fatal("singleton reorder wrong")
+	}
+}
+
+func TestReorderRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(80)
+		m := rng.Intn(2 * n)
+		var edges []Edge
+		for i := 0; i < m; i++ {
+			u, w := V(rng.Intn(n)), V(rng.Intn(n))
+			if u != w {
+				edges = append(edges, Edge{u, w})
+			}
+		}
+		g := MustFromEdges(n, edges)
+		comp := compOf(g)
+		ng, newID := ReorderByComponent(g, comp)
+		for v := V(0); v < g.N; v++ {
+			if g.Degree(v) != ng.Degree(newID[v]) {
+				t.Fatalf("degree changed for %d", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// Stats summarizes a graph the way the evaluation tables do.
+type Stats struct {
+	N, M          int
+	MinDeg        int
+	MaxDeg        int
+	AvgDeg        float64
+	Isolated      int // vertices with degree 0
+	SelfLoops     int
+	ParallelEdges int // extra copies beyond the first per vertex pair
+}
+
+// ComputeStats derives summary statistics in one parallel pass.
+func ComputeStats(g *Graph) Stats {
+	n := int(g.N)
+	s := Stats{N: n, M: g.NumEdges(), MinDeg: int(^uint(0) >> 1)}
+	if n == 0 {
+		s.MinDeg = 0
+		return s
+	}
+	type acc struct {
+		min, max, isolated, loops, par int
+	}
+	res := parallel.Reduce(n, 256, acc{min: int(^uint(0) >> 1)},
+		func(lo, hi int) acc {
+			a := acc{min: int(^uint(0) >> 1)}
+			for v := lo; v < hi; v++ {
+				d := g.Degree(V(v))
+				if d < a.min {
+					a.min = d
+				}
+				if d > a.max {
+					a.max = d
+				}
+				if d == 0 {
+					a.isolated++
+				}
+				nb := g.Neighbors(V(v))
+				for i, w := range nb {
+					if w == V(v) {
+						a.loops++
+					}
+					if i > 0 && nb[i] == nb[i-1] && w != V(v) {
+						a.par++
+					}
+				}
+			}
+			return a
+		},
+		func(x, y acc) acc {
+			if y.min < x.min {
+				x.min = y.min
+			}
+			if y.max > x.max {
+				x.max = y.max
+			}
+			x.isolated += y.isolated
+			x.loops += y.loops
+			x.par += y.par
+			return x
+		})
+	s.MinDeg, s.MaxDeg = res.min, res.max
+	s.Isolated = res.isolated
+	s.SelfLoops = res.loops / 2 // each loop contributes two adjacency slots
+	s.ParallelEdges = res.par / 2
+	if n > 0 {
+		s.AvgDeg = float64(len(g.Adj)) / float64(n)
+	}
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d deg[min=%d avg=%.2f max=%d] isolated=%d loops=%d parallel=%d",
+		s.N, s.M, s.MinDeg, s.AvgDeg, s.MaxDeg, s.Isolated, s.SelfLoops, s.ParallelEdges)
+}
+
+// DegreeHistogram returns counts of vertices per degree, as (degree,
+// count) pairs sorted by degree. Useful for checking the power-law shape
+// of the social/web generators.
+func DegreeHistogram(g *Graph) [][2]int {
+	counts := map[int]int{}
+	for v := V(0); v < g.N; v++ {
+		counts[g.Degree(v)]++
+	}
+	out := make([][2]int, 0, len(counts))
+	for d, c := range counts {
+		out = append(out, [2]int{d, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// InducedSubgraph returns the subgraph induced by keep (the vertices with
+// keep[v] true), along with the mapping newID (−1 for dropped vertices).
+func InducedSubgraph(g *Graph, keep []bool) (*Graph, []int32) {
+	n := int(g.N)
+	newID := make([]int32, n)
+	cnt := int32(0)
+	for v := 0; v < n; v++ {
+		if keep[v] {
+			newID[v] = cnt
+			cnt++
+		} else {
+			newID[v] = -1
+		}
+	}
+	var edges []Edge
+	for v := V(0); v < g.N; v++ {
+		if !keep[v] {
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if v <= w && keep[w] {
+				edges = append(edges, Edge{newID[v], newID[w]})
+			}
+		}
+	}
+	// Self-loops were collected twice (both arcs have v <= w); halve them.
+	out := edges[:0]
+	loopSeen := map[int32]int{}
+	for _, e := range edges {
+		if e.U == e.W {
+			loopSeen[e.U]++
+			if loopSeen[e.U]%2 == 0 {
+				continue
+			}
+		}
+		out = append(out, e)
+	}
+	return MustFromEdges(int(cnt), out), newID
+}

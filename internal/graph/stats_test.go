@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsBasic(t *testing.T) {
+	g := MustFromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	s := ComputeStats(g)
+	if s.N != 5 || s.M != 3 {
+		t.Fatalf("n=%d m=%d", s.N, s.M)
+	}
+	if s.MinDeg != 0 || s.MaxDeg != 2 {
+		t.Fatalf("deg range [%d,%d]", s.MinDeg, s.MaxDeg)
+	}
+	if s.Isolated != 1 {
+		t.Fatalf("isolated = %d", s.Isolated)
+	}
+	if s.SelfLoops != 0 || s.ParallelEdges != 0 {
+		t.Fatalf("loops=%d par=%d", s.SelfLoops, s.ParallelEdges)
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Fatal("String() broken")
+	}
+}
+
+func TestComputeStatsMultigraph(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 0}, {0, 1}, {0, 1}, {1, 2}})
+	s := ComputeStats(g)
+	if s.SelfLoops != 1 {
+		t.Fatalf("self loops = %d", s.SelfLoops)
+	}
+	if s.ParallelEdges != 1 {
+		t.Fatalf("parallel = %d", s.ParallelEdges)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(MustFromEdges(0, nil))
+	if s.N != 0 || s.MinDeg != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {0, 2}, {0, 3}})
+	h := DegreeHistogram(g)
+	// degrees: 3,1,1,1 → (1,3),(3,1)
+	if len(h) != 2 || h[0] != [2]int{1, 3} || h[1] != [2]int{3, 1} {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := MustFromEdges(6, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	keep := []bool{true, true, true, false, false, true}
+	sub, id := InducedSubgraph(g, keep)
+	if sub.NumVertices() != 4 {
+		t.Fatalf("n = %d", sub.NumVertices())
+	}
+	// Kept edges: (0,1),(1,2),(5,0) → new ids (0,1),(1,2),(3,0)
+	if sub.NumEdges() != 3 {
+		t.Fatalf("m = %d", sub.NumEdges())
+	}
+	if id[3] != -1 || id[4] != -1 {
+		t.Fatal("dropped vertices must map to -1")
+	}
+	if !sub.HasEdge(id[0], id[1]) || !sub.HasEdge(id[5], id[0]) {
+		t.Fatal("edges lost")
+	}
+	if sub.HasEdge(id[1], id[5]) {
+		t.Fatal("phantom edge")
+	}
+}
+
+func TestInducedSubgraphSelfLoop(t *testing.T) {
+	g := MustFromEdges(2, []Edge{{0, 0}, {0, 1}})
+	sub, _ := InducedSubgraph(g, []bool{true, false})
+	if sub.NumVertices() != 1 || sub.NumEdges() != 1 {
+		t.Fatalf("n=%d m=%d", sub.NumVertices(), sub.NumEdges())
+	}
+	if sub.Degree(0) != 2 { // self-loop counts twice
+		t.Fatalf("degree = %d", sub.Degree(0))
+	}
+}
+
+func TestInducedSubgraphKeepAll(t *testing.T) {
+	g := MustFromEdges(5, []Edge{{0, 1}, {1, 2}, {3, 4}})
+	keep := []bool{true, true, true, true, true}
+	sub, id := InducedSubgraph(g, keep)
+	if sub.NumEdges() != g.NumEdges() || sub.NumVertices() != g.NumVertices() {
+		t.Fatal("keep-all changed the graph")
+	}
+	for v := range id {
+		if id[v] != int32(v) {
+			t.Fatal("keep-all should preserve ids")
+		}
+	}
+}

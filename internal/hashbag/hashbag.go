@@ -1,0 +1,82 @@
+// Package hashbag implements a concurrent insert-only set of int32 values
+// with lock-free insertion, used to collect BFS/CC frontiers without
+// duplicates.
+//
+// The paper's optimized connectivity ("hash bag and local search", Sec. 5 /
+// Appendix C) uses such a structure as granularity control: when a frontier
+// is small, frontier vertices explore multiple hops and dump discoveries
+// into a shared bag. Insertion is open addressing with linear probing and
+// CAS; the table never resizes (capacity is fixed at construction), which
+// matches the bounded-frontier use.
+package hashbag
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parallel"
+	"repro/internal/prim"
+)
+
+const empty = int32(-1)
+
+// Bag is a fixed-capacity concurrent set of non-negative int32 values.
+type Bag struct {
+	slots []int32
+	count atomic.Int64
+	mask  uint32
+}
+
+// New returns a bag that can hold at least capacity distinct values.
+// The table is sized to keep the load factor at or below 1/2.
+func New(capacity int) *Bag {
+	size := 16
+	for size < 2*capacity {
+		size <<= 1
+	}
+	b := &Bag{slots: make([]int32, size), mask: uint32(size - 1)}
+	parallel.Fill(b.slots, empty)
+	return b
+}
+
+// Insert adds v to the bag. It returns true if v was newly inserted and
+// false if it was already present. v must be non-negative. Insert panics if
+// the table is full (caller exceeded the declared capacity).
+func (b *Bag) Insert(v int32) bool {
+	if v < 0 {
+		panic("hashbag: negative value")
+	}
+	i := prim.Hash32(uint64(v)) & b.mask
+	for probes := uint32(0); probes <= b.mask; probes++ {
+		cur := atomic.LoadInt32(&b.slots[i])
+		if cur == v {
+			return false
+		}
+		if cur == empty {
+			if atomic.CompareAndSwapInt32(&b.slots[i], empty, v) {
+				b.count.Add(1)
+				return true
+			}
+			if atomic.LoadInt32(&b.slots[i]) == v {
+				return false
+			}
+			continue // lost race to another value: retry same slot? move on
+		}
+		i = (i + 1) & b.mask
+	}
+	panic("hashbag: table full")
+}
+
+// Len returns the number of distinct values inserted so far. Stable only
+// after all concurrent inserts complete.
+func (b *Bag) Len() int { return int(b.count.Load()) }
+
+// Slice returns the values in the bag in table order (parallel pack).
+func (b *Bag) Slice() []int32 {
+	return prim.PackInt32(b.slots, func(i int) bool { return b.slots[i] != empty })
+}
+
+// Reset empties the bag for reuse.
+func (b *Bag) Reset() {
+	parallel.Fill(b.slots, empty)
+	b.count.Store(0)
+}

@@ -1,0 +1,97 @@
+package hashbag
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+func TestInsertBasic(t *testing.T) {
+	b := New(10)
+	if !b.Insert(5) {
+		t.Fatal("first insert must return true")
+	}
+	if b.Insert(5) {
+		t.Fatal("duplicate insert must return false")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	s := b.Slice()
+	if len(s) != 1 || s[0] != 5 {
+		t.Fatalf("slice = %v", s)
+	}
+}
+
+func TestInsertNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(4).Insert(-1)
+}
+
+func TestConcurrentDistinct(t *testing.T) {
+	n := 100000
+	b := New(n)
+	parallel.For(n, func(i int) {
+		if !b.Insert(int32(i)) {
+			t.Errorf("value %d reported duplicate", i)
+		}
+	})
+	if b.Len() != n {
+		t.Fatalf("len = %d, want %d", b.Len(), n)
+	}
+	s := b.Slice()
+	sort.Slice(s, func(a, c int) bool { return s[a] < s[c] })
+	for i, v := range s {
+		if v != int32(i) {
+			t.Fatalf("missing value around %d (got %d)", i, v)
+		}
+	}
+}
+
+func TestConcurrentDuplicates(t *testing.T) {
+	// Insert each of 1000 values 100 times concurrently: exactly one
+	// insert per value may return true.
+	vals, reps := 1000, 100
+	b := New(vals)
+	wins := make([]int32, vals)
+	parallel.For(vals*reps, func(i int) {
+		v := int32(i % vals)
+		if b.Insert(v) {
+			atomic.AddInt32(&wins[v], 1)
+		}
+	})
+	for v, w := range wins {
+		if w != 1 {
+			t.Fatalf("value %d won %d times", v, w)
+		}
+	}
+	if b.Len() != vals {
+		t.Fatalf("len = %d", b.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(8)
+	b.Insert(1)
+	b.Insert(2)
+	b.Reset()
+	if b.Len() != 0 || len(b.Slice()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if !b.Insert(1) {
+		t.Fatal("insert after reset should succeed")
+	}
+}
+
+func TestZeroValueAllowed(t *testing.T) {
+	b := New(4)
+	if !b.Insert(0) || b.Insert(0) {
+		t.Fatal("value 0 handling broken")
+	}
+}

@@ -1,0 +1,257 @@
+// Package ldd implements the low-diameter decomposition of Miller, Peng,
+// and Xu ("Parallel graph decompositions using random shifts", SPAA 2013),
+// the first half of the LDD-UF-JTB connectivity algorithm the paper proves
+// efficient (Thm. 5.1).
+//
+// Every vertex v draws an exponential shift δ_v ~ Exp(β). Vertex v becomes
+// a cluster center at round ⌊δ_v⌋ if nothing has claimed it yet; clusters
+// grow by one BFS hop per round. With β = Θ(1/log n) the decomposition has
+// O(β m) inter-cluster edges in expectation and every cluster has diameter
+// O(log n / β) whp, so the BFS terminates in O(log n / β) rounds.
+//
+// The optional local-search mode is the optimization the paper evaluates in
+// Fig. 6 (hash bag + local search): when the frontier is small, each
+// frontier vertex explores multiple hops at once, cutting the number of
+// synchronization rounds on large-diameter graphs. This may claim vertices
+// before their activation round, which perturbs the decomposition's radius
+// guarantee but preserves the only property connectivity needs — every
+// cluster induces a connected subgraph. (The next frontier is collected in
+// per-block buffers rather than the paper's hash bag; see expandLocal.)
+package ldd
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/prim"
+)
+
+// Result describes a low-diameter decomposition.
+type Result struct {
+	// Center[v] is the cluster center that claimed v (Center[c] == c for
+	// centers). Every value is a valid vertex; isolated vertices are their
+	// own centers.
+	Center []int32
+	// Parent[v] is the BFS tree edge through which v was claimed, or -1
+	// for cluster centers. The parent edges of one cluster form a tree
+	// spanning the cluster.
+	Parent []int32
+	// Rounds is the number of synchronization rounds executed.
+	Rounds int
+}
+
+// Options configures Decompose.
+type Options struct {
+	// Beta is the exponential rate; larger means smaller clusters and more
+	// cut edges. Zero selects the default 0.2.
+	Beta float64
+	// Seed drives the per-vertex shifts.
+	Seed uint64
+	// LocalSearch enables multi-hop frontier expansion when the frontier
+	// is small (the paper's "Opt" variant, Fig. 6).
+	LocalSearch bool
+	// Filter, when non-nil, restricts the decomposition to edges with
+	// Filter(u, w) true. Used by the Last-CC step to run on the implicit
+	// skeleton without materializing it.
+	Filter func(u, w int32) bool
+}
+
+// localBudget bounds the vertices one frontier vertex may claim per round
+// in local-search mode.
+const localBudget = 64
+
+// localThreshold: local search kicks in when the frontier is smaller than
+// max(n/64, 1024) — small frontiers are where round-synchronization
+// overhead dominates.
+func localThreshold(n int) int {
+	t := n / 64
+	if t < 1024 {
+		t = 1024
+	}
+	return t
+}
+
+// Decompose computes a low-diameter decomposition of g.
+func Decompose(g *graph.Graph, opt Options) *Result {
+	n := int(g.N)
+	beta := opt.Beta
+	if beta <= 0 {
+		beta = 0.2
+	}
+	res := &Result{
+		Center: make([]int32, n),
+		Parent: make([]int32, n),
+	}
+	parallel.Fill(res.Center, -1)
+	parallel.Fill(res.Parent, -1)
+	if n == 0 {
+		return res
+	}
+	// Shift rounds: round(v) = floor(Exp(beta)) computed from a hash of
+	// (seed, v) so the decomposition is deterministic for a given seed.
+	shift := make([]int32, n)
+	parallel.For(n, func(v int) {
+		u := prim.Hash64(opt.Seed ^ (uint64(v)*0x9e3779b97f4a7c15 + 0x1234567))
+		// Uniform in (0,1]: avoid log(0).
+		x := (float64(u>>11) + 1) / (1 << 53)
+		shift[v] = int32(math.Floor(-math.Log(x) / beta))
+	})
+	// Vertices grouped by activation round via counting sort.
+	maxShift := prim.MaxInt32(shift, 0)
+	byRound, roundOff := prim.CountingSortByKey(n, maxShift+1, func(i int) int32 { return shift[i] })
+
+	frontier := make([]int32, 0, n)
+	visitedTotal := 0
+	round := 0
+	for visitedTotal < n {
+		// Activate this round's centers (if still unclaimed).
+		if round <= int(maxShift) {
+			newCenters := byRound[roundOff[round]:roundOff[round+1]]
+			for _, v := range newCenters {
+				if atomic.CompareAndSwapInt32(&res.Center[v], -1, v) {
+					frontier = append(frontier, v)
+					visitedTotal++
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			round++
+			continue
+		}
+		var next []int32
+		var claimed int
+		if opt.LocalSearch && len(frontier) < localThreshold(n) {
+			next, claimed = expandLocal(g, frontier, res, opt.Filter)
+		} else {
+			next, claimed = expandOneHop(g, frontier, res, opt.Filter)
+		}
+		visitedTotal += claimed
+		frontier = next
+		round++
+	}
+	res.Rounds = round
+	return res
+}
+
+// expandOneHop claims the unvisited neighbors of the frontier (one BFS
+// hop). It returns the next frontier and the number of newly claimed
+// vertices (equal here, but not in local-search mode).
+func expandOneHop(g *graph.Graph, frontier []int32, res *Result, filter func(u, w int32) bool) ([]int32, int) {
+	nb := (len(frontier) + 255) / 256
+	outs := make([][]int32, nb)
+	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*256, (b+1)*256
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			var out []int32
+			for i := lo; i < hi; i++ {
+				u := frontier[i]
+				c := res.Center[u]
+				for _, w := range g.Neighbors(u) {
+					if filter != nil && !filter(u, w) {
+						continue
+					}
+					if atomic.LoadInt32(&res.Center[w]) == -1 &&
+						atomic.CompareAndSwapInt32(&res.Center[w], -1, c) {
+						res.Parent[w] = u
+						out = append(out, w)
+					}
+				}
+			}
+			outs[b] = out
+		}
+	})
+	sizes := make([]int32, nb)
+	for b := range outs {
+		sizes[b] = int32(len(outs[b]))
+	}
+	total := prim.ExclusiveScanInt32(sizes)
+	next := make([]int32, total)
+	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			copy(next[sizes[b]:], outs[b])
+		}
+	})
+	return next, len(next)
+}
+
+// expandLocal lets each frontier vertex claim up to localBudget vertices by
+// a depth-limited local walk. Deferred vertices (walks whose budget ran
+// out) join the next frontier together with the walk boundary, so the claim
+// count is tracked separately from the next frontier size.
+//
+// The paper's version collects the next frontier in a parallel hash bag
+// (package hashbag) because its edge-parallel claiming can insert a vertex
+// twice. Here every vertex is claimed by exactly one CAS winner and only
+// its claimer can defer it, so duplicates are impossible and plain
+// per-block buffers (same technique as expandOneHop) are strictly cheaper;
+// DESIGN.md records the substitution.
+func expandLocal(g *graph.Graph, frontier []int32, res *Result, filter func(u, w int32) bool) ([]int32, int) {
+	nb := (len(frontier) + 3) / 4
+	outs := make([][]int32, nb)
+	var totalClaimed atomic.Int64
+	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+		stack := make([]int32, 0, localBudget)
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*4, (b+1)*4
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			var out []int32
+			blockClaimed := 0
+			for i := lo; i < hi; i++ {
+				u := frontier[i]
+				c := res.Center[u]
+				stack = append(stack[:0], u)
+				claimed := 0
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if claimed >= localBudget {
+						// Budget exhausted: defer x to the next round.
+						out = append(out, x)
+						continue
+					}
+					done := true
+					for _, w := range g.Neighbors(x) {
+						if filter != nil && !filter(x, w) {
+							continue
+						}
+						if claimed >= localBudget {
+							done = false // x may have unclaimed neighbors left
+							break
+						}
+						if atomic.LoadInt32(&res.Center[w]) == -1 &&
+							atomic.CompareAndSwapInt32(&res.Center[w], -1, c) {
+							res.Parent[w] = x
+							claimed++
+							stack = append(stack, w)
+						}
+					}
+					if !done {
+						out = append(out, x)
+					}
+				}
+				blockClaimed += claimed
+			}
+			outs[b] = out
+			totalClaimed.Add(int64(blockClaimed))
+		}
+	})
+	sizes := make([]int32, nb)
+	for b := range outs {
+		sizes[b] = int32(len(outs[b]))
+	}
+	total := prim.ExclusiveScanInt32(sizes)
+	next := make([]int32, total)
+	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			copy(next[sizes[b]:], outs[b])
+		}
+	})
+	return next, int(totalClaimed.Load())
+}

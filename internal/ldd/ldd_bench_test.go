@@ -1,0 +1,38 @@
+package ldd
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func BenchmarkDecomposeGrid(b *testing.B) {
+	g := gen.Grid2D(450, 450, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompose(g, Options{Seed: 7})
+	}
+}
+
+func BenchmarkDecomposeChain(b *testing.B) {
+	g := gen.Chain(200000)
+	for _, ls := range []bool{false, true} {
+		name := "orig"
+		if ls {
+			name = "localsearch"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Decompose(g, Options{Seed: 7, LocalSearch: ls})
+			}
+		})
+	}
+}
+
+func BenchmarkDecomposeRMAT(b *testing.B) {
+	g := gen.RMAT(15, 8, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompose(g, Options{Seed: 7})
+	}
+}

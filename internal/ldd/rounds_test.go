@@ -1,0 +1,77 @@
+package ldd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// The paper's span separation, stated structurally rather than as wall
+// time: BFS-based rooting needs Θ(D) rounds, while LDD finishes in
+// O(log n / β) rounds regardless of diameter. These tests pin the round
+// counts so the polylog-span property cannot silently regress.
+
+func TestChainRoundsAreDiameterIndependent(t *testing.T) {
+	for _, n := range []int{10000, 100000, 400000} {
+		g := gen.Chain(n)
+		r := Decompose(g, Options{Seed: 1})
+		// Bound: activation rounds ~ Exp tail (≈ log(n)/β quantile) plus
+		// cluster radii of the same order. With β = 0.2 and n ≤ 4·10^5,
+		// 60/β = 300 is a comfortable ceiling — and far below D = n-1.
+		bound := int(60.0 / 0.2)
+		if r.Rounds > bound {
+			t.Fatalf("n=%d: %d rounds, want ≤ %d (diameter %d)", n, r.Rounds, bound, n-1)
+		}
+		if r.Rounds >= n/10 {
+			t.Fatalf("rounds %d scale with diameter %d", r.Rounds, n-1)
+		}
+	}
+}
+
+func TestRoundsGrowLogarithmically(t *testing.T) {
+	// Doubling n four times should grow rounds by O(1) increments, not
+	// multiplicatively.
+	prev := 0
+	for _, n := range []int{20000, 40000, 80000, 160000} {
+		r := Decompose(gen.Chain(n), Options{Seed: 2})
+		if prev > 0 && float64(r.Rounds) > 2.0*float64(prev)+20 {
+			t.Fatalf("rounds jumped from %d to %d when doubling n", prev, r.Rounds)
+		}
+		prev = r.Rounds
+	}
+}
+
+func TestBetaTradesRoundsForCutEdges(t *testing.T) {
+	g := gen.Chain(100000)
+	small := Decompose(g, Options{Seed: 3, Beta: 0.05})
+	large := Decompose(g, Options{Seed: 3, Beta: 0.8})
+	// Larger beta → more clusters (more cut edges) but fewer rounds.
+	if large.Rounds >= small.Rounds {
+		t.Fatalf("beta=0.8 rounds %d, beta=0.05 rounds %d — want fewer", large.Rounds, small.Rounds)
+	}
+	countClusters := func(r *Result) int {
+		c := 0
+		for v, ctr := range r.Center {
+			if ctr == int32(v) {
+				c++
+			}
+		}
+		return c
+	}
+	if countClusters(large) <= countClusters(small) {
+		t.Fatal("larger beta must create more clusters")
+	}
+}
+
+func TestRoundsBoundIsTheoryConsistent(t *testing.T) {
+	// Rounds should be within a small constant of (maxShift + max radius),
+	// both O(log n / beta); check against 4·ln(n)/beta.
+	n := 250000
+	beta := 0.2
+	r := Decompose(gen.Grid2D(500, 500, true), Options{Seed: 4, Beta: beta})
+	bound := int(4 * math.Log(float64(n)) / beta)
+	if r.Rounds > bound {
+		t.Fatalf("rounds %d exceed theory-scale bound %d", r.Rounds, bound)
+	}
+}

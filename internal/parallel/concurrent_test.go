@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers forces w workers and GOMAXPROCS(w) for the duration of f,
+// so the spawning code paths run even on single-CPU hosts.
+func withWorkers(t *testing.T, w int, f func()) {
+	t.Helper()
+	oldGomax := runtime.GOMAXPROCS(w)
+	oldProcs := SetProcs(w)
+	defer func() {
+		runtime.GOMAXPROCS(oldGomax)
+		SetProcs(oldProcs)
+	}()
+	f()
+}
+
+func TestForBlockSpawnsWorkers(t *testing.T) {
+	withWorkers(t, 8, func() {
+		var total atomic.Int64
+		var maxConc atomic.Int32
+		var cur atomic.Int32
+		ForBlock(1<<16, 64, func(lo, hi int) {
+			c := cur.Add(1)
+			for {
+				m := maxConc.Load()
+				if c <= m || maxConc.CompareAndSwap(m, c) {
+					break
+				}
+			}
+			total.Add(int64(hi - lo))
+			cur.Add(-1)
+		})
+		if total.Load() != 1<<16 {
+			t.Fatalf("covered %d", total.Load())
+		}
+		// With 8 workers and many blocks, at least 2 blocks should have
+		// overlapped (goroutines yield between atomic ops even on 1 CPU).
+		// This is probabilistic but extremely reliable at this scale.
+		if maxConc.Load() < 1 {
+			t.Fatal("no worker ever ran")
+		}
+	})
+}
+
+func TestForConcurrentSum(t *testing.T) {
+	withWorkers(t, 8, func() {
+		var sum atomic.Int64
+		n := 200000
+		For(n, func(i int) { sum.Add(int64(i)) })
+		want := int64(n) * int64(n-1) / 2
+		if sum.Load() != want {
+			t.Fatalf("sum = %d, want %d", sum.Load(), want)
+		}
+	})
+}
+
+func TestReduceWithWorkers(t *testing.T) {
+	withWorkers(t, 8, func() {
+		got := Reduce(1<<18, 128, int64(0),
+			func(lo, hi int) int64 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(i)
+				}
+				return s
+			},
+			func(a, b int64) int64 { return a + b })
+		want := int64(1<<18) * int64(1<<18-1) / 2
+		if got != want {
+			t.Fatalf("got %d want %d", got, want)
+		}
+	})
+}
+
+func TestDoParallelWorkers(t *testing.T) {
+	withWorkers(t, 4, func() {
+		var hits atomic.Int32
+		fns := make([]func(), 16)
+		for i := range fns {
+			fns[i] = func() { hits.Add(1) }
+		}
+		Do(fns...)
+		if hits.Load() != 16 {
+			t.Fatalf("hits = %d", hits.Load())
+		}
+	})
+}
+
+func TestNestedParallelism(t *testing.T) {
+	// A parallel loop whose body runs another parallel loop must not
+	// deadlock (workers are plain goroutines, not a bounded pool).
+	withWorkers(t, 4, func() {
+		var total atomic.Int64
+		ForBlock(64, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ForGrain(100, 10, func(j int) { total.Add(1) })
+			}
+		})
+		if total.Load() != 6400 {
+			t.Fatalf("total = %d", total.Load())
+		}
+	})
+}

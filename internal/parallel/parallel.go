@@ -1,0 +1,204 @@
+// Package parallel provides the fork-join execution layer used by every
+// algorithm in this repository.
+//
+// The paper assumes the binary-forking work-span model with a randomized
+// work-stealing scheduler (ParlayLib). Goroutines are too heavy for
+// per-element binary forking, so this package exposes *chunked* fork-join:
+// loops are split into blocks of at least a grain size and blocks are
+// distributed over GOMAXPROCS workers with an atomic work counter (a simple
+// form of dynamic load balancing). This preserves work-efficiency and keeps
+// span within logarithmic factors of the model for the loop shapes used here.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// procs is the number of workers used by the primitives in this package.
+// It defaults to runtime.GOMAXPROCS(0) and can be lowered for scalability
+// experiments (Fig. 4 of the paper).
+var procs atomic.Int32
+
+func init() {
+	procs.Store(int32(runtime.GOMAXPROCS(0)))
+}
+
+// SetProcs sets the number of parallel workers. p < 1 resets to GOMAXPROCS.
+// It returns the previous value.
+func SetProcs(p int) int {
+	if p < 1 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return int(procs.Swap(int32(p)))
+}
+
+// Procs reports the current number of parallel workers.
+func Procs() int { return int(procs.Load()) }
+
+// DefaultGrain is the per-block minimum number of loop iterations. It is
+// sized so that the per-block scheduling overhead (~hundreds of ns) is
+// amortized over enough work.
+const DefaultGrain = 1024
+
+// For runs body(i) for every i in [0, n) in parallel with the default grain.
+func For(n int, body func(i int)) {
+	ForGrain(n, DefaultGrain, body)
+}
+
+// ForGrain runs body(i) for every i in [0, n) in parallel. Blocks have at
+// least grain iterations; a loop with n <= grain runs sequentially inline.
+func ForGrain(n, grain int, body func(i int)) {
+	ForBlock(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForBlock partitions [0, n) into blocks of at least grain iterations and
+// runs body on each block in parallel. Workers claim blocks dynamically via
+// an atomic counter, so irregular per-block costs are load balanced.
+func ForBlock(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p := Procs()
+	if p == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	nBlocks := (n + grain - 1) / grain
+	// Use ~4 blocks per worker so dynamic claiming can balance load
+	// without making blocks so small that scheduling dominates.
+	if nBlocks > 4*p {
+		grain = (n + 4*p - 1) / (4 * p)
+		nBlocks = (n + grain - 1) / grain
+	}
+	if nBlocks < 2 {
+		body(0, n)
+		return
+	}
+	workers := p
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nBlocks {
+					return
+				}
+				lo := b * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions in parallel and waits for all of them.
+// It is the n-ary analogue of the model's binary fork.
+func Do(fns ...func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	if Procs() == 1 {
+		for _, f := range fns {
+			f()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, f := range fns[1:] {
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// Reduce computes merge over leaf values of the blocks of [0, n).
+// id is the identity of merge. merge must be associative.
+func Reduce[T any](n, grain int, id T, leaf func(lo, hi int) T, merge func(a, b T) T) T {
+	if n <= 0 {
+		return id
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p := Procs()
+	if p == 1 || n <= grain {
+		return merge(id, leaf(0, n))
+	}
+	nBlocks := (n + grain - 1) / grain
+	if nBlocks > 4*p {
+		grain = (n + 4*p - 1) / (4 * p)
+		nBlocks = (n + grain - 1) / grain
+	}
+	partial := make([]T, nBlocks)
+	ForBlock(nBlocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo := b * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			partial[b] = leaf(lo, hi)
+		}
+	})
+	out := id
+	for _, v := range partial {
+		out = merge(out, v)
+	}
+	return out
+}
+
+// MapInt32 fills dst[i] = f(i) for i in [0, n) in parallel.
+func MapInt32(dst []int32, f func(i int) int32) {
+	For(len(dst), func(i int) { dst[i] = f(i) })
+}
+
+// Fill sets every element of dst to v in parallel.
+func Fill[T any](dst []T, v T) {
+	ForBlock(len(dst), DefaultGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = v
+		}
+	})
+}
+
+// Iota fills dst[i] = base + i in parallel.
+func Iota(dst []int32, base int32) {
+	For(len(dst), func(i int) { dst[i] = base + int32(i) })
+}
+
+// Copy copies src into dst in parallel. Panics if lengths differ.
+func Copy[T any](dst, src []T) {
+	if len(dst) != len(src) {
+		panic("parallel.Copy: length mismatch")
+	}
+	ForBlock(len(dst), DefaultGrain, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}

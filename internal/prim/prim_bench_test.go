@@ -1,0 +1,71 @@
+package prim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkExclusiveScanInt32(b *testing.B) {
+	n := 1 << 20
+	src := make([]int32, n)
+	for i := range src {
+		src[i] = int32(i % 7)
+	}
+	a := make([]int32, n)
+	b.SetBytes(int64(4 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(a, src)
+		ExclusiveScanInt32(a)
+	}
+}
+
+func BenchmarkPackIndices(b *testing.B) {
+	n := 1 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PackIndices(n, func(j int) bool { return j%3 == 0 })
+	}
+}
+
+func BenchmarkCountingSortByKey(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 20
+	nBuckets := int32(1 << 12)
+	keys := make([]int32, n)
+	for i := range keys {
+		keys[i] = int32(rng.Intn(int(nBuckets)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountingSortByKey(n, nBuckets, func(j int) int32 { return keys[j] })
+	}
+}
+
+func BenchmarkSortPairsByKey(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1 << 19
+	maxKey := int32(1 << 24)
+	srcK := make([]int32, n)
+	srcV := make([]int32, n)
+	for i := range srcK {
+		srcK[i] = int32(rng.Intn(int(maxKey)))
+		srcV[i] = int32(i)
+	}
+	k := make([]int32, n)
+	v := make([]int32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(k, srcK)
+		copy(v, srcV)
+		SortPairsByKey(k, v, maxKey)
+	}
+}
+
+func BenchmarkHash64(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Hash64(uint64(i))
+	}
+	_ = sink
+}

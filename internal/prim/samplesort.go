@@ -1,0 +1,63 @@
+package prim
+
+import (
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// SortInt32 sorts a ascending with a parallel sample sort: oversampled
+// splitters partition the input into P² buckets, elements are classified
+// and scattered in parallel, and buckets are sorted independently. Falls
+// back to the standard library below a size threshold. This is the
+// general-purpose comparison sort of the ParlayLib toolkit the paper
+// builds on; the Euler tour's semisort uses the cheaper counting sort.
+func SortInt32(a []int32) {
+	n := len(a)
+	p := parallel.Procs()
+	if n < 1<<14 || p == 1 {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		return
+	}
+	nBuckets := p * p
+	if nBuckets > 256 {
+		nBuckets = 256
+	}
+	// Oversample: 8 samples per bucket, deterministic positions.
+	nSamples := 8 * nBuckets
+	samples := make([]int32, nSamples)
+	for i := range samples {
+		samples[i] = a[(i*2654435761)%n]
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	splitters := make([]int32, nBuckets-1)
+	for i := range splitters {
+		splitters[i] = samples[(i+1)*8]
+	}
+	// Classify each element to a bucket by binary search on splitters.
+	bucketOf := func(v int32) int32 {
+		lo, hi := 0, len(splitters)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if splitters[mid] <= v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+	perm, offsets := CountingSortByKey(n, int32(nBuckets), func(i int) int32 {
+		return bucketOf(a[i])
+	})
+	out := make([]int32, n)
+	parallel.For(n, func(i int) { out[i] = a[perm[i]] })
+	// Sort buckets independently.
+	parallel.ForBlock(nBuckets, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			seg := out[offsets[b]:offsets[b+1]]
+			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		}
+	})
+	copy(a, out)
+}

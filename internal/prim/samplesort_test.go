@@ -1,0 +1,107 @@
+package prim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortInt32Small(t *testing.T) {
+	a := []int32{5, 3, 1, 4, 2}
+	SortInt32(a)
+	for i := int32(0); i < 5; i++ {
+		if a[i] != i+1 {
+			t.Fatalf("a = %v", a)
+		}
+	}
+}
+
+func TestSortInt32Empty(t *testing.T) {
+	SortInt32(nil)
+	SortInt32([]int32{})
+	a := []int32{7}
+	SortInt32(a)
+	if a[0] != 7 {
+		t.Fatal("singleton corrupted")
+	}
+}
+
+func TestSortInt32LargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 17
+	a := make([]int32, n)
+	for i := range a {
+		a[i] = int32(rng.Intn(1<<30)) - (1 << 29)
+	}
+	ref := append([]int32(nil), a...)
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	SortInt32(a)
+	for i := range a {
+		if a[i] != ref[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, a[i], ref[i])
+		}
+	}
+}
+
+func TestSortInt32ManyDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1 << 16
+	a := make([]int32, n)
+	for i := range a {
+		a[i] = int32(rng.Intn(4)) // heavy duplication stresses splitters
+	}
+	SortInt32(a)
+	for i := 1; i < n; i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestSortInt32AlreadySorted(t *testing.T) {
+	n := 1 << 16
+	a := make([]int32, n)
+	for i := range a {
+		a[i] = int32(i)
+	}
+	SortInt32(a)
+	for i := range a {
+		if a[i] != int32(i) {
+			t.Fatal("sorted input corrupted")
+		}
+	}
+}
+
+func TestSortInt32Quick(t *testing.T) {
+	f := func(xs []int32) bool {
+		a := append([]int32(nil), xs...)
+		ref := append([]int32(nil), xs...)
+		SortInt32(a)
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		for i := range a {
+			if a[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSortInt32(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1 << 20
+	src := make([]int32, n)
+	for i := range src {
+		src[i] = int32(rng.Intn(1 << 30))
+	}
+	a := make([]int32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(a, src)
+		SortInt32(a)
+	}
+}

@@ -1,0 +1,184 @@
+// Package prim implements the parallel primitives the paper's algorithms are
+// built from: prefix sums (scan), filter/pack, stable counting sort, semisort
+// by integer key, and a deterministic splittable RNG.
+package prim
+
+import (
+	"repro/internal/parallel"
+)
+
+// scanBlock is the block size used by the two-pass parallel scans.
+const scanBlock = 4096
+
+// ExclusiveScanInt32 replaces a with its exclusive prefix sum and returns the
+// total. a[i] becomes sum of the original a[0..i).
+func ExclusiveScanInt32(a []int32) int32 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	if n <= scanBlock || parallel.Procs() == 1 {
+		var s int32
+		for i := 0; i < n; i++ {
+			v := a[i]
+			a[i] = s
+			s += v
+		}
+		return s
+	}
+	nb := (n + scanBlock - 1) / scanBlock
+	sums := make([]int32, nb)
+	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*scanBlock, (b+1)*scanBlock
+			if hi > n {
+				hi = n
+			}
+			var s int32
+			for i := lo; i < hi; i++ {
+				s += a[i]
+			}
+			sums[b] = s
+		}
+	})
+	var total int32
+	for b := 0; b < nb; b++ {
+		v := sums[b]
+		sums[b] = total
+		total += v
+	}
+	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*scanBlock, (b+1)*scanBlock
+			if hi > n {
+				hi = n
+			}
+			s := sums[b]
+			for i := lo; i < hi; i++ {
+				v := a[i]
+				a[i] = s
+				s += v
+			}
+		}
+	})
+	return total
+}
+
+// ExclusiveScanInt64 is ExclusiveScanInt32 for int64 slices.
+func ExclusiveScanInt64(a []int64) int64 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	if n <= scanBlock || parallel.Procs() == 1 {
+		var s int64
+		for i := 0; i < n; i++ {
+			v := a[i]
+			a[i] = s
+			s += v
+		}
+		return s
+	}
+	nb := (n + scanBlock - 1) / scanBlock
+	sums := make([]int64, nb)
+	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*scanBlock, (b+1)*scanBlock
+			if hi > n {
+				hi = n
+			}
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += a[i]
+			}
+			sums[b] = s
+		}
+	})
+	var total int64
+	for b := 0; b < nb; b++ {
+		v := sums[b]
+		sums[b] = total
+		total += v
+	}
+	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*scanBlock, (b+1)*scanBlock
+			if hi > n {
+				hi = n
+			}
+			s := sums[b]
+			for i := lo; i < hi; i++ {
+				v := a[i]
+				a[i] = s
+				s += v
+			}
+		}
+	})
+	return total
+}
+
+// PackInt32 returns the elements of src whose index satisfies keep, in order.
+// It is the parallel filter/pack primitive: flags, scan, scatter.
+func PackInt32(src []int32, keep func(i int) bool) []int32 {
+	n := len(src)
+	if n == 0 {
+		return nil
+	}
+	flags := make([]int32, n)
+	parallel.For(n, func(i int) {
+		if keep(i) {
+			flags[i] = 1
+		}
+	})
+	total := ExclusiveScanInt32(flags)
+	out := make([]int32, total)
+	parallel.For(n, func(i int) {
+		// After the scan, flags[i] is the output slot; an element is kept
+		// iff the next prefix value differs.
+		if i+1 < n {
+			if flags[i+1] != flags[i] {
+				out[flags[i]] = src[i]
+			}
+		} else if int32(len(out)) != flags[i] {
+			out[flags[i]] = src[i]
+		}
+	})
+	return out
+}
+
+// PackIndices returns the indices i in [0, n) with keep(i) true, in order.
+func PackIndices(n int, keep func(i int) bool) []int32 {
+	flags := make([]int32, n)
+	parallel.For(n, func(i int) {
+		if keep(i) {
+			flags[i] = 1
+		}
+	})
+	total := ExclusiveScanInt32(flags)
+	out := make([]int32, total)
+	parallel.For(n, func(i int) {
+		if i+1 < n {
+			if flags[i+1] != flags[i] {
+				out[flags[i]] = int32(i)
+			}
+		} else if int32(len(out)) != flags[i] {
+			out[flags[i]] = int32(i)
+		}
+	})
+	return out
+}
+
+// CountOnes returns the number of indices with keep(i) true.
+func CountOnes(n int, keep func(i int) bool) int {
+	return int(parallel.Reduce(n, parallel.DefaultGrain, int64(0),
+		func(lo, hi int) int64 {
+			var c int64
+			for i := lo; i < hi; i++ {
+				if keep(i) {
+					c++
+				}
+			}
+			return c
+		},
+		func(a, b int64) int64 { return a + b }))
+}

@@ -1,0 +1,171 @@
+package prim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// CountingSortByKey stably sorts the items [0, n) into buckets given by
+// key(i) in [0, nBuckets). It returns the permuted payload produced by
+// emit(i) and the bucket offset array of length nBuckets+1.
+//
+// This is the semisort used by the Euler tour technique: items with equal
+// keys become contiguous, and within a bucket the original order is kept.
+// Work O(n + nBuckets), span polylogarithmic (two scans plus scatters).
+func CountingSortByKey(n int, nBuckets int32, key func(i int) int32) (perm []int32, offsets []int32) {
+	offsets = make([]int32, int(nBuckets)+1)
+	counts := offsets[:nBuckets]
+	// Parallel histogram with per-block local counters merged by scan.
+	p := parallel.Procs()
+	if n < 1<<14 || p == 1 {
+		for i := 0; i < n; i++ {
+			counts[key(i)]++
+		}
+		ExclusiveScanInt32(offsets)
+		perm = make([]int32, n)
+		cursor := make([]int32, nBuckets)
+		copy(cursor, offsets[:nBuckets])
+		for i := 0; i < n; i++ {
+			k := key(i)
+			perm[cursor[k]] = int32(i)
+			cursor[k]++
+		}
+		return perm, offsets
+	}
+	// Parallel path: per-block histograms, column-major scan for stability.
+	nb := 4 * p
+	blockSz := (n + nb - 1) / nb
+	nb = (n + blockSz - 1) / blockSz
+	hist := make([]int32, nb*int(nBuckets))
+	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*blockSz, (b+1)*blockSz
+			if hi > n {
+				hi = n
+			}
+			h := hist[b*int(nBuckets) : (b+1)*int(nBuckets)]
+			for i := lo; i < hi; i++ {
+				h[key(i)]++
+			}
+		}
+	})
+	// offsets: total per bucket, then exclusive scan.
+	parallel.For(int(nBuckets), func(k int) {
+		var s int32
+		for b := 0; b < nb; b++ {
+			s += hist[b*int(nBuckets)+k]
+		}
+		counts[k] = s
+	})
+	ExclusiveScanInt32(offsets)
+	// Per (block, bucket) start = offsets[bucket] + sum of this bucket over
+	// earlier blocks. Computed by a per-bucket sequential pass in parallel
+	// over buckets (column scan).
+	parallel.For(int(nBuckets), func(k int) {
+		s := offsets[k]
+		for b := 0; b < nb; b++ {
+			c := hist[b*int(nBuckets)+k]
+			hist[b*int(nBuckets)+k] = s
+			s += c
+		}
+	})
+	perm = make([]int32, n)
+	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*blockSz, (b+1)*blockSz
+			if hi > n {
+				hi = n
+			}
+			cur := hist[b*int(nBuckets) : (b+1)*int(nBuckets)]
+			for i := lo; i < hi; i++ {
+				k := key(i)
+				perm[cur[k]] = int32(i)
+				cur[k]++
+			}
+		}
+	})
+	return perm, offsets
+}
+
+// SortPairsByKey sorts (keys, vals) in place by key using a parallel LSD
+// radix sort (11-bit digits). Keys must be non-negative. maxKey is an upper
+// bound (exclusive) on key values.
+func SortPairsByKey(keys, vals []int32, maxKey int32) {
+	n := len(keys)
+	if n != len(vals) {
+		panic("prim.SortPairsByKey: length mismatch")
+	}
+	if n <= 1 {
+		return
+	}
+	const radixBits = 11
+	const radix = 1 << radixBits
+	tmpK := make([]int32, n)
+	tmpV := make([]int32, n)
+	srcK, srcV := keys, vals
+	dstK, dstV := tmpK, tmpV
+	for shift := 0; shift < 31 && (int64(1)<<shift) < int64(maxKey); shift += radixBits {
+		sh := shift
+		perm, _ := CountingSortByKey(n, radix, func(i int) int32 {
+			return (srcK[i] >> sh) & (radix - 1)
+		})
+		parallel.For(n, func(i int) {
+			j := perm[i]
+			dstK[i] = srcK[j]
+			dstV[i] = srcV[j]
+		})
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if &srcK[0] != &keys[0] {
+		parallel.Copy(keys, srcK)
+		parallel.Copy(vals, srcV)
+	}
+}
+
+// MaxInt32 returns the maximum of a, or def when a is empty.
+func MaxInt32(a []int32, def int32) int32 {
+	return parallel.Reduce(len(a), parallel.DefaultGrain, def,
+		func(lo, hi int) int32 {
+			m := def
+			for i := lo; i < hi; i++ {
+				if a[i] > m {
+					m = a[i]
+				}
+			}
+			return m
+		},
+		func(x, y int32) int32 {
+			if x > y {
+				return x
+			}
+			return y
+		})
+}
+
+// WriteMin atomically sets *p = min(*p, v). Returns true if it wrote.
+func WriteMin(p *int32, v int32) bool {
+	for {
+		old := atomic.LoadInt32(p)
+		if v >= old {
+			return false
+		}
+		if atomic.CompareAndSwapInt32(p, old, v) {
+			return true
+		}
+	}
+}
+
+// WriteMax atomically sets *p = max(*p, v). Returns true if it wrote.
+func WriteMax(p *int32, v int32) bool {
+	for {
+		old := atomic.LoadInt32(p)
+		if v <= old {
+			return false
+		}
+		if atomic.CompareAndSwapInt32(p, old, v) {
+			return true
+		}
+	}
+}

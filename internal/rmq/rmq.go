@@ -1,0 +1,156 @@
+// Package rmq implements a space-efficient parallel range-minimum /
+// range-maximum structure over an int32 array.
+//
+// The paper's Tagging step computes low[v]/high[v] with n 1-D range queries
+// over the Euler-tour-ordered w1/w2 arrays (Sec. 4.1). A plain sparse table
+// is O(n log n) words; to keep the whole algorithm O(n) auxiliary space we
+// use the standard block decomposition: the array is cut into blocks of size
+// B, each block stores prefix- and suffix-minima, and a sparse table is built
+// over the n/B block minima. Queries are O(1); construction is O(n) work and
+// O(log n) span (parallel over blocks and table levels).
+package rmq
+
+import (
+	"math/bits"
+
+	"repro/internal/parallel"
+)
+
+// blockSize is the block length B. With B = 64 the sparse table over blocks
+// costs (n/64)·log2(n/64) words, well under n for any realistic n.
+const blockSize = 64
+
+// Min answers range-minimum queries over a fixed array.
+type Min struct {
+	a      []int32
+	prefix []int32 // prefix[i] = min of a[blockStart(i) .. i]
+	suffix []int32 // suffix[i] = min of a[i .. blockEnd(i))
+	table  [][]int32
+}
+
+// NewMin builds a range-minimum structure over a. The array is retained
+// (not copied) and must not change while queries are made.
+func NewMin(a []int32) *Min {
+	m := &Min{a: a}
+	m.build(lessMin)
+	return m
+}
+
+// Max answers range-maximum queries over a fixed array.
+type Max struct {
+	Min
+}
+
+// NewMax builds a range-maximum structure over a.
+func NewMax(a []int32) *Max {
+	m := &Max{}
+	m.a = a
+	m.build(lessMax)
+	return m
+}
+
+func lessMin(x, y int32) bool { return x < y }
+func lessMax(x, y int32) bool { return x > y }
+
+func (m *Min) build(better func(x, y int32) bool) {
+	n := len(m.a)
+	if n == 0 {
+		return
+	}
+	nb := (n + blockSize - 1) / blockSize
+	m.prefix = make([]int32, n)
+	m.suffix = make([]int32, n)
+	blockBest := make([]int32, nb)
+	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo := b * blockSize
+			hi := lo + blockSize
+			if hi > n {
+				hi = n
+			}
+			best := m.a[lo]
+			for i := lo; i < hi; i++ {
+				if better(m.a[i], best) {
+					best = m.a[i]
+				}
+				m.prefix[i] = best
+			}
+			best = m.a[hi-1]
+			for i := hi - 1; i >= lo; i-- {
+				if better(m.a[i], best) {
+					best = m.a[i]
+				}
+				m.suffix[i] = best
+			}
+			blockBest[b] = m.prefix[hi-1]
+		}
+	})
+	levels := 1
+	if nb > 1 {
+		levels = bits.Len(uint(nb)) // floor(log2(nb)) + 1
+	}
+	m.table = make([][]int32, levels)
+	m.table[0] = blockBest
+	for l := 1; l < levels; l++ {
+		span := 1 << l
+		width := nb - span + 1
+		if width <= 0 {
+			m.table = m.table[:l]
+			break
+		}
+		cur := make([]int32, width)
+		prev := m.table[l-1]
+		half := span / 2
+		parallel.ForGrain(width, 2048, func(i int) {
+			x, y := prev[i], prev[i+half]
+			if better(y, x) {
+				x = y
+			}
+			cur[i] = x
+		})
+		m.table[l] = cur
+	}
+}
+
+// Query returns the minimum of a[lo..hi] (inclusive on both ends) for Min.
+func (m *Min) Query(lo, hi int) int32 { return m.query(lo, hi, lessMin) }
+
+// Query returns the maximum of a[lo..hi] (inclusive on both ends) for Max.
+func (m *Max) Query(lo, hi int) int32 { return m.query(lo, hi, lessMax) }
+
+func (m *Min) query(lo, hi int, better func(x, y int32) bool) int32 {
+	if lo > hi {
+		panic("rmq: empty query range")
+	}
+	bl, bh := lo/blockSize, hi/blockSize
+	if bl == bh {
+		// Within a single block: linear scan of at most blockSize elements
+		// would be O(B); instead combine suffix(lo) limited by hi using a
+		// short scan. B is a small constant so this stays O(B) worst case,
+		// but the common full-prefix/suffix cases below are O(1).
+		best := m.a[lo]
+		for i := lo + 1; i <= hi; i++ {
+			if better(m.a[i], best) {
+				best = m.a[i]
+			}
+		}
+		return best
+	}
+	best := m.suffix[lo] // rest of lo's block
+	if better(m.prefix[hi], best) {
+		best = m.prefix[hi] // start of hi's block
+	}
+	if bh-bl >= 2 {
+		l := bits.Len(uint(bh-bl-1)) - 1 // floor(log2(#middle blocks))
+		t := m.table[l]
+		x := t[bl+1]
+		y := t[bh-(1<<l)]
+		if better(y, x) {
+			x = y
+		}
+		if better(x, best) {
+			best = x
+		}
+	}
+	return best
+}

@@ -1,0 +1,63 @@
+package rmq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchArray(n int) []int32 {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]int32, n)
+	for i := range a {
+		a[i] = int32(rng.Intn(1 << 30))
+	}
+	return a
+}
+
+func BenchmarkBuildMin(b *testing.B) {
+	a := benchArray(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewMin(a)
+	}
+}
+
+func BenchmarkQueryMin(b *testing.B) {
+	a := benchArray(1 << 20)
+	q := NewMin(a)
+	rng := rand.New(rand.NewSource(2))
+	los := make([]int, 1024)
+	his := make([]int, 1024)
+	for i := range los {
+		los[i] = rng.Intn(len(a))
+		his[i] = los[i] + rng.Intn(len(a)-los[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i & 1023
+		q.Query(los[k], his[k])
+	}
+}
+
+func BenchmarkQuerySubtreeShaped(b *testing.B) {
+	// FAST-BCC's queries are nested intervals (subtrees); short ranges
+	// dominate. Mimic that mix: 90% short (within a block), 10% long.
+	a := benchArray(1 << 20)
+	q := NewMin(a)
+	rng := rand.New(rand.NewSource(3))
+	los := make([]int, 1024)
+	his := make([]int, 1024)
+	for i := range los {
+		los[i] = rng.Intn(len(a) - 64)
+		if i%10 == 0 {
+			his[i] = los[i] + rng.Intn(len(a)-los[i])
+		} else {
+			his[i] = los[i] + rng.Intn(48)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i & 1023
+		q.Query(los[k], his[k])
+	}
+}

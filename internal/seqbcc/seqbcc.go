@@ -1,0 +1,173 @@
+// Package seqbcc implements the sequential Hopcroft–Tarjan biconnected
+// components algorithm (Commun. ACM 1973) — the paper's SEQ baseline and
+// the correctness oracle for every parallel implementation in this
+// repository.
+//
+// The DFS is iterative (explicit frame stack) so graphs with huge diameter
+// (e.g. the paper's Chn8 chain with 10^8 vertices) do not overflow the
+// goroutine stack. An explicit edge stack is popped each time the
+// articulation condition low[w] >= disc[v] fires, exactly as in the
+// original algorithm; each popped batch is one biconnected component.
+//
+// Multigraphs are handled in the standard way: only one traversal back to
+// the DFS parent is skipped per vertex, so a parallel copy of the tree edge
+// acts as a back edge and correctly keeps the pair biconnected (and the
+// edge off the bridge list). Self-loops are ignored.
+package seqbcc
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Result is the explicit block decomposition of a graph.
+type Result struct {
+	// Blocks are the biconnected components as sorted vertex sets.
+	Blocks [][]int32
+	// BlockEdgeCount[i] is the number of edges in Blocks[i]; a block with
+	// exactly one edge is a bridge.
+	BlockEdgeCount []int
+}
+
+// NumBCC returns the number of biconnected components.
+func (r *Result) NumBCC() int { return len(r.Blocks) }
+
+// BCC computes the biconnected components of g with Hopcroft–Tarjan.
+func BCC(g *graph.Graph) *Result {
+	n := int(g.N)
+	res := &Result{}
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	type frame struct {
+		v             int32
+		ai            int32 // cursor into g.Adj
+		parent        int32
+		skippedParent bool
+	}
+	var stack []frame
+	var estack []graph.Edge
+	timer := int32(0)
+	for s := 0; s < n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		disc[s] = timer
+		low[s] = timer
+		timer++
+		stack = append(stack[:0], frame{int32(s), g.Offsets[s], -1, false})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			if f.ai < g.Offsets[v+1] {
+				w := g.Adj[f.ai]
+				f.ai++
+				switch {
+				case w == v:
+					// self-loop: irrelevant to biconnectivity
+				case w == f.parent && !f.skippedParent:
+					f.skippedParent = true
+				case disc[w] == -1:
+					estack = append(estack, graph.Edge{U: v, W: w})
+					disc[w] = timer
+					low[w] = timer
+					timer++
+					stack = append(stack, frame{w, g.Offsets[w], v, false})
+				case disc[w] < disc[v]:
+					// Back edge (or forward edges are skipped by the
+					// disc[w] < disc[v] test, counting each once).
+					estack = append(estack, graph.Edge{U: v, W: w})
+					if disc[w] < low[v] {
+						low[v] = disc[w]
+					}
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				p := f.parent
+				if p == -1 {
+					continue
+				}
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if low[v] >= disc[p] {
+					res.popBlock(&estack, p, v)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// popBlock pops edges up to and including the tree edge (p, v) and emits
+// them as one block.
+func (r *Result) popBlock(estack *[]graph.Edge, p, v int32) {
+	es := *estack
+	i := len(es) - 1
+	for ; i >= 0; i-- {
+		if es[i].U == p && es[i].W == v {
+			break
+		}
+	}
+	if i < 0 {
+		panic("seqbcc: tree edge missing from edge stack")
+	}
+	batch := es[i:]
+	*estack = es[:i]
+	seen := make(map[int32]bool, 2*len(batch))
+	var verts []int32
+	for _, e := range batch {
+		if !seen[e.U] {
+			seen[e.U] = true
+			verts = append(verts, e.U)
+		}
+		if !seen[e.W] {
+			seen[e.W] = true
+			verts = append(verts, e.W)
+		}
+	}
+	sort.Slice(verts, func(a, b int) bool { return verts[a] < verts[b] })
+	r.Blocks = append(r.Blocks, verts)
+	r.BlockEdgeCount = append(r.BlockEdgeCount, len(batch))
+}
+
+// ArticulationPoints returns vertices that belong to two or more blocks,
+// sorted ascending.
+func (r *Result) ArticulationPoints() []int32 {
+	count := map[int32]int{}
+	for _, b := range r.Blocks {
+		for _, v := range b {
+			count[v]++
+		}
+	}
+	var out []int32
+	for v, c := range count {
+		if c >= 2 {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Bridges returns the bridge edges (blocks with exactly one edge), with
+// U < W, sorted.
+func (r *Result) Bridges() []graph.Edge {
+	var out []graph.Edge
+	for i, b := range r.Blocks {
+		if r.BlockEdgeCount[i] == 1 {
+			e := graph.Edge{U: b[0], W: b[1]}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].U != out[b].U {
+			return out[a].U < out[b].U
+		}
+		return out[a].W < out[b].W
+	})
+	return out
+}

@@ -1,0 +1,201 @@
+package seqbcc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/check"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestTriangle(t *testing.T) {
+	g := gen.Clique(3)
+	r := BCC(g)
+	if r.NumBCC() != 1 {
+		t.Fatalf("triangle blocks = %d", r.NumBCC())
+	}
+	if len(r.Blocks[0]) != 3 {
+		t.Fatalf("triangle block = %v", r.Blocks[0])
+	}
+	if len(r.Bridges()) != 0 {
+		t.Fatal("triangle has no bridges")
+	}
+	if len(r.ArticulationPoints()) != 0 {
+		t.Fatal("triangle has no articulation points")
+	}
+}
+
+func TestChainBlocks(t *testing.T) {
+	n := 50
+	g := gen.Chain(n)
+	r := BCC(g)
+	if r.NumBCC() != n-1 {
+		t.Fatalf("chain blocks = %d, want %d", r.NumBCC(), n-1)
+	}
+	if len(r.Bridges()) != n-1 {
+		t.Fatalf("chain bridges = %d", len(r.Bridges()))
+	}
+	ap := r.ArticulationPoints()
+	if len(ap) != n-2 {
+		t.Fatalf("chain articulation points = %d, want %d", len(ap), n-2)
+	}
+}
+
+func TestCycleSingleBlock(t *testing.T) {
+	g := gen.Cycle(100)
+	r := BCC(g)
+	if r.NumBCC() != 1 || len(r.Blocks[0]) != 100 {
+		t.Fatalf("cycle: %d blocks", r.NumBCC())
+	}
+	if len(r.Bridges()) != 0 || len(r.ArticulationPoints()) != 0 {
+		t.Fatal("cycle has no bridges or articulation points")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := gen.Star(10)
+	r := BCC(g)
+	if r.NumBCC() != 9 {
+		t.Fatalf("star blocks = %d", r.NumBCC())
+	}
+	ap := r.ArticulationPoints()
+	if len(ap) != 1 || ap[0] != 0 {
+		t.Fatalf("star articulation = %v", ap)
+	}
+	if len(r.Bridges()) != 9 {
+		t.Fatal("star edges are all bridges")
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := gen.Barbell(5, 3)
+	r := BCC(g)
+	// two K5 blocks + 3 bridge blocks
+	if r.NumBCC() != 5 {
+		t.Fatalf("barbell blocks = %d, want 5", r.NumBCC())
+	}
+	if len(r.Bridges()) != 3 {
+		t.Fatalf("barbell bridges = %d, want 3", len(r.Bridges()))
+	}
+}
+
+func TestCliqueChain(t *testing.T) {
+	g := gen.CliqueChain(6, 4)
+	r := BCC(g)
+	if r.NumBCC() != 6 {
+		t.Fatalf("clique chain blocks = %d, want 6", r.NumBCC())
+	}
+	if len(r.ArticulationPoints()) != 5 {
+		t.Fatalf("clique chain articulation = %d, want 5", len(r.ArticulationPoints()))
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := gen.Disjoint(gen.Cycle(5), gen.Chain(4), gen.Clique(4))
+	r := BCC(g)
+	// cycle: 1, chain: 3, clique: 1
+	if r.NumBCC() != 5 {
+		t.Fatalf("blocks = %d, want 5", r.NumBCC())
+	}
+}
+
+func TestEmptyAndTrivial(t *testing.T) {
+	if BCC(graph.MustFromEdges(0, nil)).NumBCC() != 0 {
+		t.Fatal("empty graph")
+	}
+	if BCC(graph.MustFromEdges(3, nil)).NumBCC() != 0 {
+		t.Fatal("edgeless graph")
+	}
+	r := BCC(graph.MustFromEdges(2, []graph.Edge{{U: 0, W: 1}}))
+	if r.NumBCC() != 1 || len(r.Bridges()) != 1 {
+		t.Fatal("single edge")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, W: 0}, {U: 0, W: 1}})
+	r := BCC(g)
+	if r.NumBCC() != 1 {
+		t.Fatalf("self-loop graph blocks = %d", r.NumBCC())
+	}
+}
+
+func TestParallelEdgesNotBridge(t *testing.T) {
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, W: 1}, {U: 0, W: 1}})
+	r := BCC(g)
+	if r.NumBCC() != 1 {
+		t.Fatalf("parallel pair blocks = %d", r.NumBCC())
+	}
+	if len(r.Bridges()) != 0 {
+		t.Fatal("parallel edge must not be a bridge")
+	}
+}
+
+func TestMatchesNaiveOracle(t *testing.T) {
+	cases := []*graph.Graph{
+		gen.Clique(6),
+		gen.Cycle(12),
+		gen.Chain(15),
+		gen.Star(8),
+		gen.Barbell(4, 2),
+		gen.CliqueChain(3, 3),
+		gen.Grid2D(4, 5, false),
+		gen.Grid2D(4, 5, true),
+		gen.RandomTree(40, 1),
+		gen.ER(40, 80, 2),
+		gen.Disjoint(gen.Cycle(6), gen.Star(5)),
+	}
+	for i, g := range cases {
+		iter := BCC(g).Blocks
+		rec := check.NaiveBCC(g)
+		if !check.Equal(iter, rec) {
+			t.Fatalf("case %d: iterative %s != recursive %s", i,
+				check.Describe(iter), check.Describe(rec))
+		}
+	}
+}
+
+func TestQuickMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		m := rng.Intn(3 * n)
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), W: int32(rng.Intn(n))})
+		}
+		g := graph.MustFromEdges(n, edges)
+		return check.Equal(BCC(g).Blocks, check.NaiveBCC(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepChainNoStackOverflow(t *testing.T) {
+	// The iterative DFS must survive a depth the recursive one cannot.
+	n := 2_000_000
+	g := gen.Chain(n)
+	r := BCC(g)
+	if r.NumBCC() != n-1 {
+		t.Fatalf("deep chain blocks = %d", r.NumBCC())
+	}
+}
+
+func TestBlockEdgeCounts(t *testing.T) {
+	g := gen.Barbell(4, 1) // two K4 + 1 bridge
+	r := BCC(g)
+	bridges := 0
+	for i := range r.Blocks {
+		if r.BlockEdgeCount[i] == 1 {
+			bridges++
+		} else if r.BlockEdgeCount[i] != 6 {
+			t.Fatalf("block %d has %d edges", i, r.BlockEdgeCount[i])
+		}
+	}
+	if bridges != 1 {
+		t.Fatalf("bridges = %d", bridges)
+	}
+}

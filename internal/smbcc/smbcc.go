@@ -1,0 +1,221 @@
+// Package smbcc reimplements a BCC algorithm in the spirit of Slota and
+// Madduri ("Simple parallel biconnectivity algorithms for multicore
+// platforms", HiPC 2014) — the paper's SM'14 baseline.
+//
+// Shape, restrictions, and performance profile mirror the original:
+//
+//   - a BFS tree is built from vertex 0 (span proportional to the graph
+//     diameter, the same bottleneck as the original);
+//   - only connected graphs are supported (BCC returns an error otherwise,
+//     matching the "n = no support" entries of Tab. 2);
+//   - the per-non-tree-edge work walks tree paths toward the LCA, as in the
+//     original's BFS/LCA-based marking, here with a path-skipping structure
+//     so each tree edge is traversed O(α) amortized times;
+//   - scalability is limited: the marking phase is sequential here (the
+//     original's was parallel but famously peaked at ~16 threads; the paper
+//     reports its 16-thread time when faster).
+//
+// The marking invariant: every non-tree edge (u,v) covers all tree edges on
+// the cycle u~lca(u,v)~v, and all covered edges of one cycle belong to one
+// block. Covered-edge groups are kept in a union-find; each group (a
+// connected tree region) records its shallowest vertex ("top") so later
+// walks skip the whole region in one hop. Uncovered tree edges are bridges.
+package smbcc
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/uf"
+)
+
+// Options configures the run.
+type Options struct {
+	// Source is the BFS root (default vertex 0).
+	Source int32
+}
+
+// ErrDisconnected is returned for graphs that are not connected.
+var ErrDisconnected = errors.New("smbcc: input graph must be connected")
+
+// Result is the block decomposition in SM-style form.
+type Result struct {
+	// Parent/Level describe the BFS tree.
+	Parent, Level []int32
+	// NumBCC is the number of biconnected components.
+	NumBCC int
+	// Times is the step breakdown (Rooting = BFS, LastCC = marking).
+	Times core.StepTimes
+
+	covered []bool
+	group   *uf.Seq
+	top     []int32
+}
+
+// BCC computes biconnected components; the input must be connected.
+func BCC(g *graph.Graph, opt Options) (*Result, error) {
+	n := int(g.N)
+	res := &Result{}
+	if n == 0 {
+		res.group = uf.NewSeq(0)
+		return res, nil
+	}
+	src := opt.Source
+	if src < 0 || int(src) >= n {
+		src = 0
+	}
+
+	t0 := time.Now()
+	bfs := graph.BFS(g, src)
+	res.Parent = bfs.Parent
+	res.Level = bfs.Level
+	res.Parent[src] = -1
+	for v := 0; v < n; v++ {
+		if res.Level[v] == -1 {
+			return nil, ErrDisconnected
+		}
+	}
+	res.Times.Rooting = time.Since(t0)
+
+	t0 = time.Now()
+	res.covered = make([]bool, n)
+	res.group = uf.NewSeq(n)
+	res.top = make([]int32, n)
+	for v := range res.top {
+		res.top[v] = int32(v)
+	}
+	// Walk every non-tree edge; one tree-edge instance per child vertex is
+	// consumed as "the" tree edge so parallel copies act as covering
+	// cycles of length two.
+	treeSeen := make([]bool, n)
+	for v := int32(0); v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			if v >= w {
+				continue // one instance per undirected copy; drops self-loops
+			}
+			child := int32(-1)
+			switch {
+			case res.Parent[w] == v:
+				child = w
+			case res.Parent[v] == w:
+				child = v
+			}
+			if child != -1 && !treeSeen[child] {
+				treeSeen[child] = true
+				continue
+			}
+			res.cover(v, w)
+		}
+	}
+	// Count blocks: one per covered-edge group + one per uncovered
+	// (bridge) tree edge.
+	groupSeen := make(map[int32]bool)
+	nBCC := 0
+	for v := 0; v < n; v++ {
+		if int32(v) == src {
+			continue
+		}
+		if !res.covered[v] {
+			nBCC++ // bridge block {parent[v], v}
+			continue
+		}
+		r := res.group.Find(int32(v))
+		if !groupSeen[r] {
+			groupSeen[r] = true
+			nBCC++
+		}
+	}
+	res.NumBCC = nBCC
+	res.Times.LastCC = time.Since(t0)
+	return res, nil
+}
+
+// cover marks the tree edges on the cycle a~lca~b as one block. Each side
+// keeps its own chain representative so that every union merges regions
+// that touch, preserving the "group = connected tree region" invariant the
+// top-skipping relies on.
+func (r *Result) cover(a, b int32) {
+	u, x := a, b
+	curU, curX := int32(-1), int32(-1)
+	for u != x {
+		if r.Level[u] < r.Level[x] {
+			u, x = x, u
+			curU, curX = curX, curU
+		}
+		if r.covered[u] {
+			if curU != -1 {
+				r.unionTop(curU, u)
+			}
+			curU = u
+			u = r.top[r.group.Find(u)]
+		} else {
+			r.covered[u] = true
+			if curU != -1 {
+				r.unionTop(curU, u)
+			}
+			curU = u
+			p := r.Parent[u]
+			r.setTop(u, p)
+			u = p
+		}
+	}
+	if curU != -1 && curX != -1 {
+		r.unionTop(curU, curX)
+	}
+}
+
+// setTop lowers the recorded top of u's group to p if p is shallower.
+func (r *Result) setTop(u, p int32) {
+	root := r.group.Find(u)
+	if r.Level[p] < r.Level[r.top[root]] {
+		r.top[root] = p
+	}
+}
+
+// unionTop merges two groups, keeping the shallower of their tops.
+func (r *Result) unionTop(a, b int32) {
+	ra, rb := r.group.Find(a), r.group.Find(b)
+	if ra == rb {
+		return
+	}
+	t := r.top[ra]
+	if r.Level[r.top[rb]] < r.Level[t] {
+		t = r.top[rb]
+	}
+	r.group.Union(a, b)
+	r.top[r.group.Find(a)] = t
+}
+
+// Blocks materializes the blocks as sorted vertex sets.
+func (r *Result) Blocks() [][]int32 {
+	n := len(r.Parent)
+	buckets := map[int32][]int32{}
+	var blocks [][]int32
+	for v := 0; v < n; v++ {
+		if r.Parent[v] == -1 {
+			continue
+		}
+		if !r.covered[v] {
+			blocks = append(blocks, sorted2(r.Parent[v], int32(v)))
+			continue
+		}
+		root := r.group.Find(int32(v))
+		buckets[root] = append(buckets[root], int32(v))
+	}
+	for root, members := range buckets {
+		blk := append(members, r.top[root])
+		sort.Slice(blk, func(i, j int) bool { return blk[i] < blk[j] })
+		blocks = append(blocks, blk)
+	}
+	return blocks
+}
+
+func sorted2(a, b int32) []int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return []int32{a, b}
+}

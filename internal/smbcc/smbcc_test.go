@@ -1,0 +1,184 @@
+package smbcc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/check"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/seqbcc"
+	"repro/internal/uf"
+)
+
+func assertMatchesSeq(t *testing.T, g *graph.Graph) *Result {
+	t.Helper()
+	res, err := BCC(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := seqbcc.BCC(g)
+	if res.NumBCC != ref.NumBCC() {
+		t.Fatalf("NumBCC = %d, want %d", res.NumBCC, ref.NumBCC())
+	}
+	if !check.Equal(res.Blocks(), ref.Blocks) {
+		t.Fatalf("blocks differ:\n  sm: %s\n seq: %s",
+			check.Describe(res.Blocks()), check.Describe(ref.Blocks))
+	}
+	return res
+}
+
+func TestStructuredGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"triangle", gen.Clique(3)},
+		{"clique", gen.Clique(8)},
+		{"chain", gen.Chain(70)},
+		{"cycle", gen.Cycle(41)},
+		{"star", gen.Star(25)},
+		{"barbell", gen.Barbell(5, 3)},
+		{"cliquechain", gen.CliqueChain(5, 4)},
+		{"grid", gen.Grid2D(8, 9, false)},
+		{"torus", gen.Grid2D(8, 9, true)},
+		{"tree", gen.RandomTree(90, 4)},
+		{"singleedge", graph.MustFromEdges(2, []graph.Edge{{U: 0, W: 1}})},
+		{"singleton", graph.MustFromEdges(1, nil)},
+		{"empty", graph.MustFromEdges(0, nil)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assertMatchesSeq(t, tc.g)
+		})
+	}
+}
+
+func TestDisconnectedRejected(t *testing.T) {
+	g := gen.Disjoint(gen.Cycle(5), gen.Cycle(5))
+	if _, err := BCC(g, Options{}); err != ErrDisconnected {
+		t.Fatalf("err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestMultigraph(t *testing.T) {
+	cases := [][]graph.Edge{
+		{{U: 0, W: 1}, {U: 0, W: 1}, {U: 1, W: 2}},
+		{{U: 0, W: 0}, {U: 0, W: 1}, {U: 1, W: 2}, {U: 1, W: 2}},
+		{{U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 0}, {U: 0, W: 1}},
+	}
+	for i, edges := range cases {
+		g := graph.MustFromEdges(3, edges)
+		res, err := BCC(g, Options{})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		ref := seqbcc.BCC(g)
+		if !check.Equal(res.Blocks(), ref.Blocks) {
+			t.Fatalf("case %d: %s != %s", i,
+				check.Describe(res.Blocks()), check.Describe(ref.Blocks))
+		}
+	}
+}
+
+// connectedRandom builds a connected random graph: a random tree plus
+// extra random edges.
+func connectedRandom(rng *rand.Rand, n, extra int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1+extra)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: int32(rng.Intn(i)), W: int32(i)})
+	}
+	for i := 0; i < extra; i++ {
+		u, w := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u != w {
+			edges = append(edges, graph.Edge{U: u, W: w})
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+func TestQuickConnectedRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(80)
+		g := connectedRandom(rng, n, rng.Intn(2*n))
+		res, err := BCC(g, Options{})
+		if err != nil {
+			return false
+		}
+		return check.Equal(res.Blocks(), seqbcc.BCC(g).Blocks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := connectedRandom(rng, 60, 90)
+	ref := seqbcc.BCC(g)
+	for src := int32(0); src < 60; src += 7 {
+		res, err := BCC(g, Options{Source: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !check.Equal(res.Blocks(), ref.Blocks) {
+			t.Fatalf("source %d: decomposition differs", src)
+		}
+	}
+}
+
+func TestGroupsAreConnectedRegions(t *testing.T) {
+	// Internal invariant: each covered group's vertices plus its top form a
+	// connected subtree (the top-skipping relies on it).
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(60)
+		g := connectedRandom(rng, n, rng.Intn(3*n))
+		res, err := BCC(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, blk := range res.Blocks() {
+			s := uf.NewSeq(n)
+			in := make(map[int32]bool, len(blk))
+			for _, v := range blk {
+				in[v] = true
+			}
+			for _, v := range blk {
+				if p := res.Parent[v]; p != -1 && in[p] {
+					s.Union(v, p)
+				}
+			}
+			root := s.Find(blk[0])
+			for _, v := range blk {
+				if s.Find(v) != root {
+					t.Fatalf("block %v not connected via tree edges", blk)
+				}
+			}
+		}
+	}
+}
+
+func TestLargeChain(t *testing.T) {
+	g := gen.Chain(100000)
+	res, err := BCC(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumBCC != 99999 {
+		t.Fatalf("chain NumBCC = %d", res.NumBCC)
+	}
+}
+
+func TestDenseGraph(t *testing.T) {
+	g := gen.Clique(60)
+	res, err := BCC(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumBCC != 1 {
+		t.Fatalf("clique NumBCC = %d", res.NumBCC)
+	}
+}

@@ -1,0 +1,98 @@
+// Package tags computes the per-vertex tag arrays of the paper's Tagging
+// step (Sec. 4.1): w1/w2 folded over non-tree edges, and low/high obtained
+// from 1-D range min/max queries over the Euler-tour-ordered w1/w2 arrays.
+// Both FAST-BCC and the faithful Tarjan–Vishkin implementation build on it.
+package tags
+
+import (
+	"repro/internal/etour"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/prim"
+	"repro/internal/rmq"
+)
+
+// Tags bundles the vertex tags of Alg. 1 together with the edge-type
+// predicates derived from them.
+type Tags struct {
+	// Parent[v] is v's parent in the rooted spanning forest (-1 for roots).
+	Parent []int32
+	// First/Last are Euler tour first/last appearance positions.
+	First, Last []int32
+	// Low/High are the range min/max of w1/w2 over each subtree (Sec. 3.2).
+	Low, High []int32
+}
+
+// Compute derives the tags from a rooted forest. g supplies the non-tree
+// edges folded into w1/w2; parallel copies of tree edges are classified as
+// tree edges, which provably leaves every fence predicate unchanged.
+func Compute(g *graph.Graph, rt *etour.Rooted) *Tags {
+	n := int(g.N)
+	first, last, parent := rt.First, rt.Last, rt.Parent
+	w1 := make([]int32, n)
+	w2 := make([]int32, n)
+	parallel.Copy(w1, first)
+	parallel.Copy(w2, first)
+	parallel.ForBlock(n, 256, func(lo, hi int) {
+		for v := int32(lo); v < int32(hi); v++ {
+			for _, w := range g.Neighbors(v) {
+				if w == v || parent[w] == v || parent[v] == w {
+					continue // self-loop or tree edge
+				}
+				prim.WriteMin(&w1[v], first[w])
+				prim.WriteMax(&w2[v], first[w])
+			}
+		}
+	})
+	a1 := make([]int32, len(rt.Tour))
+	a2 := make([]int32, len(rt.Tour))
+	parallel.For(len(rt.Tour), func(t int) {
+		v := rt.Tour[t]
+		a1[t] = w1[v]
+		a2[t] = w2[v]
+	})
+	qmin := rmq.NewMin(a1)
+	qmax := rmq.NewMax(a2)
+	low := make([]int32, n)
+	high := make([]int32, n)
+	parallel.For(n, func(v int) {
+		low[v] = qmin.Query(int(first[v]), int(last[v]))
+		high[v] = qmax.Query(int(first[v]), int(last[v]))
+	})
+	return &Tags{Parent: parent, First: first, Last: last, Low: low, High: high}
+}
+
+// IsTreeEdge reports whether {u,v} parallels a spanning tree edge.
+func (t *Tags) IsTreeEdge(u, v int32) bool {
+	return t.Parent[v] == u || t.Parent[u] == v
+}
+
+// Fence implements Alg. 1 line 11: for a tree edge evaluated as if u were
+// the parent of v, it holds iff no edge from v's subtree escapes u's
+// subtree. Called with the child in the u position it is always false, so
+// Fence(u,v) || Fence(v,u) tests "is a fence edge" without knowing the
+// orientation.
+func (t *Tags) Fence(u, v int32) bool {
+	return t.First[u] <= t.Low[v] && t.Last[u] >= t.High[v]
+}
+
+// Back implements Alg. 1 line 13: for a non-tree edge it holds iff u is an
+// ancestor of v.
+func (t *Tags) Back(u, v int32) bool {
+	return t.First[u] <= t.First[v] && t.Last[u] >= t.First[v]
+}
+
+// Ancestor reports whether u is an ancestor of v (u == v included), via
+// the interval nesting of Euler tour positions.
+func (t *Tags) Ancestor(u, v int32) bool {
+	return t.First[u] <= t.First[v] && t.Last[u] >= t.Last[v]
+}
+
+// InSkeleton implements Alg. 1 line 7: the edge {u,v} of G is in the
+// skeleton G' iff it is a plain (non-fence) tree edge or a cross edge.
+func (t *Tags) InSkeleton(u, v int32) bool {
+	if t.IsTreeEdge(u, v) {
+		return !t.Fence(u, v) && !t.Fence(v, u)
+	}
+	return !t.Back(u, v) && !t.Back(v, u)
+}

@@ -1,0 +1,121 @@
+package tv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/check"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/seqbcc"
+)
+
+func assertMatchesSeq(t *testing.T, g *graph.Graph) *Result {
+	t.Helper()
+	res := BCC(g, Options{Seed: 17})
+	ref := seqbcc.BCC(g)
+	if res.NumBCC != ref.NumBCC() {
+		t.Fatalf("NumBCC = %d, want %d", res.NumBCC, ref.NumBCC())
+	}
+	if !check.Equal(res.Blocks(), ref.Blocks) {
+		t.Fatalf("blocks differ:\n  tv: %s\n seq: %s",
+			check.Describe(res.Blocks()), check.Describe(ref.Blocks))
+	}
+	return res
+}
+
+func TestStructuredGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"triangle", gen.Clique(3)},
+		{"clique", gen.Clique(7)},
+		{"chain", gen.Chain(60)},
+		{"cycle", gen.Cycle(45)},
+		{"star", gen.Star(20)},
+		{"barbell", gen.Barbell(5, 2)},
+		{"cliquechain", gen.CliqueChain(4, 4)},
+		{"grid", gen.Grid2D(6, 9, false)},
+		{"torus", gen.Grid2D(6, 9, true)},
+		{"tree", gen.RandomTree(80, 4)},
+		{"er", gen.ER(100, 220, 5)},
+		{"disjoint", gen.Disjoint(gen.Cycle(12), gen.Chain(9), gen.Clique(5))},
+		{"edgeless", graph.MustFromEdges(6, nil)},
+		{"empty", graph.MustFromEdges(0, nil)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assertMatchesSeq(t, tc.g)
+		})
+	}
+}
+
+func TestMultigraph(t *testing.T) {
+	cases := [][]graph.Edge{
+		{{U: 0, W: 1}, {U: 0, W: 1}},
+		{{U: 0, W: 0}},
+		{{U: 0, W: 0}, {U: 0, W: 1}, {U: 1, W: 2}, {U: 1, W: 2}},
+	}
+	for i, edges := range cases {
+		g := graph.MustFromEdges(3, edges)
+		res := BCC(g, Options{Seed: 3})
+		ref := seqbcc.BCC(g)
+		if !check.Equal(res.Blocks(), ref.Blocks) {
+			t.Fatalf("case %d: %s != %s", i,
+				check.Describe(res.Blocks()), check.Describe(ref.Blocks))
+		}
+	}
+}
+
+func TestQuickRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(70)
+		m := rng.Intn(3 * n)
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), W: int32(rng.Intn(n))})
+		}
+		g := graph.MustFromEdges(n, edges)
+		res := BCC(g, Options{Seed: uint64(seed)})
+		return check.Equal(res.Blocks(), seqbcc.BCC(g).Blocks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkeletonIsLinearInM(t *testing.T) {
+	// The defining property of TV: |E'| = Θ(m), much larger than the O(n)
+	// auxiliary state of FAST-BCC on dense graphs.
+	g := gen.RMAT(11, 16, 6)
+	res := BCC(g, Options{Seed: 1})
+	m := g.NumEdges()
+	if res.SkeletonEdges < m/2 {
+		t.Fatalf("skeleton edges %d suspiciously small for m=%d", res.SkeletonEdges, m)
+	}
+	if res.SkeletonEdges > 3*m {
+		t.Fatalf("skeleton edges %d too large for m=%d", res.SkeletonEdges, m)
+	}
+}
+
+func TestSpaceAccountingGrowsWithDensity(t *testing.T) {
+	sparse := BCC(gen.Grid2D(40, 40, true), Options{Seed: 2})
+	dense := BCC(gen.RMAT(10, 20, 2), Options{Seed: 2})
+	ratioSparse := float64(sparse.AuxBytes) / float64(1600)
+	ratioDense := float64(dense.AuxBytes) / float64(1024)
+	if ratioDense <= ratioSparse {
+		t.Fatalf("per-vertex aux bytes should grow with density: sparse %.0f dense %.0f",
+			ratioSparse, ratioDense)
+	}
+}
+
+func TestLocalSearchVariant(t *testing.T) {
+	g := gen.Chain(3000)
+	res := BCC(g, Options{Seed: 4, LocalSearch: true})
+	if res.NumBCC != 2999 {
+		t.Fatalf("chain NumBCC = %d", res.NumBCC)
+	}
+}
