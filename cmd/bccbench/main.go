@@ -30,7 +30,18 @@ func main() {
 	reps := flag.Int("reps", 1, "repetitions per measurement (median reported)")
 	graphs := flag.String("graphs", "", "comma-separated subset of instance names (default: all 27)")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	micro := flag.String("micro", "", "run the hot-path micro-benchmarks and write a BENCH_*.json report to this path")
 	flag.Parse()
+
+	if *micro != "" {
+		rep := bench.RunMicro()
+		if err := rep.WriteJSON(*micro); err != nil {
+			fmt.Fprintf(os.Stderr, "bccbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", *micro)
+		return
+	}
 
 	sc := bench.ParseScale(*scale)
 	progress := os.Stderr

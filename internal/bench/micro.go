@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// MicroResult is one micro-benchmark measurement, mirroring the columns of
+// `go test -bench -benchmem`.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// MicroReport is the checked-in BENCH_*.json schema: the hot-path
+// micro-benchmarks of the current tree, optionally next to recorded
+// baseline numbers from an earlier tree for before/after comparison.
+type MicroReport struct {
+	Timestamp  string        `json:"timestamp"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Note       string        `json:"note,omitempty"`
+	Results    []MicroResult `json:"results"`
+	Baseline   []MicroResult `json:"baseline,omitempty"`
+}
+
+// RunMicro measures the hot paths the execution substrate optimizes: CSR
+// construction (fresh and arena-backed) and repeated full BCC runs (fresh
+// and arena-backed). Workloads intentionally match the checked-in Go
+// benchmarks (BenchmarkFromEdges, BenchmarkBCC*) so `go test -bench`
+// numbers and BENCH_*.json entries are directly comparable.
+func RunMicro() *MicroReport {
+	rep := &MicroReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	add := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		rep.Results = append(rep.Results, MicroResult{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	// Same workload as BenchmarkFromEdges.
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 18
+	edges := make([]graph.Edge, 1<<20)
+	for i := range edges {
+		edges[i] = graph.Edge{U: int32(rng.Intn(n)), W: int32(rng.Intn(n))}
+	}
+	add("FromEdges/n=262144,m=1048576", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			graph.MustFromEdges(n, edges)
+		}
+	})
+	sc := graph.NewScratch()
+	add("FromEdgesScratch/n=262144,m=1048576", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.FromEdgesScratch(n, edges, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Same workload as BenchmarkBCC / BenchmarkBCCScratch.
+	g := gen.RMAT(16, 8, 0xBC)
+	add("BCC/RMAT-16-8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.BCC(g, core.Options{Seed: 7})
+		}
+	})
+	sc2 := graph.NewScratch()
+	core.BCC(g, core.Options{Seed: 7, Scratch: sc2}) // warm the arena
+	add("BCCScratch/RMAT-16-8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.BCC(g, core.Options{Seed: 7, Scratch: sc2})
+		}
+	})
+	return rep
+}
+
+// WriteJSON writes the report to path, indented for diff-friendliness.
+func (r *MicroReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -14,6 +14,7 @@
 package conn
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -48,6 +49,11 @@ type Options struct {
 	Filter func(u, w int32) bool
 	// WantForest requests a spanning forest of the (filtered) graph.
 	WantForest bool
+	// Scratch, when non-nil, supplies the large temporaries (union-find
+	// parents, component labels, LDD state, the forest buffer). The
+	// returned Result's Comp and Forest slices are then arena-backed:
+	// the caller owns them and is responsible for returning them.
+	Scratch *graph.Scratch
 }
 
 // Result is the output of Connectivity.
@@ -75,13 +81,17 @@ func Connectivity(g *graph.Graph, opt Options) *Result {
 
 func connLDD(g *graph.Graph, opt Options) *Result {
 	n := int(g.N)
+	sc := opt.Scratch
 	dec := ldd.Decompose(g, ldd.Options{
 		Beta:        opt.Beta,
 		Seed:        opt.Seed,
 		LocalSearch: opt.LocalSearch,
 		Filter:      opt.Filter,
+		Scratch:     sc,
 	})
-	u := uf.New(n)
+	ufbuf := sc.GetInt32(n)
+	parallel.Iota(ufbuf, 0)
+	u := uf.Wrap(ufbuf)
 	// Cluster parent edges connect each cluster; they are tree edges by
 	// construction, so all of them join the forest.
 	parallel.For(n, func(v int) {
@@ -94,26 +104,34 @@ func connLDD(g *graph.Graph, opt Options) *Result {
 	forestCross := unionEdges(g, u, opt, func(v, w int32) bool {
 		return dec.Center[v] != dec.Center[w]
 	})
-	res := finish(g, u)
+	res := finish(g, u, sc)
 	if opt.WantForest {
-		res.Forest = make([]graph.Edge, 0, n-res.NumComp)
+		// A spanning forest has exactly n - NumComp edges, so the arena
+		// buffer is sized exactly and the appends below never grow it.
+		forest := sc.GetEdges(n - res.NumComp)[:0]
 		for v := 0; v < n; v++ {
 			if p := dec.Parent[v]; p != -1 {
-				res.Forest = append(res.Forest, graph.Edge{U: p, W: int32(v)})
+				forest = append(forest, graph.Edge{U: p, W: int32(v)})
 			}
 		}
-		res.Forest = append(res.Forest, forestCross...)
+		res.Forest = append(forest, forestCross...)
 	}
+	sc.PutInt32(ufbuf, dec.Center, dec.Parent)
 	return res
 }
 
 func connUF(g *graph.Graph, opt Options) *Result {
-	u := uf.New(int(g.N))
+	n := int(g.N)
+	sc := opt.Scratch
+	ufbuf := sc.GetInt32(n)
+	parallel.Iota(ufbuf, 0)
+	u := uf.Wrap(ufbuf)
 	forest := unionEdges(g, u, opt, nil)
-	res := finish(g, u)
+	res := finish(g, u, sc)
 	if opt.WantForest {
 		res.Forest = forest
 	}
+	sc.PutInt32(ufbuf)
 	return res
 }
 
@@ -121,20 +139,43 @@ func connUF(g *graph.Graph, opt Options) *Result {
 // predicate, when non-nil) and returns the edges whose Union succeeded —
 // a spanning forest of the processed edge set relative to the current
 // union-find state.
+//
+// Blocking is degree-aware: the *arc* array is partitioned, not the vertex
+// range, so a power-law hub with millions of neighbors is spread over many
+// blocks (claimed dynamically by the worker pool) instead of serializing
+// one vertex block. Each block locates its first vertex by binary search
+// on the offset array and then walks arcs and vertex boundaries together.
 func unionEdges(g *graph.Graph, u *uf.UF, opt Options, extra func(v, w int32) bool) []graph.Edge {
-	n := int(g.N)
-	nb := (n + 511) / 512
+	nArcs := g.NumArcs()
+	if nArcs == 0 {
+		return nil
+	}
+	const arcGrain = 4096
+	nb := (nArcs + arcGrain - 1) / arcGrain
 	outs := make([][]graph.Edge, nb)
 	collect := opt.WantForest
 	parallel.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
-			lo, hi := b*512, (b+1)*512
-			if hi > n {
-				hi = n
+			alo, ahi := b*arcGrain, (b+1)*arcGrain
+			if ahi > nArcs {
+				ahi = nArcs
 			}
+			// First vertex whose arc range contains alo.
+			v := int32(sort.Search(int(g.N), func(x int) bool {
+				return g.Offsets[x+1] > int32(alo)
+			}))
 			var out []graph.Edge
-			for v := int32(lo); v < int32(hi); v++ {
-				for _, w := range g.Neighbors(v) {
+			a := alo
+			for a < ahi {
+				for int(g.Offsets[v+1]) <= a {
+					v++
+				}
+				vEnd := int(g.Offsets[v+1])
+				if vEnd > ahi {
+					vEnd = ahi
+				}
+				// Tight per-vertex segment: v is fixed for the range.
+				for _, w := range g.Adj[a:vEnd] {
 					if v >= w { // each undirected edge once; skips self-loops
 						continue
 					}
@@ -148,6 +189,7 @@ func unionEdges(g *graph.Graph, u *uf.UF, opt Options, extra func(v, w int32) bo
 						out = append(out, graph.Edge{U: v, W: w})
 					}
 				}
+				a = vEnd
 			}
 			outs[b] = out
 		}
@@ -163,9 +205,9 @@ func unionEdges(g *graph.Graph, u *uf.UF, opt Options, extra func(v, w int32) bo
 }
 
 // finish flattens the union-find into component labels.
-func finish(g *graph.Graph, u *uf.UF) *Result {
+func finish(g *graph.Graph, u *uf.UF, sc *graph.Scratch) *Result {
 	n := int(g.N)
-	comp := make([]int32, n)
+	comp := sc.GetInt32(n)
 	parallel.For(n, func(v int) {
 		comp[v] = u.Find(int32(v))
 	})

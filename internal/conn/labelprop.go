@@ -58,15 +58,16 @@ func connLabelProp(g *graph.Graph, opt Options) *Result {
 			}
 		})
 		// Pointer-jump labels toward their roots to accelerate convergence
-		// (shortcutting, as in the hook-and-compress family).
+		// (shortcutting, as in the hook-and-compress family). Loads and
+		// stores are atomic: jumps race with each other across workers.
 		parallel.For(n, func(v int) {
 			for {
-				l := comp[v]
-				ll := comp[l]
+				l := atomic.LoadInt32(&comp[v])
+				ll := atomic.LoadInt32(&comp[l])
 				if l == ll {
 					break
 				}
-				comp[v] = ll
+				atomic.StoreInt32(&comp[v], ll)
 			}
 		})
 	}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// BenchmarkBCC measures one full FAST-BCC run per iteration, allocating all
+// auxiliary state from the heap each time (the one-shot API).
+func BenchmarkBCC(b *testing.B) {
+	g := gen.RMAT(16, 8, 0xBC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BCC(g, Options{Seed: 7})
+	}
+}
+
+// BenchmarkBCCScratch is the serving pattern: repeated BCC runs sharing one
+// arena, so the ~16n int32 of per-run auxiliary buffers are recycled
+// instead of re-allocated. Compare allocs/op against BenchmarkBCC.
+func BenchmarkBCCScratch(b *testing.B) {
+	g := gen.RMAT(16, 8, 0xBC)
+	sc := graph.NewScratch()
+	BCC(g, Options{Seed: 7, Scratch: sc}) // warm the arena
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BCC(g, Options{Seed: 7, Scratch: sc})
+	}
+}

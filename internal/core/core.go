@@ -52,6 +52,13 @@ type Options struct {
 	Beta float64
 	// ConnAlg selects the connectivity algorithm for both CC phases.
 	ConnAlg conn.Algorithm
+	// Scratch, when non-nil, recycles the ~16n int32 of per-run auxiliary
+	// buffers (tags, tour, connectivity state) across BCC calls, the
+	// serving pattern where the same process answers many decompositions.
+	// The arena is safe for concurrent use, and the returned Result never
+	// aliases arena memory, so results stay valid after the arena is
+	// reused by later runs.
+	Scratch *graph.Scratch
 }
 
 // StepTimes records the per-step running times that Fig. 5 of the paper
@@ -89,11 +96,54 @@ type Result struct {
 	// AuxBytes estimates the peak auxiliary memory in bytes (tags, tour,
 	// RMQ tables, connectivity state — everything beyond the input graph).
 	AuxBytes int64
+
+	// labelCount[l] is the number of non-root vertices with label l,
+	// computed lazily on first use (IsBridge, Bridges) and cached: the
+	// per-call O(n) label scan made those queries quadratic in callers
+	// that loop over edges.
+	labelCount []int32
+}
+
+// computeLabelSizes is the one O(n) pass behind LabelSizes.
+func computeLabelSizes(r *Result) []int32 {
+	count := make([]int32, r.NumLabels)
+	for v, l := range r.Label {
+		if r.Parent[v] != -1 {
+			count[l]++
+		}
+	}
+	return count
+}
+
+// PrecomputeLabelSizes populates the LabelSizes cache. Constructors
+// (core.BCC, bfsbcc.BCC) call it exactly once before publishing the
+// Result; it must not be called concurrently with other accessors. The
+// cache is a plain field rather than a sync primitive so the exported
+// Result stays a plain copyable value.
+func (r *Result) PrecomputeLabelSizes() {
+	if r.labelCount == nil {
+		r.labelCount = computeLabelSizes(r)
+	}
+}
+
+// LabelSizes returns the per-label count of non-root member vertices
+// (label l's block has LabelSizes()[l]+1 vertices including its head).
+// For constructor-built Results the cache was populated before
+// publication, so this is a lock-free read, safe for concurrent use. A
+// caller-assembled Result without the cache gets a fresh computation per
+// call — never a cache write, so concurrent use stays race-free there
+// too, just without the caching.
+func (r *Result) LabelSizes() []int32 {
+	if c := r.labelCount; c != nil {
+		return c
+	}
+	return computeLabelSizes(r)
 }
 
 // BCC computes the biconnected components of g with FAST-BCC.
 func BCC(g *graph.Graph, opt Options) *Result {
 	n := int(g.N)
+	sc := opt.Scratch
 	res := &Result{}
 
 	// ---- Step 1: First-CC ------------------------------------------------
@@ -104,19 +154,23 @@ func BCC(g *graph.Graph, opt Options) *Result {
 		Seed:        opt.Seed,
 		LocalSearch: opt.LocalSearch,
 		WantForest:  true,
+		Scratch:     sc,
 	})
 	res.Times.FirstCC = time.Since(t0)
 
 	// ---- Step 2: Rooting -------------------------------------------------
 	t0 = time.Now()
-	rt := etour.Root(n, cc.Forest, cc.Comp)
+	rt := etour.RootScratch(n, cc.Forest, cc.Comp, sc)
 	res.Parent = rt.Parent
+	sc.PutInt32(cc.Comp)
+	sc.PutEdges(cc.Forest)
 	res.Times.Rooting = time.Since(t0)
 
 	// ---- Step 3: Tagging -------------------------------------------------
 	t0 = time.Now()
-	tg := tags.Compute(g, rt)
+	tg := tags.ComputeScratch(g, rt, sc)
 	parent := tg.Parent
+	sc.PutInt32(rt.Tour)
 	res.Times.Tagging = time.Since(t0)
 
 	// ---- Step 4: Last-CC -------------------------------------------------
@@ -127,9 +181,11 @@ func BCC(g *graph.Graph, opt Options) *Result {
 		Seed:        opt.Seed + 0x5eed,
 		LocalSearch: opt.LocalSearch,
 		Filter:      tg.InSkeleton,
+		Scratch:     sc,
 	})
 	res.Label = sk.Normalize()
 	res.NumLabels = sk.NumComp
+	sc.PutInt32(sk.Comp)
 	res.Head = make([]int32, sk.NumComp)
 	parallel.Fill(res.Head, -1)
 	parallel.For(n, func(v int) {
@@ -150,6 +206,12 @@ func BCC(g *graph.Graph, opt Options) *Result {
 		}
 	}
 	res.NumBCC = nBCC
+	// The tag arrays die with the Last-CC filter; First/Last alias the
+	// Rooted arrays, so each buffer goes back exactly once.
+	sc.PutInt32(tg.Low, tg.High, rt.First, rt.Last)
+	// Populate the per-label size cache before the Result is published so
+	// IsBridge/Bridges are O(1)-per-query reads on a BCC result.
+	res.PrecomputeLabelSizes()
 	res.Times.LastCC = time.Since(t0)
 
 	// Auxiliary space estimate (bytes): per-vertex tag arrays (w1, w2,
@@ -224,7 +286,7 @@ func (r *Result) IsBridge(g *graph.Graph, u, w int32) bool {
 	// Bridge iff w's skeleton component is the singleton {w}, its head is
 	// u, and the block is exactly {u,w} — i.e. no other vertex shares w's
 	// label — and the edge has multiplicity 1.
-	if labelSize(r, r.Label[w]) != 1 {
+	if r.LabelSizes()[r.Label[w]] != 1 {
 		return false
 	}
 	mult := 0
@@ -239,12 +301,7 @@ func (r *Result) IsBridge(g *graph.Graph, u, w int32) bool {
 // Bridges returns all bridge edges of g.
 func (r *Result) Bridges(g *graph.Graph) []graph.Edge {
 	n := len(r.Label)
-	count := make([]int32, r.NumLabels)
-	for v := 0; v < n; v++ {
-		if r.Parent[v] != -1 {
-			count[r.Label[v]]++
-		}
-	}
+	count := r.LabelSizes()
 	var out []graph.Edge
 	for v := 0; v < n; v++ {
 		p := r.Parent[v]
@@ -272,16 +329,6 @@ func (r *Result) Bridges(g *graph.Graph) []graph.Edge {
 		return out[a].W < out[b].W
 	})
 	return out
-}
-
-func labelSize(r *Result, l int32) int {
-	c := 0
-	for v := 0; v < len(r.Label); v++ {
-		if r.Label[v] == l && r.Parent[v] != -1 {
-			c++
-		}
-	}
-	return c
 }
 
 func sortInt32(a []int32) {

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// canonBlocks returns the block decomposition in a schedule-independent
+// canonical form. With >1 workers the concurrent union-find makes the
+// spanning forest (and hence Label/Parent values) schedule-dependent, but
+// the set of blocks is a graph property and must never vary.
+func canonBlocks(r *Result) []string {
+	var out []string
+	for _, blk := range r.Blocks() {
+		out = append(out, fmt.Sprint(blk))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameBlocks(t *testing.T, ctx string, got, want *Result) {
+	t.Helper()
+	if got.NumBCC != want.NumBCC {
+		t.Fatalf("%s: NumBCC %d, want %d", ctx, got.NumBCC, want.NumBCC)
+	}
+	gb, wb := canonBlocks(got), canonBlocks(want)
+	if len(gb) != len(wb) {
+		t.Fatalf("%s: %d blocks, want %d", ctx, len(gb), len(wb))
+	}
+	for i := range gb {
+		if gb[i] != wb[i] {
+			t.Fatalf("%s: block %d = %s, want %s", ctx, i, gb[i], wb[i])
+		}
+	}
+}
+
+// TestBCCScratchMatchesFresh runs BCC repeatedly with one shared arena and
+// checks every run agrees with a fresh-allocation run — dirty recycled
+// buffers must never leak into results.
+func TestBCCScratchMatchesFresh(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.RMAT(10, 8, 0x11),
+		gen.Grid2D(24, 24, true),
+		gen.Chain(300),
+		gen.KNN(400, 3, 0x22),
+		graph.MustFromEdges(1, nil),
+		graph.MustFromEdges(5, []graph.Edge{{U: 0, W: 0}, {U: 1, W: 2}, {U: 1, W: 2}}),
+	}
+	sc := graph.NewScratch()
+	for round := 0; round < 3; round++ {
+		for gi, g := range graphs {
+			want := BCC(g, Options{Seed: 7})
+			got := BCC(g, Options{Seed: 7, Scratch: sc})
+			sameBlocks(t, fmt.Sprintf("round %d graph %d", round, gi), got, want)
+		}
+	}
+}
+
+// TestBCCScratchDeterministicSingleProc pins one worker, where the whole
+// pipeline is deterministic, and requires bit-identical Label/Parent/Head
+// between scratch-backed and fresh runs.
+func TestBCCScratchDeterministicSingleProc(t *testing.T) {
+	old := parallel.SetProcs(1)
+	defer parallel.SetProcs(old)
+	sc := graph.NewScratch()
+	for _, g := range []*graph.Graph{gen.RMAT(10, 8, 0x11), gen.Grid2D(24, 24, true)} {
+		want := BCC(g, Options{Seed: 7})
+		for r := 0; r < 3; r++ {
+			got := BCC(g, Options{Seed: 7, Scratch: sc})
+			for v := range want.Label {
+				if got.Label[v] != want.Label[v] || got.Parent[v] != want.Parent[v] {
+					t.Fatalf("run %d: vertex %d label/parent (%d,%d) want (%d,%d)",
+						r, v, got.Label[v], got.Parent[v], want.Label[v], want.Parent[v])
+				}
+			}
+			for l := range want.Head {
+				if got.Head[l] != want.Head[l] {
+					t.Fatalf("run %d: head[%d]=%d want %d", r, l, got.Head[l], want.Head[l])
+				}
+			}
+		}
+	}
+}
+
+// TestBCCScratchResultSurvivesReuse checks that a Result remains valid
+// after the arena that served its run is recycled by later runs.
+func TestBCCScratchResultSurvivesReuse(t *testing.T) {
+	sc := graph.NewScratch()
+	g := gen.RMAT(10, 8, 0x33)
+	first := BCC(g, Options{Seed: 7, Scratch: sc})
+	wantLabels := append([]int32(nil), first.Label...)
+	wantParent := append([]int32(nil), first.Parent...)
+	wantHead := append([]int32(nil), first.Head...)
+	for i := 0; i < 5; i++ {
+		BCC(gen.Grid2D(30, 30, false), Options{Seed: uint64(i), Scratch: sc})
+	}
+	for v := range wantLabels {
+		if first.Label[v] != wantLabels[v] || first.Parent[v] != wantParent[v] {
+			t.Fatalf("result mutated by arena reuse at vertex %d", v)
+		}
+	}
+	for l := range wantHead {
+		if first.Head[l] != wantHead[l] {
+			t.Fatalf("head mutated by arena reuse at label %d", l)
+		}
+	}
+}
+
+// TestBCCScratchConcurrent shares one arena between concurrent BCC runs
+// under the worker pool; meant for the -race shard.
+func TestBCCScratchConcurrent(t *testing.T) {
+	old := parallel.SetProcs(4)
+	defer parallel.SetProcs(old)
+	sc := graph.NewScratch()
+	g1 := gen.RMAT(9, 8, 0x44)
+	g2 := gen.Grid2D(20, 20, true)
+	want1 := BCC(g1, Options{Seed: 3})
+	want2 := BCC(g2, Options{Seed: 3})
+	done := make(chan *Result, 2)
+	go func() { done <- BCC(g1, Options{Seed: 3, Scratch: sc}) }()
+	go func() { done <- BCC(g2, Options{Seed: 3, Scratch: sc}) }()
+	for i := 0; i < 2; i++ {
+		r := <-done
+		want := want2
+		if len(r.Label) == len(want1.Label) {
+			want = want1
+		}
+		sameBlocks(t, "concurrent", r, want)
+	}
+}

@@ -42,11 +42,20 @@ type Rooted struct {
 // Root roots the spanning forest given by forest edges over n vertices.
 // comp[v] must be the component representative of v (comp[r] == r), as
 // produced by conn.Connectivity; each tree is rooted at its representative.
+// Equivalent to RootScratch with a nil arena.
 func Root(n int, forest []graph.Edge, comp []int32) *Rooted {
+	return RootScratch(n, forest, comp, nil)
+}
+
+// RootScratch is Root drawing its temporaries — and the returned First,
+// Last, and Tour arrays — from sc (which may be nil). The caller owns the
+// arena-backed result arrays; Parent is always freshly allocated because it
+// outlives the pipeline run inside core.Result.
+func RootScratch(n int, forest []graph.Edge, comp []int32, sc *graph.Scratch) *Rooted {
 	r := &Rooted{
 		Parent: make([]int32, n),
-		First:  make([]int32, n),
-		Last:   make([]int32, n),
+		First:  sc.GetInt32(n),
+		Last:   sc.GetInt32(n),
 	}
 	parallel.Fill(r.Parent, -1)
 	if n == 0 {
@@ -56,13 +65,14 @@ func Root(n int, forest []graph.Edge, comp []int32) *Rooted {
 
 	// Tree sizes and per-tree base offsets in the concatenated tour.
 	// size[root] = #vertices; base[root] = start slot of its tour segment.
-	size := make([]int32, n)
+	size := sc.GetInt32(n)
+	parallel.Fill(size, 0)
 	for v := 0; v < n; v++ {
 		size[comp[v]]++
 	}
 	numTrees := 0
 	tourLen := int32(0)
-	base := make([]int32, n)
+	base := sc.GetInt32(n)
 	for v := 0; v < n; v++ {
 		if comp[v] == int32(v) {
 			numTrees++
@@ -71,7 +81,7 @@ func Root(n int, forest []graph.Edge, comp []int32) *Rooted {
 		}
 	}
 	r.NumTrees = numTrees
-	r.Tour = make([]int32, tourLen)
+	r.Tour = sc.GetInt32(int(tourLen))
 
 	m2 := 2 * len(forest)
 	if m2 == 0 {
@@ -81,12 +91,13 @@ func Root(n int, forest []graph.Edge, comp []int32) *Rooted {
 			r.Last[v] = base[v]
 			r.Tour[base[v]] = int32(v)
 		})
+		sc.PutInt32(size, base)
 		return r
 	}
 
 	// Directed arcs: arc 2i = (U→W), arc 2i+1 = (W→U).
-	src := make([]int32, m2)
-	dst := make([]int32, m2)
+	src := sc.GetInt32(m2)
+	dst := sc.GetInt32(m2)
 	parallel.ForBlock(len(forest), parallel.DefaultGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := forest[i]
@@ -96,13 +107,13 @@ func Root(n int, forest []graph.Edge, comp []int32) *Rooted {
 	})
 	// Semisort arcs by source vertex.
 	perm, off := prim.CountingSortByKey(m2, int32(n), func(i int) int32 { return src[i] })
-	pos := make([]int32, m2) // original arc -> sorted position
+	pos := sc.GetInt32(m2) // original arc -> sorted position
 	parallel.For(m2, func(j int) { pos[perm[j]] = int32(j) })
 
 	// Euler circuit successor: succ(u→v) = the arc after (v→u) in v's
 	// bucket, cyclically. Then break each circuit before its root's first
 	// outgoing arc so list ranking sees one chain per tree.
-	next := make([]int32, m2)
+	next := sc.GetInt32(m2)
 	parallel.For(m2, func(j int) {
 		orig := perm[j]
 		twin := pos[orig^1] // sorted position of the reverse arc
@@ -118,7 +129,7 @@ func Root(n int, forest []graph.Edge, comp []int32) *Rooted {
 		next[j] = s
 	})
 
-	rank := listRank(next, off, comp, src, perm, n)
+	rank := listRank(next, off, comp, src, perm, n, sc)
 
 	// Scatter the tour, first/last, and parents.
 	// Slot of arc j (sorted) = base(tree) + rank[j] + 1 holds dst(arc).
@@ -159,15 +170,16 @@ func Root(n int, forest []graph.Edge, comp []int32) *Rooted {
 			}
 		}
 	})
+	sc.PutInt32(size, base, src, dst, pos, next, rank)
 	return r
 }
 
 // listRank computes, for every arc in the sorted arc array, its distance
 // from the start of its tree's chain (the root's first outgoing arc).
 // next[j] = -1 terminates a chain.
-func listRank(next []int32, off []int32, comp []int32, src []int32, perm []int32, n int) []int32 {
+func listRank(next []int32, off []int32, comp []int32, src []int32, perm []int32, n int, sc *graph.Scratch) []int32 {
 	m2 := len(next)
-	rank := make([]int32, m2)
+	rank := sc.GetInt32(m2)
 	step := int(math.Sqrt(float64(m2)))
 	if step < 1 {
 		step = 1
@@ -193,7 +205,7 @@ func listRank(next []int32, off []int32, comp []int32, src []int32, perm []int32
 	}
 	// Phase 1: each sample walks to the next sample (or chain end),
 	// recording the hop count and the sample reached.
-	sampleIdx := make([]int32, m2) // sorted arc -> index in samples, -1 otherwise
+	sampleIdx := sc.GetInt32(m2) // sorted arc -> index in samples, -1 otherwise
 	parallel.Fill(sampleIdx, -1)
 	parallel.For(len(samples), func(i int) { sampleIdx[samples[i]] = int32(i) })
 	nextSample := make([]int32, len(samples)) // index into samples, -1 at end
@@ -241,5 +253,6 @@ func listRank(next []int32, off []int32, comp []int32, src []int32, perm []int32
 			rank[j] = r
 		}
 	})
+	sc.PutInt32(sampleIdx)
 	return rank
 }

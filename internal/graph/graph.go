@@ -57,32 +57,147 @@ func (g *Graph) Degree(v V) int {
 
 // FromEdges builds a symmetric CSR graph over n vertices from the given
 // undirected edge list. Both arc directions are inserted for every edge.
-// Construction is parallel: atomic degree counting, prefix-sum offsets, and
-// atomic-cursor scatter. Neighbor lists are then sorted for determinism.
+// Equivalent to FromEdgesScratch with a nil arena.
 func FromEdges(n int, edges []Edge) (*Graph, error) {
+	return FromEdgesScratch(n, edges, nil)
+}
+
+// FromEdgesScratch is FromEdges drawing its temporaries from sc (which may
+// be nil). Construction is parallel and atomic-free: the edge list is cut
+// into one contiguous chunk per worker, each worker counts degrees into a
+// private histogram, the histograms are merged by a prefix-sum pass that
+// also assigns every worker a disjoint scatter range per vertex, and each
+// worker re-scans its chunk writing arcs without synchronization. Neighbor
+// lists are then sorted, so the output is deterministic (and identical to
+// the historical atomic-scatter construction).
+func FromEdgesScratch(n int, edges []Edge, sc *Scratch) (*Graph, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("graph: negative vertex count %d", n)
 	}
 	if int64(len(edges))*2 >= int64(1)<<31 {
 		return nil, fmt.Errorf("graph: %d edges exceeds int32 arc capacity", len(edges))
 	}
-	for _, e := range edges {
-		if e.U < 0 || int(e.U) >= n || e.W < 0 || int(e.W) >= n {
-			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.W, n)
-		}
+	bad := parallel.Reduce(len(edges), parallel.DefaultGrain, -1,
+		func(lo, hi int) int {
+			for i := lo; i < hi; i++ {
+				e := edges[i]
+				if e.U < 0 || int(e.U) >= n || e.W < 0 || int(e.W) >= n {
+					return i
+				}
+			}
+			return -1
+		},
+		func(a, b int) int {
+			if a >= 0 {
+				return a
+			}
+			return b
+		})
+	if bad >= 0 {
+		e := edges[bad]
+		return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.W, n)
 	}
-	deg := make([]int32, n+1)
-	parallel.ForBlock(len(edges), parallel.DefaultGrain, func(lo, hi int) {
+	offsets := make([]int32, n+1)
+	if n == 0 || len(edges) == 0 {
+		return &Graph{N: int32(n), Offsets: offsets, Adj: []V{}}, nil
+	}
+
+	// One contiguous edge chunk per worker. Extra workers each cost an
+	// n-sized histogram, so cap their number at what the edge count can
+	// amortize (keeps scratch memory O(n + m)) and at a constant. When the
+	// cap would strand most workers — a very sparse graph on a many-core
+	// machine — the atomic-cursor scatter parallelizes better than a
+	// 2-worker histogram pass; take that path instead (the neighbor sort
+	// makes the output identical either way).
+	p := parallel.Procs()
+	nw := p
+	if lim := 1 + len(edges)/n; nw > lim {
+		nw = lim
+	}
+	if nw > 16 {
+		nw = 16
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	if p > 2*nw {
+		return fromEdgesAtomic(n, edges, offsets), nil
+	}
+	chunk := (len(edges) + nw - 1) / nw
+	nw = (len(edges) + chunk - 1) / chunk
+
+	degW := sc.GetInt32(nw * n)
+	parallel.Fill(degW, 0)
+	parallel.ForGrain(nw, 1, func(w int) {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		d := degW[w*n : (w+1)*n]
 		for i := lo; i < hi; i++ {
-			atomic.AddInt32(&deg[edges[i].U], 1)
-			atomic.AddInt32(&deg[edges[i].W], 1)
+			d[edges[i].U]++
+			d[edges[i].W]++
 		}
 	})
-	total := prim.ExclusiveScanInt32(deg)
+	// Per-vertex totals, then the offset scan.
+	parallel.For(n, func(v int) {
+		var s int32
+		for w := 0; w < nw; w++ {
+			s += degW[w*n+v]
+		}
+		offsets[v] = s
+	})
+	total := prim.ExclusiveScanInt32(offsets)
+	// Turn each histogram row into that worker's scatter cursors: worker w
+	// writes v's arcs at offsets[v] plus the counts of earlier workers.
+	parallel.For(n, func(v int) {
+		run := offsets[v]
+		for w := 0; w < nw; w++ {
+			idx := w*n + v
+			c := degW[idx]
+			degW[idx] = run
+			run += c
+		}
+	})
+	adj := make([]V, total)
+	parallel.ForGrain(nw, 1, func(w int) {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		cur := degW[w*n : (w+1)*n]
+		for i := lo; i < hi; i++ {
+			u, x := edges[i].U, edges[i].W
+			adj[cur[u]] = x
+			cur[u]++
+			adj[cur[x]] = u
+			cur[x]++
+		}
+	})
+	sc.PutInt32(degW)
+	g := &Graph{N: int32(n), Offsets: offsets, Adj: adj}
+	g.sortAdjacency()
+	return g, nil
+}
+
+// fromEdgesAtomic is the fallback CSR construction for the regime where
+// per-worker histograms would cap parallelism (Procs far above the
+// memory-amortized worker limit): atomic degree counting and atomic-cursor
+// scatter over all workers. After the neighbor sort its output is
+// identical to the histogram path's. offsets is the caller's zeroed
+// (n+1)-array, filled in place.
+func fromEdgesAtomic(n int, edges []Edge, offsets []int32) *Graph {
+	parallel.ForBlock(len(edges), parallel.DefaultGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&offsets[edges[i].U], 1)
+			atomic.AddInt32(&offsets[edges[i].W], 1)
+		}
+	})
+	total := prim.ExclusiveScanInt32(offsets)
 	adj := make([]V, total)
 	cursor := make([]int32, n)
 	parallel.ForBlock(n, parallel.DefaultGrain, func(lo, hi int) {
-		copy(cursor[lo:hi], deg[lo:hi])
+		copy(cursor[lo:hi], offsets[lo:hi])
 	})
 	parallel.ForBlock(len(edges), parallel.DefaultGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -91,9 +206,9 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 			adj[atomic.AddInt32(&cursor[w], 1)-1] = u
 		}
 	})
-	g := &Graph{N: int32(n), Offsets: deg, Adj: adj}
+	g := &Graph{N: int32(n), Offsets: offsets, Adj: adj}
 	g.sortAdjacency()
-	return g, nil
+	return g
 }
 
 // MustFromEdges is FromEdges that panics on error; for tests and generators
@@ -111,8 +226,7 @@ func MustFromEdges(n int, edges []Edge) *Graph {
 func (g *Graph) sortAdjacency() {
 	parallel.ForBlock(int(g.N), 256, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
-			nb := g.Adj[g.Offsets[v]:g.Offsets[v+1]]
-			sort.Slice(nb, func(a, b int) bool { return nb[a] < nb[b] })
+			prim.SortInt32Small(g.Adj[g.Offsets[v]:g.Offsets[v+1]])
 		}
 	})
 }
@@ -120,7 +234,7 @@ func (g *Graph) sortAdjacency() {
 // Edges returns the undirected edge list (u <= w once per edge; self-loops
 // once). Mostly for tests and verification.
 func (g *Graph) Edges() []Edge {
-	var out []Edge
+	out := make([]Edge, 0, g.NumEdges())
 	for v := V(0); v < g.N; v++ {
 		for _, w := range g.Neighbors(v) {
 			if v < w {
@@ -144,22 +258,37 @@ func (g *Graph) Edges() []Edge {
 }
 
 // Simplify returns a copy of g with self-loops and parallel edges removed.
+// Adjacency lists are already sorted, so duplicates are adjacent: a single
+// count-scan-fill pass builds the simple CSR directly, with no hash map and
+// no intermediate edge list.
 func (g *Graph) Simplify() *Graph {
-	seen := make(map[int64]bool)
-	var edges []Edge
-	for v := V(0); v < g.N; v++ {
-		for _, w := range g.Neighbors(v) {
-			if v >= w {
-				continue
-			}
-			key := int64(v)<<32 | int64(w)
-			if !seen[key] {
-				seen[key] = true
-				edges = append(edges, Edge{v, w})
+	n := int(g.N)
+	offsets := make([]int32, n+1)
+	parallel.For(n, func(v int) {
+		prev := int32(-1)
+		var c int32
+		for _, w := range g.Neighbors(V(v)) {
+			if w != V(v) && w != prev {
+				c++
+				prev = w
 			}
 		}
-	}
-	return MustFromEdges(int(g.N), edges)
+		offsets[v] = c
+	})
+	total := prim.ExclusiveScanInt32(offsets)
+	adj := make([]V, total)
+	parallel.For(n, func(v int) {
+		o := offsets[v]
+		prev := int32(-1)
+		for _, w := range g.Neighbors(V(v)) {
+			if w != V(v) && w != prev {
+				adj[o] = w
+				o++
+				prev = w
+			}
+		}
+	})
+	return &Graph{N: g.N, Offsets: offsets, Adj: adj}
 }
 
 // HasEdge reports whether the undirected edge {u,w} exists (binary search;

@@ -1,0 +1,108 @@
+package graph
+
+import "sync"
+
+// Scratch is a reusable arena for the large []int32 and []Edge temporaries
+// the BCC pipeline allocates: tag arrays, Euler tour state, connectivity
+// labels, union-find parents, CSR construction cursors. A single FAST-BCC
+// run touches roughly 16n int32 of such scratch; a serving process that
+// answers many decompositions in a row re-pays that allocation (and the GC
+// pressure behind it) on every call unless the buffers are recycled.
+//
+// Get* methods return a buffer with *arbitrary contents* — callers must
+// initialize what they read. Put* methods return buffers to the arena; a
+// buffer must not be used, or Put a second time, after it is Put. All
+// methods are safe for concurrent use, and every method accepts a nil
+// receiver: a nil *Scratch degrades to plain allocation, so pipeline code
+// threads the pointer unconditionally.
+type Scratch struct {
+	ints  freelist[int32]
+	edges freelist[Edge]
+}
+
+// NewScratch returns an empty arena.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// GetInt32 returns an int32 buffer of length n with arbitrary contents.
+func (s *Scratch) GetInt32(n int) []int32 {
+	if s == nil {
+		return make([]int32, n)
+	}
+	return s.ints.get(n)
+}
+
+// PutInt32 returns int32 buffers to the arena. Nil and zero-capacity
+// buffers are ignored.
+func (s *Scratch) PutInt32(bufs ...[]int32) {
+	if s != nil {
+		s.ints.put(bufs)
+	}
+}
+
+// GetEdges returns an Edge buffer of length n with arbitrary contents.
+func (s *Scratch) GetEdges(n int) []Edge {
+	if s == nil {
+		return make([]Edge, n)
+	}
+	return s.edges.get(n)
+}
+
+// PutEdges returns Edge buffers to the arena.
+func (s *Scratch) PutEdges(bufs ...[]Edge) {
+	if s != nil {
+		s.edges.put(bufs)
+	}
+}
+
+// freelist is a mutex-guarded best-fit buffer pool for one element type.
+type freelist[T any] struct {
+	mu   sync.Mutex
+	bufs [][]T
+}
+
+// roundUpPow2 rounds n up to a power of two so buffers from slightly
+// different graph sizes still hit the freelist.
+func roundUpPow2(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// get returns a buffer of length n with arbitrary contents, taking the
+// smallest pooled buffer with cap >= n or allocating a power-of-two one.
+func (f *freelist[T]) get(n int) []T {
+	if n == 0 {
+		return make([]T, 0)
+	}
+	f.mu.Lock()
+	best := -1
+	for i, b := range f.bufs {
+		if cap(b) >= n && (best < 0 || cap(b) < cap(f.bufs[best])) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		b := f.bufs[best]
+		last := len(f.bufs) - 1
+		f.bufs[best] = f.bufs[last]
+		f.bufs[last] = nil
+		f.bufs = f.bufs[:last]
+		f.mu.Unlock()
+		return b[:n]
+	}
+	f.mu.Unlock()
+	return make([]T, n, roundUpPow2(n))
+}
+
+// put returns buffers to the pool, ignoring nil and zero-capacity ones.
+func (f *freelist[T]) put(bufs [][]T) {
+	f.mu.Lock()
+	for _, b := range bufs {
+		if cap(b) > 0 {
+			f.bufs = append(f.bufs, b[:cap(b)])
+		}
+	}
+	f.mu.Unlock()
+}

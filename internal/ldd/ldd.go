@@ -56,6 +56,10 @@ type Options struct {
 	// Filter(u, w) true. Used by the Last-CC step to run on the implicit
 	// skeleton without materializing it.
 	Filter func(u, w int32) bool
+	// Scratch, when non-nil, supplies the n-sized temporaries (shifts,
+	// frontiers) and backs the returned Center/Parent arrays, whose
+	// ownership then passes to the caller.
+	Scratch *graph.Scratch
 }
 
 // localBudget bounds the vertices one frontier vertex may claim per round
@@ -76,13 +80,14 @@ func localThreshold(n int) int {
 // Decompose computes a low-diameter decomposition of g.
 func Decompose(g *graph.Graph, opt Options) *Result {
 	n := int(g.N)
+	sc := opt.Scratch
 	beta := opt.Beta
 	if beta <= 0 {
 		beta = 0.2
 	}
 	res := &Result{
-		Center: make([]int32, n),
-		Parent: make([]int32, n),
+		Center: sc.GetInt32(n),
+		Parent: sc.GetInt32(n),
 	}
 	parallel.Fill(res.Center, -1)
 	parallel.Fill(res.Parent, -1)
@@ -91,7 +96,7 @@ func Decompose(g *graph.Graph, opt Options) *Result {
 	}
 	// Shift rounds: round(v) = floor(Exp(beta)) computed from a hash of
 	// (seed, v) so the decomposition is deterministic for a given seed.
-	shift := make([]int32, n)
+	shift := sc.GetInt32(n)
 	parallel.For(n, func(v int) {
 		u := prim.Hash64(opt.Seed ^ (uint64(v)*0x9e3779b97f4a7c15 + 0x1234567))
 		// Uniform in (0,1]: avoid log(0).
@@ -101,8 +106,9 @@ func Decompose(g *graph.Graph, opt Options) *Result {
 	// Vertices grouped by activation round via counting sort.
 	maxShift := prim.MaxInt32(shift, 0)
 	byRound, roundOff := prim.CountingSortByKey(n, maxShift+1, func(i int) int32 { return shift[i] })
+	sc.PutInt32(shift)
 
-	frontier := make([]int32, 0, n)
+	frontier := sc.GetInt32(n)[:0]
 	visitedTotal := 0
 	round := 0
 	for visitedTotal < n {
@@ -123,14 +129,16 @@ func Decompose(g *graph.Graph, opt Options) *Result {
 		var next []int32
 		var claimed int
 		if opt.LocalSearch && len(frontier) < localThreshold(n) {
-			next, claimed = expandLocal(g, frontier, res, opt.Filter)
+			next, claimed = expandLocal(g, frontier, res, opt.Filter, sc)
 		} else {
-			next, claimed = expandOneHop(g, frontier, res, opt.Filter)
+			next, claimed = expandOneHop(g, frontier, res, opt.Filter, sc)
 		}
 		visitedTotal += claimed
+		sc.PutInt32(frontier)
 		frontier = next
 		round++
 	}
+	sc.PutInt32(frontier)
 	res.Rounds = round
 	return res
 }
@@ -138,7 +146,7 @@ func Decompose(g *graph.Graph, opt Options) *Result {
 // expandOneHop claims the unvisited neighbors of the frontier (one BFS
 // hop). It returns the next frontier and the number of newly claimed
 // vertices (equal here, but not in local-search mode).
-func expandOneHop(g *graph.Graph, frontier []int32, res *Result, filter func(u, w int32) bool) ([]int32, int) {
+func expandOneHop(g *graph.Graph, frontier []int32, res *Result, filter func(u, w int32) bool, sc *graph.Scratch) ([]int32, int) {
 	nb := (len(frontier) + 255) / 256
 	outs := make([][]int32, nb)
 	parallel.ForBlock(nb, 1, func(blo, bhi int) {
@@ -170,7 +178,7 @@ func expandOneHop(g *graph.Graph, frontier []int32, res *Result, filter func(u, 
 		sizes[b] = int32(len(outs[b]))
 	}
 	total := prim.ExclusiveScanInt32(sizes)
-	next := make([]int32, total)
+	next := sc.GetInt32(int(total))
 	parallel.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			copy(next[sizes[b]:], outs[b])
@@ -190,7 +198,7 @@ func expandOneHop(g *graph.Graph, frontier []int32, res *Result, filter func(u, 
 // its claimer can defer it, so duplicates are impossible and plain
 // per-block buffers (same technique as expandOneHop) are strictly cheaper;
 // DESIGN.md records the substitution.
-func expandLocal(g *graph.Graph, frontier []int32, res *Result, filter func(u, w int32) bool) ([]int32, int) {
+func expandLocal(g *graph.Graph, frontier []int32, res *Result, filter func(u, w int32) bool, sc *graph.Scratch) ([]int32, int) {
 	nb := (len(frontier) + 3) / 4
 	outs := make([][]int32, nb)
 	var totalClaimed atomic.Int64
@@ -247,7 +255,7 @@ func expandLocal(g *graph.Graph, frontier []int32, res *Result, filter func(u, w
 		sizes[b] = int32(len(outs[b]))
 	}
 	total := prim.ExclusiveScanInt32(sizes)
-	next := make([]int32, total)
+	next := sc.GetInt32(int(total))
 	parallel.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			copy(next[sizes[b]:], outs[b])

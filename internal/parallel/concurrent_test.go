@@ -93,7 +93,9 @@ func TestDoParallelWorkers(t *testing.T) {
 
 func TestNestedParallelism(t *testing.T) {
 	// A parallel loop whose body runs another parallel loop must not
-	// deadlock (workers are plain goroutines, not a bounded pool).
+	// deadlock: the pool is bounded, but a submitter always claims every
+	// block its helpers do not, so it never waits on work that requires
+	// an unavailable worker.
 	withWorkers(t, 4, func() {
 		var total atomic.Int64
 		ForBlock(64, 1, func(lo, hi int) {

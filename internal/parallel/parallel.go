@@ -5,9 +5,40 @@
 // work-stealing scheduler (ParlayLib). Goroutines are too heavy for
 // per-element binary forking, so this package exposes *chunked* fork-join:
 // loops are split into blocks of at least a grain size and blocks are
-// distributed over GOMAXPROCS workers with an atomic work counter (a simple
-// form of dynamic load balancing). This preserves work-efficiency and keeps
-// span within logarithmic factors of the model for the loop shapes used here.
+// claimed dynamically over an atomic work counter (a simple form of dynamic
+// load balancing). This preserves work-efficiency and keeps span within
+// logarithmic factors of the model for the loop shapes used here.
+//
+// # Persistent worker pool
+//
+// Blocks are executed by a lazily-started persistent pool of Procs()-1
+// worker goroutines (the submitting goroutine is always the remaining
+// worker). Workers park on a buffered channel that doubles as a wake-up
+// semaphore: submitting a loop enqueues at most min(pool size, blocks-1)
+// wake tokens carrying the task descriptor, so a parked worker is woken
+// with one channel receive instead of a fresh goroutine spawn and stack.
+// Task descriptors are recycled through a sync.Pool guarded by a reference
+// count, so a parallel loop costs O(1) allocations and zero goroutine
+// creations in steady state — the scheduling overhead the paper's ParlayLib
+// baseline never pays, removed.
+//
+// The pool is generational: SetProcs retires the current generation (its
+// workers exit once idle) and the next parallel loop lazily starts a new
+// one with the updated size. Loops already in flight on a retired
+// generation stay correct — the submitter claims every block its helpers
+// do not — so SetProcs may be called concurrently with running loops.
+// SetProcs(1) stops the pool entirely; all primitives then run inline.
+//
+// # Work/span accounting
+//
+// For a loop of n iterations over p workers, claiming is O(n/grain) atomic
+// adds of shared-counter work and the span is O(n·grain/p + grain) plus a
+// constant number of channel operations; with the default ~4·p blocks per
+// loop the span stays within a constant factor of n/p while still load
+// balancing irregular blocks. Nested parallel loops are deadlock-free by
+// construction: a submitter never waits on work it could not finish itself,
+// because it participates in its own task until the block counter is
+// exhausted, and parked workers may adopt nested tasks.
 package parallel
 
 import (
@@ -26,12 +57,23 @@ func init() {
 }
 
 // SetProcs sets the number of parallel workers. p < 1 resets to GOMAXPROCS.
-// It returns the previous value.
+// It returns the previous value. The worker pool is resized lazily: the
+// current generation of workers is told to retire and the next parallel
+// loop starts a fresh one. Safe to call while loops are running.
 func SetProcs(p int) int {
 	if p < 1 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	return int(procs.Swap(int32(p)))
+	prev := int(procs.Swap(int32(p)))
+	if prev != p {
+		poolMu.Lock()
+		if pl := curPool.Load(); pl != nil && pl.size != p-1 {
+			close(pl.stop)
+			curPool.Store(nil)
+		}
+		poolMu.Unlock()
+	}
+	return prev
 }
 
 // Procs reports the current number of parallel workers.
@@ -41,6 +83,109 @@ func Procs() int { return int(procs.Load()) }
 // sized so that the per-block scheduling overhead (~hundreds of ns) is
 // amortized over enough work.
 const DefaultGrain = 1024
+
+// task is one parallel loop in flight: a body, a partition of [0, n) into
+// nBlocks blocks of grain iterations, and an atomic claim counter. Tasks
+// are recycled via taskPool; refs counts the goroutines (submitter plus
+// woken workers) still holding the descriptor so it is only recycled after
+// the last one lets go.
+type task struct {
+	body    func(lo, hi int)
+	n       int
+	grain   int
+	nBlocks int32
+	next    atomic.Int32
+	wg      sync.WaitGroup
+	refs    atomic.Int32
+}
+
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
+// run claims and executes blocks until the counter is exhausted.
+func (t *task) run() {
+	for {
+		b := t.next.Add(1) - 1
+		if b >= t.nBlocks {
+			return
+		}
+		lo := int(b) * t.grain
+		hi := lo + t.grain
+		if hi > t.n {
+			hi = t.n
+		}
+		t.body(lo, hi)
+		t.wg.Done()
+	}
+}
+
+// release drops one reference; the last holder recycles the descriptor.
+func (t *task) release() {
+	if t.refs.Add(-1) == 0 {
+		t.body = nil
+		taskPool.Put(t)
+	}
+}
+
+// pool is one generation of persistent workers. tasks is both the job
+// queue and the wake-up semaphore; stop is closed to retire the
+// generation.
+type pool struct {
+	size  int
+	tasks chan *task
+	stop  chan struct{}
+}
+
+var (
+	poolMu  sync.Mutex
+	curPool atomic.Pointer[pool]
+)
+
+// getPool returns a pool of p-1 workers, lazily (re)starting it when the
+// size changed since the last parallel loop. It returns nil when the
+// worker count is (concurrently) 1 — the caller then runs inline. p is
+// the caller's stale Procs() read; the authoritative value is re-read
+// under the lock so a racing SetProcs(1) can never have its shutdown
+// undone by a pool resurrection (which would leak parked workers).
+func getPool(p int) *pool {
+	if pl := curPool.Load(); pl != nil && pl.size == p-1 {
+		return pl
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	want := Procs() - 1
+	if want < 1 {
+		return nil
+	}
+	if pl := curPool.Load(); pl != nil {
+		if pl.size == want {
+			return pl
+		}
+		close(pl.stop)
+	}
+	pl := &pool{
+		size:  want,
+		tasks: make(chan *task, 4*want+16),
+		stop:  make(chan struct{}),
+	}
+	for i := 0; i < want; i++ {
+		go pl.worker()
+	}
+	curPool.Store(pl)
+	return pl
+}
+
+// worker parks on the task channel and helps whatever loop wakes it.
+func (pl *pool) worker() {
+	for {
+		select {
+		case t := <-pl.tasks:
+			t.run()
+			t.release()
+		case <-pl.stop:
+			return
+		}
+	}
+}
 
 // For runs body(i) for every i in [0, n) in parallel with the default grain.
 func For(n int, body func(i int)) {
@@ -83,35 +228,50 @@ func ForBlock(n, grain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	workers := p
-	if workers > nBlocks {
-		workers = nBlocks
+	pl := getPool(p)
+	if pl == nil { // SetProcs(1) raced the Procs() read above: run inline
+		body(0, n)
+		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				b := int(next.Add(1)) - 1
-				if b >= nBlocks {
-					return
-				}
-				lo := b * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
+	t := taskPool.Get().(*task)
+	t.body = body
+	t.n = n
+	t.grain = grain
+	t.nBlocks = int32(nBlocks)
+	t.next.Store(0)
+	t.wg.Add(nBlocks)
+	wakes := pl.size
+	if wakes > nBlocks-1 {
+		wakes = nBlocks - 1
 	}
-	wg.Wait()
+	// Publish before waking: a woken worker may finish and release its
+	// reference before the loop below sends the next token.
+	t.refs.Store(int32(wakes) + 1)
+	sent := 0
+	for sent < wakes {
+		select {
+		case pl.tasks <- t:
+			sent++
+			continue
+		default:
+		}
+		// Queue full: every worker is already busy, so extra wake-up
+		// tokens would only go stale. The submitter absorbs the work.
+		break
+	}
+	if sent < wakes {
+		t.refs.Add(int32(sent - wakes))
+	}
+	t.run()
+	t.wg.Wait()
+	t.release()
 }
 
-// Do runs the given functions in parallel and waits for all of them.
-// It is the n-ary analogue of the model's binary fork.
+// Do runs the given functions with fork-join semantics and waits for all
+// of them: the n-ary analogue of the model's binary fork. Like a fork in
+// the work-span model, it permits but does not guarantee concurrency —
+// when no pool worker is free the submitter runs every function itself,
+// sequentially — so the functions must not synchronize with one another.
 func Do(fns ...func()) {
 	switch len(fns) {
 	case 0:
@@ -126,16 +286,11 @@ func Do(fns ...func()) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(fns) - 1)
-	for _, f := range fns[1:] {
-		go func() {
-			defer wg.Done()
-			f()
-		}()
-	}
-	fns[0]()
-	wg.Wait()
+	ForBlock(len(fns), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fns[i]()
+		}
+	})
 }
 
 // Reduce computes merge over leaf values of the blocks of [0, n).

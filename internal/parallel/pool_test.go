@@ -1,0 +1,132 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSetProcsRacedWithLoops hammers SetProcs from one goroutine while
+// others run parallel loops. Every loop must still cover its index space
+// exactly once regardless of which pool generation executes it.
+func TestSetProcsRacedWithLoops(t *testing.T) {
+	old := Procs()
+	defer SetProcs(old)
+	SetProcs(4)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sizes := []int{1, 2, 4, 8, 3}
+		for i := 0; !stop.Load(); i++ {
+			SetProcs(sizes[i%len(sizes)])
+		}
+	}()
+
+	const loops = 200
+	const n = 10000
+	for l := 0; l < loops; l++ {
+		var sum atomic.Int64
+		ForGrain(n, 64, func(i int) { sum.Add(int64(i)) })
+		if want := int64(n) * (n - 1) / 2; sum.Load() != want {
+			t.Fatalf("loop %d: sum = %d, want %d", l, sum.Load(), want)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestPoolRestartAfterSetProcsOne checks that SetProcs(1) stops the pool
+// (loops run inline and in order) and that raising the worker count
+// afterwards lazily starts a fresh generation that executes correctly.
+func TestPoolRestartAfterSetProcsOne(t *testing.T) {
+	old := Procs()
+	defer SetProcs(old)
+
+	SetProcs(4)
+	var sum atomic.Int64
+	ForGrain(1<<14, 16, func(i int) { sum.Add(int64(i)) })
+	want := int64(1<<14) * (1<<14 - 1) / 2
+	if sum.Load() != want {
+		t.Fatalf("pre-restart sum = %d, want %d", sum.Load(), want)
+	}
+
+	SetProcs(1)
+	if pl := curPool.Load(); pl != nil {
+		t.Fatal("SetProcs(1) should retire the pool")
+	}
+	order := make([]int, 0, 100)
+	For(100, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline execution out of order at %d: %d", i, v)
+		}
+	}
+
+	SetProcs(4)
+	sum.Store(0)
+	ForGrain(1<<14, 16, func(i int) { sum.Add(int64(i)) })
+	if sum.Load() != want {
+		t.Fatalf("post-restart sum = %d, want %d", sum.Load(), want)
+	}
+	if pl := curPool.Load(); pl == nil || pl.size != 3 {
+		t.Fatalf("pool did not restart at the new size: %+v", pl)
+	}
+}
+
+// TestNestedForBlockInsideDo runs parallel loops from inside Do branches:
+// the submitter of each inner loop must be able to finish it even when
+// every pool worker is tied up in the outer fork.
+func TestNestedForBlockInsideDo(t *testing.T) {
+	old := Procs()
+	defer SetProcs(old)
+	SetProcs(4)
+
+	var a, b atomic.Int64
+	Do(
+		func() {
+			ForBlock(5000, 8, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					a.Add(int64(i))
+				}
+			})
+		},
+		func() {
+			ForBlock(3000, 8, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					b.Add(int64(i))
+				}
+			})
+		},
+		func() {
+			Do(
+				func() { ForGrain(100, 1, func(i int) { a.Add(1) }) },
+				func() { ForGrain(100, 1, func(i int) { b.Add(1) }) },
+			)
+		},
+	)
+	wantA := int64(5000)*(5000-1)/2 + 100
+	wantB := int64(3000)*(3000-1)/2 + 100
+	if a.Load() != wantA || b.Load() != wantB {
+		t.Fatalf("a=%d (want %d), b=%d (want %d)", a.Load(), wantA, b.Load(), wantB)
+	}
+}
+
+// TestStaleWakeTokens drains a scenario where wake tokens for finished
+// loops linger in the queue: many tiny loops in a row must not corrupt
+// each other's recycled task descriptors.
+func TestStaleWakeTokens(t *testing.T) {
+	old := Procs()
+	defer SetProcs(old)
+	SetProcs(8)
+	for l := 0; l < 500; l++ {
+		var sum atomic.Int64
+		n := 2 + l%64
+		ForGrain(n, 1, func(i int) { sum.Add(int64(i)) })
+		if want := int64(n) * int64(n-1) / 2; sum.Load() != want {
+			t.Fatalf("loop %d: sum=%d want %d", l, sum.Load(), want)
+		}
+	}
+}

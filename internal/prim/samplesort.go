@@ -16,7 +16,7 @@ func SortInt32(a []int32) {
 	n := len(a)
 	p := parallel.Procs()
 	if n < 1<<14 || p == 1 {
-		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		SortInt32Small(a)
 		return
 	}
 	nBuckets := p * p
@@ -55,8 +55,7 @@ func SortInt32(a []int32) {
 	// Sort buckets independently.
 	parallel.ForBlock(nBuckets, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
-			seg := out[offsets[b]:offsets[b+1]]
-			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+			SortInt32Small(out[offsets[b]:offsets[b+1]])
 		}
 	})
 	copy(a, out)

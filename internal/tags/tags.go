@@ -26,11 +26,19 @@ type Tags struct {
 // Compute derives the tags from a rooted forest. g supplies the non-tree
 // edges folded into w1/w2; parallel copies of tree edges are classified as
 // tree edges, which provably leaves every fence predicate unchanged.
+// Equivalent to ComputeScratch with a nil arena.
 func Compute(g *graph.Graph, rt *etour.Rooted) *Tags {
+	return ComputeScratch(g, rt, nil)
+}
+
+// ComputeScratch is Compute drawing its temporaries — and the returned Low
+// and High arrays — from sc (which may be nil). The caller owns the
+// arena-backed Low/High; First/Last/Parent alias the Rooted input.
+func ComputeScratch(g *graph.Graph, rt *etour.Rooted, sc *graph.Scratch) *Tags {
 	n := int(g.N)
 	first, last, parent := rt.First, rt.Last, rt.Parent
-	w1 := make([]int32, n)
-	w2 := make([]int32, n)
+	w1 := sc.GetInt32(n)
+	w2 := sc.GetInt32(n)
 	parallel.Copy(w1, first)
 	parallel.Copy(w2, first)
 	parallel.ForBlock(n, 256, func(lo, hi int) {
@@ -44,8 +52,8 @@ func Compute(g *graph.Graph, rt *etour.Rooted) *Tags {
 			}
 		}
 	})
-	a1 := make([]int32, len(rt.Tour))
-	a2 := make([]int32, len(rt.Tour))
+	a1 := sc.GetInt32(len(rt.Tour))
+	a2 := sc.GetInt32(len(rt.Tour))
 	parallel.For(len(rt.Tour), func(t int) {
 		v := rt.Tour[t]
 		a1[t] = w1[v]
@@ -53,12 +61,15 @@ func Compute(g *graph.Graph, rt *etour.Rooted) *Tags {
 	})
 	qmin := rmq.NewMin(a1)
 	qmax := rmq.NewMax(a2)
-	low := make([]int32, n)
-	high := make([]int32, n)
+	low := sc.GetInt32(n)
+	high := sc.GetInt32(n)
 	parallel.For(n, func(v int) {
 		low[v] = qmin.Query(int(first[v]), int(last[v]))
 		high[v] = qmax.Query(int(first[v]), int(last[v]))
 	})
+	// The RMQ structures (and their references into a1/a2) die here; the
+	// last queries above have completed, so the buffers can recirculate.
+	sc.PutInt32(w1, w2, a1, a2)
 	return &Tags{Parent: parent, First: first, Last: last, Low: low, High: high}
 }
 

@@ -28,6 +28,12 @@ func New(n int) *UF {
 	return u
 }
 
+// Wrap returns a concurrent union-find backed by the caller's buffer, which
+// must already hold parent[i] == i for every i (callers with a parallel
+// iota primitive initialize it themselves to recycle scratch memory). The
+// buffer is owned by the UF until the caller is done with all operations.
+func Wrap(parent []int32) *UF { return &UF{parent: parent} }
+
 // Len returns the number of elements.
 func (u *UF) Len() int { return len(u.parent) }
 
