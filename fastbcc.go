@@ -47,6 +47,32 @@
 // Repeated BCC calls with a shared Scratch (the serving pattern) cut
 // allocated bytes per run by roughly 3× on power-law inputs; pass the same
 // arena to NewGraphFromEdgesScratch to recycle construction buffers too.
+//
+// # Serving
+//
+// Every entry point of this package is safe to call concurrently, including
+// concurrent BCC calls on the same *Graph (graphs are never mutated) and
+// concurrent calls with different Options.Threads values. Threads is a
+// per-call worker cap: it bounds how many workers that one call may use,
+// mutates no global state, and restarts no pool. (Historically Threads
+// called parallel.SetProcs, so two concurrent callers raced to resize one
+// process-global pool; that global mutation is gone.)
+//
+// A process that serves many decompositions should use a Runner, which
+// bounds the pool goroutines shared by all in-flight runs (each calling
+// goroutine additionally works on its own run) and recycles each run's
+// ~16n int32 of scratch buffers automatically:
+//
+//	r := fastbcc.NewRunner(8) // 7 pool workers shared by all runs
+//	defer r.Close()
+//	... // from any number of goroutines:
+//	res := r.Run(g, &fastbcc.Options{Threads: 4}) // ≤ 4 workers for this run
+//
+// Runner.Run calls are independent: concurrent runs share the Runner's
+// workers through dynamic block claiming, each within its own Threads cap.
+// Results never alias pooled memory, so they remain valid indefinitely.
+// One process-wide parallel.SetProcs sizing (or the GOMAXPROCS default)
+// still governs plain BCC calls without a Runner.
 package fastbcc
 
 import (
@@ -86,10 +112,11 @@ type Options struct {
 	// LocalSearch enables the hash-bag/local-search connectivity
 	// optimization (1.5× average speedup in the paper, Fig. 6).
 	LocalSearch bool
-	// Threads limits the number of worker goroutines (0 = GOMAXPROCS).
-	// A nonzero value that differs from the current worker count restarts
-	// the persistent pool twice per call; in a serving loop prefer 0 (or
-	// one process-wide parallel.SetProcs) so the pool stays warm.
+	// Threads caps the number of workers this one call may use
+	// (0 = no cap beyond the executing pool's size). The cap is purely
+	// per-call: it mutates no global state and restarts no pool, so
+	// concurrent calls with different Threads values are safe and
+	// isolated. See the package-level Serving section.
 	Threads int
 	// Scratch, when non-nil, recycles auxiliary buffers across BCC calls.
 	Scratch *Scratch
@@ -121,10 +148,13 @@ func BCC(g *Graph, opts *Options) *Result {
 	if opts != nil {
 		o = *opts
 	}
-	if o.Threads > 0 && o.Threads != parallel.Procs() {
-		defer parallel.SetProcs(parallel.SetProcs(o.Threads))
+	var ex *parallel.Exec
+	if o.Threads > 0 {
+		// A per-call cap over the default pool: no global mutation, no
+		// pool restart, safe under concurrent calls with differing caps.
+		ex = parallel.Limit(o.Threads)
 	}
-	return core.BCC(g, core.Options{Seed: o.Seed, LocalSearch: o.LocalSearch, Scratch: o.Scratch})
+	return core.BCC(g, core.Options{Seed: o.Seed, LocalSearch: o.LocalSearch, Scratch: o.Scratch, Exec: ex})
 }
 
 // BCCSeq computes the biconnected components with the sequential

@@ -54,6 +54,9 @@ type Options struct {
 	// returned Result's Comp and Forest slices are then arena-backed:
 	// the caller owns them and is responsible for returning them.
 	Scratch *graph.Scratch
+	// Exec is the execution context parallel loops run on (nil = the
+	// process-global default).
+	Exec *parallel.Exec
 }
 
 // Result is the output of Connectivity.
@@ -82,19 +85,21 @@ func Connectivity(g *graph.Graph, opt Options) *Result {
 func connLDD(g *graph.Graph, opt Options) *Result {
 	n := int(g.N)
 	sc := opt.Scratch
+	e := opt.Exec
 	dec := ldd.Decompose(g, ldd.Options{
 		Beta:        opt.Beta,
 		Seed:        opt.Seed,
 		LocalSearch: opt.LocalSearch,
 		Filter:      opt.Filter,
 		Scratch:     sc,
+		Exec:        e,
 	})
 	ufbuf := sc.GetInt32(n)
-	parallel.Iota(ufbuf, 0)
+	e.Iota(ufbuf, 0)
 	u := uf.Wrap(ufbuf)
 	// Cluster parent edges connect each cluster; they are tree edges by
 	// construction, so all of them join the forest.
-	parallel.For(n, func(v int) {
+	e.For(n, func(v int) {
 		if p := dec.Parent[v]; p != -1 {
 			u.Union(int32(v), p)
 		}
@@ -104,7 +109,7 @@ func connLDD(g *graph.Graph, opt Options) *Result {
 	forestCross := unionEdges(g, u, opt, func(v, w int32) bool {
 		return dec.Center[v] != dec.Center[w]
 	})
-	res := finish(g, u, sc)
+	res := finish(e, g, u, sc)
 	if opt.WantForest {
 		// A spanning forest has exactly n - NumComp edges, so the arena
 		// buffer is sized exactly and the appends below never grow it.
@@ -123,11 +128,12 @@ func connLDD(g *graph.Graph, opt Options) *Result {
 func connUF(g *graph.Graph, opt Options) *Result {
 	n := int(g.N)
 	sc := opt.Scratch
+	e := opt.Exec
 	ufbuf := sc.GetInt32(n)
-	parallel.Iota(ufbuf, 0)
+	e.Iota(ufbuf, 0)
 	u := uf.Wrap(ufbuf)
 	forest := unionEdges(g, u, opt, nil)
-	res := finish(g, u, sc)
+	res := finish(e, g, u, sc)
 	if opt.WantForest {
 		res.Forest = forest
 	}
@@ -154,7 +160,7 @@ func unionEdges(g *graph.Graph, u *uf.UF, opt Options, extra func(v, w int32) bo
 	nb := (nArcs + arcGrain - 1) / arcGrain
 	outs := make([][]graph.Edge, nb)
 	collect := opt.WantForest
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	opt.Exec.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			alo, ahi := b*arcGrain, (b+1)*arcGrain
 			if ahi > nArcs {
@@ -205,14 +211,14 @@ func unionEdges(g *graph.Graph, u *uf.UF, opt Options, extra func(v, w int32) bo
 }
 
 // finish flattens the union-find into component labels.
-func finish(g *graph.Graph, u *uf.UF, sc *graph.Scratch) *Result {
+func finish(e *parallel.Exec, g *graph.Graph, u *uf.UF, sc *graph.Scratch) *Result {
 	n := int(g.N)
 	comp := sc.GetInt32(n)
-	parallel.For(n, func(v int) {
+	e.For(n, func(v int) {
 		comp[v] = u.Find(int32(v))
 	})
 	var roots atomic.Int64
-	parallel.ForBlock(n, parallel.DefaultGrain, func(lo, hi int) {
+	e.ForBlock(n, parallel.DefaultGrain, func(lo, hi int) {
 		c := 0
 		for v := lo; v < hi; v++ {
 			if comp[v] == int32(v) {
@@ -227,17 +233,20 @@ func finish(g *graph.Graph, u *uf.UF, sc *graph.Scratch) *Result {
 // Normalize remaps component representatives to dense ids 0..NumComp-1 and
 // returns the dense labels. The mapping is by increasing representative id,
 // so it is deterministic.
-func (r *Result) Normalize() []int32 {
+func (r *Result) Normalize() []int32 { return r.NormalizeIn(nil) }
+
+// NormalizeIn is Normalize running on the execution context e.
+func (r *Result) NormalizeIn(e *parallel.Exec) []int32 {
 	n := len(r.Comp)
 	dense := make([]int32, n)
 	isRoot := make([]int32, n)
-	parallel.For(n, func(v int) {
+	e.For(n, func(v int) {
 		if r.Comp[v] == int32(v) {
 			isRoot[v] = 1
 		}
 	})
-	prim.ExclusiveScanInt32(isRoot)
-	parallel.For(n, func(v int) {
+	prim.ExclusiveScanInt32In(e, isRoot)
+	e.For(n, func(v int) {
 		dense[v] = isRoot[r.Comp[v]]
 	})
 	return dense

@@ -28,15 +28,16 @@ func connLabelProp(g *graph.Graph, opt Options) *Result {
 		return connLDD(g, o)
 	}
 	n := int(g.N)
+	e := opt.Exec
 	comp := make([]int32, n)
-	parallel.Iota(comp, 0)
+	e.Iota(comp, 0)
 	if n == 0 {
 		return &Result{Comp: comp}
 	}
 	changed := int32(1)
 	for changed != 0 {
 		changed = 0
-		parallel.ForBlock(n, 512, func(lo, hi int) {
+		e.ForBlock(n, 512, func(lo, hi int) {
 			local := int32(0)
 			for v := int32(lo); v < int32(hi); v++ {
 				for _, w := range g.Neighbors(v) {
@@ -60,7 +61,7 @@ func connLabelProp(g *graph.Graph, opt Options) *Result {
 		// Pointer-jump labels toward their roots to accelerate convergence
 		// (shortcutting, as in the hook-and-compress family). Loads and
 		// stores are atomic: jumps race with each other across workers.
-		parallel.For(n, func(v int) {
+		e.For(n, func(v int) {
 			for {
 				l := atomic.LoadInt32(&comp[v])
 				ll := atomic.LoadInt32(&comp[l])
@@ -73,7 +74,7 @@ func connLabelProp(g *graph.Graph, opt Options) *Result {
 	}
 	// Labels are now component minima; minima are fixed points (comp[r]==r).
 	var roots atomic.Int64
-	parallel.ForBlock(n, parallel.DefaultGrain, func(lo, hi int) {
+	e.ForBlock(n, parallel.DefaultGrain, func(lo, hi int) {
 		c := 0
 		for v := lo; v < hi; v++ {
 			if comp[v] == int32(v) {

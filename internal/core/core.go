@@ -59,6 +59,11 @@ type Options struct {
 	// aliases arena memory, so results stay valid after the arena is
 	// reused by later runs.
 	Scratch *graph.Scratch
+	// Exec is the execution context every parallel loop of the run uses
+	// (nil = the process-global default). Concurrent BCC calls with
+	// distinct or capped contexts get bounded, isolated parallelism with
+	// no global state mutation.
+	Exec *parallel.Exec
 }
 
 // StepTimes records the per-step running times that Fig. 5 of the paper
@@ -144,6 +149,7 @@ func (r *Result) LabelSizes() []int32 {
 func BCC(g *graph.Graph, opt Options) *Result {
 	n := int(g.N)
 	sc := opt.Scratch
+	e := opt.Exec
 	res := &Result{}
 
 	// ---- Step 1: First-CC ------------------------------------------------
@@ -155,12 +161,13 @@ func BCC(g *graph.Graph, opt Options) *Result {
 		LocalSearch: opt.LocalSearch,
 		WantForest:  true,
 		Scratch:     sc,
+		Exec:        e,
 	})
 	res.Times.FirstCC = time.Since(t0)
 
 	// ---- Step 2: Rooting -------------------------------------------------
 	t0 = time.Now()
-	rt := etour.RootScratch(n, cc.Forest, cc.Comp, sc)
+	rt := etour.RootIn(e, n, cc.Forest, cc.Comp, sc)
 	res.Parent = rt.Parent
 	sc.PutInt32(cc.Comp)
 	sc.PutEdges(cc.Forest)
@@ -168,7 +175,7 @@ func BCC(g *graph.Graph, opt Options) *Result {
 
 	// ---- Step 3: Tagging -------------------------------------------------
 	t0 = time.Now()
-	tg := tags.ComputeScratch(g, rt, sc)
+	tg := tags.ComputeIn(e, g, rt, sc)
 	parent := tg.Parent
 	sc.PutInt32(rt.Tour)
 	res.Times.Tagging = time.Since(t0)
@@ -182,13 +189,14 @@ func BCC(g *graph.Graph, opt Options) *Result {
 		LocalSearch: opt.LocalSearch,
 		Filter:      tg.InSkeleton,
 		Scratch:     sc,
+		Exec:        e,
 	})
-	res.Label = sk.Normalize()
+	res.Label = sk.NormalizeIn(e)
 	res.NumLabels = sk.NumComp
 	sc.PutInt32(sk.Comp)
 	res.Head = make([]int32, sk.NumComp)
-	parallel.Fill(res.Head, -1)
-	parallel.For(n, func(v int) {
+	parallel.FillIn(e, res.Head, -1)
+	e.For(n, func(v int) {
 		p := parent[v]
 		if p != -1 && res.Label[v] != res.Label[p] {
 			// Fence edge leaving v's skeleton component upward: p is the

@@ -50,14 +50,21 @@ func Root(n int, forest []graph.Edge, comp []int32) *Rooted {
 // RootScratch is Root drawing its temporaries — and the returned First,
 // Last, and Tour arrays — from sc (which may be nil). The caller owns the
 // arena-backed result arrays; Parent is always freshly allocated because it
-// outlives the pipeline run inside core.Result.
+// outlives the pipeline run inside core.Result. Equivalent to RootIn with a
+// nil execution context.
 func RootScratch(n int, forest []graph.Edge, comp []int32, sc *graph.Scratch) *Rooted {
+	return RootIn(nil, n, forest, comp, sc)
+}
+
+// RootIn is RootScratch running on the execution context e (nil = the
+// process-global default).
+func RootIn(e *parallel.Exec, n int, forest []graph.Edge, comp []int32, sc *graph.Scratch) *Rooted {
 	r := &Rooted{
 		Parent: make([]int32, n),
 		First:  sc.GetInt32(n),
 		Last:   sc.GetInt32(n),
 	}
-	parallel.Fill(r.Parent, -1)
+	parallel.FillIn(e, r.Parent, -1)
 	if n == 0 {
 		r.Tour = []int32{}
 		return r
@@ -66,7 +73,7 @@ func RootScratch(n int, forest []graph.Edge, comp []int32, sc *graph.Scratch) *R
 	// Tree sizes and per-tree base offsets in the concatenated tour.
 	// size[root] = #vertices; base[root] = start slot of its tour segment.
 	size := sc.GetInt32(n)
-	parallel.Fill(size, 0)
+	parallel.FillIn(e, size, 0)
 	for v := 0; v < n; v++ {
 		size[comp[v]]++
 	}
@@ -86,7 +93,7 @@ func RootScratch(n int, forest []graph.Edge, comp []int32, sc *graph.Scratch) *R
 	m2 := 2 * len(forest)
 	if m2 == 0 {
 		// Forest with no edges: every vertex is isolated.
-		parallel.For(n, func(v int) {
+		e.For(n, func(v int) {
 			r.First[v] = base[v]
 			r.Last[v] = base[v]
 			r.Tour[base[v]] = int32(v)
@@ -98,23 +105,23 @@ func RootScratch(n int, forest []graph.Edge, comp []int32, sc *graph.Scratch) *R
 	// Directed arcs: arc 2i = (U→W), arc 2i+1 = (W→U).
 	src := sc.GetInt32(m2)
 	dst := sc.GetInt32(m2)
-	parallel.ForBlock(len(forest), parallel.DefaultGrain, func(lo, hi int) {
+	e.ForBlock(len(forest), parallel.DefaultGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			e := forest[i]
-			src[2*i], dst[2*i] = e.U, e.W
-			src[2*i+1], dst[2*i+1] = e.W, e.U
+			fe := forest[i]
+			src[2*i], dst[2*i] = fe.U, fe.W
+			src[2*i+1], dst[2*i+1] = fe.W, fe.U
 		}
 	})
 	// Semisort arcs by source vertex.
-	perm, off := prim.CountingSortByKey(m2, int32(n), func(i int) int32 { return src[i] })
+	perm, off := prim.CountingSortByKeyIn(e, m2, int32(n), func(i int) int32 { return src[i] })
 	pos := sc.GetInt32(m2) // original arc -> sorted position
-	parallel.For(m2, func(j int) { pos[perm[j]] = int32(j) })
+	e.For(m2, func(j int) { pos[perm[j]] = int32(j) })
 
 	// Euler circuit successor: succ(u→v) = the arc after (v→u) in v's
 	// bucket, cyclically. Then break each circuit before its root's first
 	// outgoing arc so list ranking sees one chain per tree.
 	next := sc.GetInt32(m2)
-	parallel.For(m2, func(j int) {
+	e.For(m2, func(j int) {
 		orig := perm[j]
 		twin := pos[orig^1] // sorted position of the reverse arc
 		v := dst[orig]      // src of the twin
@@ -129,15 +136,15 @@ func RootScratch(n int, forest []graph.Edge, comp []int32, sc *graph.Scratch) *R
 		next[j] = s
 	})
 
-	rank := listRank(next, off, comp, src, perm, n, sc)
+	rank := listRank(e, next, off, comp, src, perm, n, sc)
 
 	// Scatter the tour, first/last, and parents.
 	// Slot of arc j (sorted) = base(tree) + rank[j] + 1 holds dst(arc).
 	// Slot base(tree) holds the root.
 	const inf = int32(math.MaxInt32)
-	parallel.Fill(r.First, inf)
-	parallel.Fill(r.Last, -1)
-	parallel.For(n, func(v int) {
+	parallel.FillIn(e, r.First, inf)
+	parallel.FillIn(e, r.Last, -1)
+	e.For(n, func(v int) {
 		if comp[v] == int32(v) {
 			b := base[v]
 			r.Tour[b] = int32(v)
@@ -150,7 +157,7 @@ func RootScratch(n int, forest []graph.Edge, comp []int32, sc *graph.Scratch) *R
 	// Isolated non-root vertices cannot exist (comp[v] != v implies an
 	// edge path to the rep), so every remaining vertex appears as some
 	// arc head.
-	parallel.For(m2, func(j int) {
+	e.For(m2, func(j int) {
 		orig := perm[j]
 		head := dst[orig]
 		slot := base[comp[head]] + rank[j] + 1
@@ -158,15 +165,15 @@ func RootScratch(n int, forest []graph.Edge, comp []int32, sc *graph.Scratch) *R
 		prim.WriteMin(&r.First[head], slot)
 		prim.WriteMax(&r.Last[head], slot)
 	})
-	parallel.ForBlock(len(forest), parallel.DefaultGrain, func(lo, hi int) {
+	e.ForBlock(len(forest), parallel.DefaultGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			down := pos[2*i] // (U→W)
 			up := pos[2*i+1] // (W→U)
-			e := forest[i]
+			fe := forest[i]
 			if rank[down] < rank[up] {
-				r.Parent[e.W] = e.U
+				r.Parent[fe.W] = fe.U
 			} else {
-				r.Parent[e.U] = e.W
+				r.Parent[fe.U] = fe.W
 			}
 		}
 	})
@@ -177,7 +184,7 @@ func RootScratch(n int, forest []graph.Edge, comp []int32, sc *graph.Scratch) *R
 // listRank computes, for every arc in the sorted arc array, its distance
 // from the start of its tree's chain (the root's first outgoing arc).
 // next[j] = -1 terminates a chain.
-func listRank(next []int32, off []int32, comp []int32, src []int32, perm []int32, n int, sc *graph.Scratch) []int32 {
+func listRank(e *parallel.Exec, next []int32, off []int32, comp []int32, src []int32, perm []int32, n int, sc *graph.Scratch) []int32 {
 	m2 := len(next)
 	rank := sc.GetInt32(m2)
 	step := int(math.Sqrt(float64(m2)))
@@ -195,7 +202,7 @@ func listRank(next []int32, off []int32, comp []int32, src []int32, perm []int32
 			isSample[off[v]] = true
 		}
 	}
-	samples := prim.PackIndices(m2, func(j int) bool { return isSample[j] })
+	samples := prim.PackIndicesIn(e, m2, func(j int) bool { return isSample[j] })
 	for _, s := range samples {
 		orig := perm[s]
 		v := src[orig]
@@ -206,11 +213,11 @@ func listRank(next []int32, off []int32, comp []int32, src []int32, perm []int32
 	// Phase 1: each sample walks to the next sample (or chain end),
 	// recording the hop count and the sample reached.
 	sampleIdx := sc.GetInt32(m2) // sorted arc -> index in samples, -1 otherwise
-	parallel.Fill(sampleIdx, -1)
-	parallel.For(len(samples), func(i int) { sampleIdx[samples[i]] = int32(i) })
+	parallel.FillIn(e, sampleIdx, -1)
+	e.For(len(samples), func(i int) { sampleIdx[samples[i]] = int32(i) })
 	nextSample := make([]int32, len(samples)) // index into samples, -1 at end
 	gap := make([]int32, len(samples))
-	parallel.ForGrain(len(samples), 1, func(i int) {
+	e.ForGrain(len(samples), 1, func(i int) {
 		j := samples[i]
 		d := int32(0)
 		for {
@@ -230,7 +237,7 @@ func listRank(next []int32, off []int32, comp []int32, src []int32, perm []int32
 	// Phase 2: walk the sample chains sequentially (they are short),
 	// one chain per tree, assigning each sample its global rank.
 	sampleRank := make([]int32, len(samples))
-	parallel.ForGrain(len(heads), 1, func(h int) {
+	e.ForGrain(len(heads), 1, func(h int) {
 		i := sampleIdx[heads[h]]
 		r := int32(0)
 		for i != -1 {
@@ -240,7 +247,7 @@ func listRank(next []int32, off []int32, comp []int32, src []int32, perm []int32
 		}
 	})
 	// Phase 3: re-walk from each sample scattering ranks to intermediates.
-	parallel.ForGrain(len(samples), 1, func(i int) {
+	e.ForGrain(len(samples), 1, func(i int) {
 		j := samples[i]
 		r := sampleRank[i]
 		rank[j] = r

@@ -63,21 +63,28 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 }
 
 // FromEdgesScratch is FromEdges drawing its temporaries from sc (which may
-// be nil). Construction is parallel and atomic-free: the edge list is cut
+// be nil). Equivalent to FromEdgesIn with a nil execution context.
+func FromEdgesScratch(n int, edges []Edge, sc *Scratch) (*Graph, error) {
+	return FromEdgesIn(nil, n, edges, sc)
+}
+
+// FromEdgesIn is FromEdges running on the execution context e (nil =
+// default) and drawing its temporaries from sc (which may be nil).
+// Construction is parallel and atomic-free: the edge list is cut
 // into one contiguous chunk per worker, each worker counts degrees into a
 // private histogram, the histograms are merged by a prefix-sum pass that
 // also assigns every worker a disjoint scatter range per vertex, and each
 // worker re-scans its chunk writing arcs without synchronization. Neighbor
 // lists are then sorted, so the output is deterministic (and identical to
 // the historical atomic-scatter construction).
-func FromEdgesScratch(n int, edges []Edge, sc *Scratch) (*Graph, error) {
+func FromEdgesIn(e *parallel.Exec, n int, edges []Edge, sc *Scratch) (*Graph, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("graph: negative vertex count %d", n)
 	}
 	if int64(len(edges))*2 >= int64(1)<<31 {
 		return nil, fmt.Errorf("graph: %d edges exceeds int32 arc capacity", len(edges))
 	}
-	bad := parallel.Reduce(len(edges), parallel.DefaultGrain, -1,
+	bad := parallel.ReduceIn(e, len(edges), parallel.DefaultGrain, -1,
 		func(lo, hi int) int {
 			for i := lo; i < hi; i++ {
 				e := edges[i]
@@ -109,7 +116,7 @@ func FromEdgesScratch(n int, edges []Edge, sc *Scratch) (*Graph, error) {
 	// machine — the atomic-cursor scatter parallelizes better than a
 	// 2-worker histogram pass; take that path instead (the neighbor sort
 	// makes the output identical either way).
-	p := parallel.Procs()
+	p := e.Procs()
 	nw := p
 	if lim := 1 + len(edges)/n; nw > lim {
 		nw = lim
@@ -121,14 +128,14 @@ func FromEdgesScratch(n int, edges []Edge, sc *Scratch) (*Graph, error) {
 		nw = 1
 	}
 	if p > 2*nw {
-		return fromEdgesAtomic(n, edges, offsets), nil
+		return fromEdgesAtomic(e, n, edges, offsets), nil
 	}
 	chunk := (len(edges) + nw - 1) / nw
 	nw = (len(edges) + chunk - 1) / chunk
 
 	degW := sc.GetInt32(nw * n)
-	parallel.Fill(degW, 0)
-	parallel.ForGrain(nw, 1, func(w int) {
+	parallel.FillIn(e, degW, 0)
+	e.ForGrain(nw, 1, func(w int) {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > len(edges) {
 			hi = len(edges)
@@ -140,17 +147,17 @@ func FromEdgesScratch(n int, edges []Edge, sc *Scratch) (*Graph, error) {
 		}
 	})
 	// Per-vertex totals, then the offset scan.
-	parallel.For(n, func(v int) {
+	e.For(n, func(v int) {
 		var s int32
 		for w := 0; w < nw; w++ {
 			s += degW[w*n+v]
 		}
 		offsets[v] = s
 	})
-	total := prim.ExclusiveScanInt32(offsets)
+	total := prim.ExclusiveScanInt32In(e, offsets)
 	// Turn each histogram row into that worker's scatter cursors: worker w
 	// writes v's arcs at offsets[v] plus the counts of earlier workers.
-	parallel.For(n, func(v int) {
+	e.For(n, func(v int) {
 		run := offsets[v]
 		for w := 0; w < nw; w++ {
 			idx := w*n + v
@@ -160,7 +167,7 @@ func FromEdgesScratch(n int, edges []Edge, sc *Scratch) (*Graph, error) {
 		}
 	})
 	adj := make([]V, total)
-	parallel.ForGrain(nw, 1, func(w int) {
+	e.ForGrain(nw, 1, func(w int) {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > len(edges) {
 			hi = len(edges)
@@ -176,7 +183,7 @@ func FromEdgesScratch(n int, edges []Edge, sc *Scratch) (*Graph, error) {
 	})
 	sc.PutInt32(degW)
 	g := &Graph{N: int32(n), Offsets: offsets, Adj: adj}
-	g.sortAdjacency()
+	g.sortAdjacency(e)
 	return g, nil
 }
 
@@ -186,20 +193,20 @@ func FromEdgesScratch(n int, edges []Edge, sc *Scratch) (*Graph, error) {
 // scatter over all workers. After the neighbor sort its output is
 // identical to the histogram path's. offsets is the caller's zeroed
 // (n+1)-array, filled in place.
-func fromEdgesAtomic(n int, edges []Edge, offsets []int32) *Graph {
-	parallel.ForBlock(len(edges), parallel.DefaultGrain, func(lo, hi int) {
+func fromEdgesAtomic(e *parallel.Exec, n int, edges []Edge, offsets []int32) *Graph {
+	e.ForBlock(len(edges), parallel.DefaultGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			atomic.AddInt32(&offsets[edges[i].U], 1)
 			atomic.AddInt32(&offsets[edges[i].W], 1)
 		}
 	})
-	total := prim.ExclusiveScanInt32(offsets)
+	total := prim.ExclusiveScanInt32In(e, offsets)
 	adj := make([]V, total)
 	cursor := make([]int32, n)
-	parallel.ForBlock(n, parallel.DefaultGrain, func(lo, hi int) {
+	e.ForBlock(n, parallel.DefaultGrain, func(lo, hi int) {
 		copy(cursor[lo:hi], offsets[lo:hi])
 	})
-	parallel.ForBlock(len(edges), parallel.DefaultGrain, func(lo, hi int) {
+	e.ForBlock(len(edges), parallel.DefaultGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			u, w := edges[i].U, edges[i].W
 			adj[atomic.AddInt32(&cursor[u], 1)-1] = w
@@ -207,7 +214,7 @@ func fromEdgesAtomic(n int, edges []Edge, offsets []int32) *Graph {
 		}
 	})
 	g := &Graph{N: int32(n), Offsets: offsets, Adj: adj}
-	g.sortAdjacency()
+	g.sortAdjacency(e)
 	return g
 }
 
@@ -223,8 +230,8 @@ func MustFromEdges(n int, edges []Edge) *Graph {
 
 // sortAdjacency sorts each neighbor list so that graph construction is
 // deterministic regardless of the parallel scatter order.
-func (g *Graph) sortAdjacency() {
-	parallel.ForBlock(int(g.N), 256, func(lo, hi int) {
+func (g *Graph) sortAdjacency(e *parallel.Exec) {
+	e.ForBlock(int(g.N), 256, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			prim.SortInt32Small(g.Adj[g.Offsets[v]:g.Offsets[v+1]])
 		}

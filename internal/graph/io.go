@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 )
 
 // Binary interchange format:
@@ -33,7 +34,40 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary deserializes a graph written by WriteBinary.
+// readInt32Chunked reads count little-endian int32 values from r, growing
+// the result incrementally so a hostile header cannot force a huge
+// allocation before a single byte of payload has been read: a lying count
+// fails with a read error after at most one chunk beyond the real data.
+func readInt32Chunked(r io.Reader, count int, what string) ([]int32, error) {
+	const chunk = 1 << 16
+	first := count
+	if first > chunk {
+		first = chunk
+	}
+	out := make([]int32, 0, first)
+	for len(out) < count {
+		c := count - len(out)
+		if c > chunk {
+			c = chunk
+		}
+		// Grow amortized-geometrically, but only after the previous
+		// chunk's payload actually arrived; the new elements are read
+		// into directly, never zeroed first.
+		out = slices.Grow(out, c)[:len(out)+c]
+		seg := out[len(out)-c:]
+		if err := binary.Read(r, binary.LittleEndian, seg); err != nil {
+			return nil, fmt.Errorf("graph: reading %s: %w", what, err)
+		}
+	}
+	return out, nil
+}
+
+// ReadBinary deserializes a graph written by WriteBinary. Every field of a
+// malformed or hostile input is validated: the header's sizes are bounded
+// before they drive allocation, offsets must start at 0 and be
+// non-decreasing, and neighbors must be in range — a corrupt file yields
+// an error, never a panic, an OOM-sized allocation, or a graph whose
+// accessors can fault later.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var hdr [3]uint32
@@ -43,42 +77,56 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if hdr[0] != binaryMagic {
 		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
 	}
-	n, arcs := int(hdr[1]), int(hdr[2])
-	g := &Graph{
-		N:       int32(n),
-		Offsets: make([]int32, n+1),
-		Adj:     make([]V, arcs),
+	// The on-disk counts are uint32; vertex ids and offsets are int32, so
+	// anything beyond int32 range is corrupt by construction. Checked
+	// before allocating: the header must never size an allocation the
+	// format itself cannot represent.
+	const maxI32 = 1<<31 - 1
+	n, arcs := int64(hdr[1]), int64(hdr[2])
+	if n >= maxI32 {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds int32 range", n)
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.Offsets); err != nil {
-		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	if arcs > maxI32 {
+		return nil, fmt.Errorf("graph: arc count %d exceeds int32 range", arcs)
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.Adj); err != nil {
-		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+	offsets, err := readInt32Chunked(br, int(n)+1, "offsets")
+	if err != nil {
+		return nil, err
 	}
-	if int(g.Offsets[n]) != arcs {
+	adj, err := readInt32Chunked(br, int(arcs), "adjacency")
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{N: int32(n), Offsets: offsets, Adj: adj}
+	if g.Offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: offsets start at %d, want 0", g.Offsets[0])
+	}
+	if int64(g.Offsets[n]) != arcs {
 		return nil, fmt.Errorf("graph: offsets end %d != arcs %d", g.Offsets[n], arcs)
 	}
-	for v := 0; v < n; v++ {
+	for v := int64(0); v < n; v++ {
 		if g.Offsets[v] > g.Offsets[v+1] {
 			return nil, fmt.Errorf("graph: decreasing offsets at %d", v)
 		}
 	}
 	for _, w := range g.Adj {
-		if w < 0 || int(w) >= n {
+		if w < 0 || int64(w) >= n {
 			return nil, fmt.Errorf("graph: neighbor %d out of range", w)
 		}
 	}
 	return g, nil
 }
 
-// SaveFile writes g to path in binary format.
+// SaveFile writes g to path in binary format. The file handle is closed
+// exactly once, so close errors (the write may only surface on close with
+// buffered filesystems) are reported, not swallowed by a duplicate close.
 func (g *Graph) SaveFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := g.WriteBinary(f); err != nil {
+		f.Close()
 		return err
 	}
 	return f.Close()
@@ -109,18 +157,45 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadEdgeList parses the text format written by WriteEdgeList.
+// ReadEdgeList parses the text format written by WriteEdgeList. The header
+// counts are validated before they drive allocation (a negative or absurd
+// m must not panic make or reserve gigabytes on a one-line input), the
+// edge slice grows incrementally as edges actually parse, and input after
+// the declared m edges is rejected so silently truncated headers cannot
+// masquerade as success.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	var n, m int
+	var n, m int64
 	if _, err := fmt.Fscan(br, &n, &m); err != nil {
 		return nil, fmt.Errorf("graph: reading edge-list header: %w", err)
 	}
-	edges := make([]Edge, m)
-	for i := 0; i < m; i++ {
-		if _, err := fmt.Fscan(br, &edges[i].U, &edges[i].W); err != nil {
+	if n < 0 || n >= 1<<31 {
+		return nil, fmt.Errorf("graph: vertex count %d out of range", n)
+	}
+	if m < 0 || m >= 1<<30 { // 2m arcs must fit int32
+		return nil, fmt.Errorf("graph: edge count %d out of range", m)
+	}
+	// Cap the speculative allocation: the header's claim is only trusted
+	// up to a chunk, the rest is earned by edges that actually parse.
+	capHint := m
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	edges := make([]Edge, 0, capHint)
+	for i := int64(0); i < m; i++ {
+		var e Edge
+		if _, err := fmt.Fscan(br, &e.U, &e.W); err != nil {
 			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
 		}
+		edges = append(edges, e)
 	}
-	return FromEdges(n, edges)
+	var trailing string
+	switch _, err := fmt.Fscan(br, &trailing); err {
+	case io.EOF: // clean end of input
+	case nil:
+		return nil, fmt.Errorf("graph: trailing data %q after %d edges", trailing, m)
+	default:
+		return nil, fmt.Errorf("graph: reading after %d edges: %w", m, err)
+	}
+	return FromEdges(int(n), edges)
 }

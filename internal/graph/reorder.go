@@ -43,6 +43,6 @@ func ReorderByComponent(g *Graph, comp []int32) (*Graph, []int32) {
 		}
 	})
 	ng := &Graph{N: int32(n), Offsets: offsets, Adj: adj}
-	ng.sortAdjacency()
+	ng.sortAdjacency(nil)
 	return ng, newID
 }

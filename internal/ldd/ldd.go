@@ -60,6 +60,9 @@ type Options struct {
 	// frontiers) and backs the returned Center/Parent arrays, whose
 	// ownership then passes to the caller.
 	Scratch *graph.Scratch
+	// Exec is the execution context parallel loops run on (nil = the
+	// process-global default).
+	Exec *parallel.Exec
 }
 
 // localBudget bounds the vertices one frontier vertex may claim per round
@@ -81,6 +84,7 @@ func localThreshold(n int) int {
 func Decompose(g *graph.Graph, opt Options) *Result {
 	n := int(g.N)
 	sc := opt.Scratch
+	e := opt.Exec
 	beta := opt.Beta
 	if beta <= 0 {
 		beta = 0.2
@@ -89,23 +93,23 @@ func Decompose(g *graph.Graph, opt Options) *Result {
 		Center: sc.GetInt32(n),
 		Parent: sc.GetInt32(n),
 	}
-	parallel.Fill(res.Center, -1)
-	parallel.Fill(res.Parent, -1)
+	parallel.FillIn(e, res.Center, -1)
+	parallel.FillIn(e, res.Parent, -1)
 	if n == 0 {
 		return res
 	}
 	// Shift rounds: round(v) = floor(Exp(beta)) computed from a hash of
 	// (seed, v) so the decomposition is deterministic for a given seed.
 	shift := sc.GetInt32(n)
-	parallel.For(n, func(v int) {
+	e.For(n, func(v int) {
 		u := prim.Hash64(opt.Seed ^ (uint64(v)*0x9e3779b97f4a7c15 + 0x1234567))
 		// Uniform in (0,1]: avoid log(0).
 		x := (float64(u>>11) + 1) / (1 << 53)
 		shift[v] = int32(math.Floor(-math.Log(x) / beta))
 	})
 	// Vertices grouped by activation round via counting sort.
-	maxShift := prim.MaxInt32(shift, 0)
-	byRound, roundOff := prim.CountingSortByKey(n, maxShift+1, func(i int) int32 { return shift[i] })
+	maxShift := prim.MaxInt32In(e, shift, 0)
+	byRound, roundOff := prim.CountingSortByKeyIn(e, n, maxShift+1, func(i int) int32 { return shift[i] })
 	sc.PutInt32(shift)
 
 	frontier := sc.GetInt32(n)[:0]
@@ -129,9 +133,9 @@ func Decompose(g *graph.Graph, opt Options) *Result {
 		var next []int32
 		var claimed int
 		if opt.LocalSearch && len(frontier) < localThreshold(n) {
-			next, claimed = expandLocal(g, frontier, res, opt.Filter, sc)
+			next, claimed = expandLocal(e, g, frontier, res, opt.Filter, sc)
 		} else {
-			next, claimed = expandOneHop(g, frontier, res, opt.Filter, sc)
+			next, claimed = expandOneHop(e, g, frontier, res, opt.Filter, sc)
 		}
 		visitedTotal += claimed
 		sc.PutInt32(frontier)
@@ -146,10 +150,10 @@ func Decompose(g *graph.Graph, opt Options) *Result {
 // expandOneHop claims the unvisited neighbors of the frontier (one BFS
 // hop). It returns the next frontier and the number of newly claimed
 // vertices (equal here, but not in local-search mode).
-func expandOneHop(g *graph.Graph, frontier []int32, res *Result, filter func(u, w int32) bool, sc *graph.Scratch) ([]int32, int) {
+func expandOneHop(e *parallel.Exec, g *graph.Graph, frontier []int32, res *Result, filter func(u, w int32) bool, sc *graph.Scratch) ([]int32, int) {
 	nb := (len(frontier) + 255) / 256
 	outs := make([][]int32, nb)
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo, hi := b*256, (b+1)*256
 			if hi > len(frontier) {
@@ -177,9 +181,9 @@ func expandOneHop(g *graph.Graph, frontier []int32, res *Result, filter func(u, 
 	for b := range outs {
 		sizes[b] = int32(len(outs[b]))
 	}
-	total := prim.ExclusiveScanInt32(sizes)
+	total := prim.ExclusiveScanInt32In(e, sizes)
 	next := sc.GetInt32(int(total))
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			copy(next[sizes[b]:], outs[b])
 		}
@@ -198,11 +202,11 @@ func expandOneHop(g *graph.Graph, frontier []int32, res *Result, filter func(u, 
 // its claimer can defer it, so duplicates are impossible and plain
 // per-block buffers (same technique as expandOneHop) are strictly cheaper;
 // DESIGN.md records the substitution.
-func expandLocal(g *graph.Graph, frontier []int32, res *Result, filter func(u, w int32) bool, sc *graph.Scratch) ([]int32, int) {
+func expandLocal(e *parallel.Exec, g *graph.Graph, frontier []int32, res *Result, filter func(u, w int32) bool, sc *graph.Scratch) ([]int32, int) {
 	nb := (len(frontier) + 3) / 4
 	outs := make([][]int32, nb)
 	var totalClaimed atomic.Int64
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(nb, 1, func(blo, bhi int) {
 		stack := make([]int32, 0, localBudget)
 		for b := blo; b < bhi; b++ {
 			lo, hi := b*4, (b+1)*4
@@ -254,9 +258,9 @@ func expandLocal(g *graph.Graph, frontier []int32, res *Result, filter func(u, w
 	for b := range outs {
 		sizes[b] = int32(len(outs[b]))
 	}
-	total := prim.ExclusiveScanInt32(sizes)
+	total := prim.ExclusiveScanInt32In(e, sizes)
 	next := sc.GetInt32(int(total))
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			copy(next[sizes[b]:], outs[b])
 		}

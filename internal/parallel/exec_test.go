@@ -1,0 +1,219 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// trackConc runs a loop of n blocks on e recording the peak number of
+// concurrently-executing blocks, and returns (covered iterations, peak).
+func trackConc(e *Exec, n int) (int64, int32) {
+	var total atomic.Int64
+	var cur, peak atomic.Int32
+	e.ForBlock(n, 1, func(lo, hi int) {
+		c := cur.Add(1)
+		for {
+			m := peak.Load()
+			if c <= m || peak.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		for i := lo; i < hi; i++ {
+			total.Add(1)
+		}
+		cur.Add(-1)
+	})
+	return total.Load(), peak.Load()
+}
+
+func TestExecPrivatePool(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	e := NewExec(4)
+	defer e.Close()
+	if e.Procs() != 4 {
+		t.Fatalf("Procs() = %d, want 4", e.Procs())
+	}
+	covered, _ := trackConc(e, 1000)
+	if covered != 1000 {
+		t.Fatalf("covered %d iterations, want 1000", covered)
+	}
+}
+
+func TestExecLimitCapsWorkers(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	e := NewExec(8)
+	defer e.Close()
+	for _, k := range []int{1, 2, 3} {
+		le := e.Limit(k)
+		if le.Procs() != k {
+			t.Fatalf("Limit(%d).Procs() = %d", k, le.Procs())
+		}
+		covered, peak := trackConc(le, 500)
+		if covered != 500 {
+			t.Fatalf("Limit(%d): covered %d", k, covered)
+		}
+		// The cap is a hard bound: at most k blocks of one loop in flight.
+		if int(peak) > k {
+			t.Fatalf("Limit(%d): observed %d concurrent blocks", k, peak)
+		}
+	}
+	// Limit can only shrink: a larger or non-positive k returns e itself.
+	if e.Limit(100) != e || e.Limit(0) != e || e.Limit(-3) != e {
+		t.Fatal("Limit failed to return the receiver for non-shrinking caps")
+	}
+}
+
+func TestLimitOfDefaultContext(t *testing.T) {
+	withWorkers(t, 8, func() {
+		before := Procs()
+		le := Limit(2)
+		if le.Procs() != 2 {
+			t.Fatalf("Limit(2).Procs() = %d", le.Procs())
+		}
+		covered, peak := trackConc(le, 500)
+		if covered != 500 {
+			t.Fatalf("covered %d", covered)
+		}
+		if peak > 2 {
+			t.Fatalf("observed %d concurrent blocks under Limit(2)", peak)
+		}
+		if Procs() != before {
+			t.Fatalf("Limit mutated global Procs: %d -> %d", before, Procs())
+		}
+	})
+}
+
+func TestExecCloseRunsInline(t *testing.T) {
+	e := NewExec(4)
+	e.Close()
+	e.Close() // idempotent
+	var sum atomic.Int64
+	e.For(1000, func(i int) { sum.Add(int64(i)) })
+	if want := int64(1000*999) / 2; sum.Load() != want {
+		t.Fatalf("sum after Close = %d, want %d", sum.Load(), want)
+	}
+	if e.Procs() != 4 {
+		// Procs reports the budget; Close only releases the goroutines.
+		t.Fatalf("Procs after Close = %d", e.Procs())
+	}
+}
+
+func TestExecSingleWorkerInline(t *testing.T) {
+	e := NewExec(1)
+	defer e.Close()
+	var sum int64 // intentionally unsynchronized: must run inline
+	e.ForBlock(10000, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += int64(i)
+		}
+	})
+	if want := int64(10000*9999) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+// TestConcurrentExecsIsolated runs several contexts of different sizes at
+// once — private pools, Limit views of private pools, Limit views of the
+// default pool — each with nested loops and generic primitives, under
+// -race. This is the serving pattern the old single-global-pool substrate
+// could not express.
+func TestConcurrentExecsIsolated(t *testing.T) {
+	withWorkers(t, 4, func() {
+		priv := NewExec(3)
+		defer priv.Close()
+		execs := []*Exec{
+			nil,           // default context
+			Limit(2),      // capped view of the default pool
+			priv,          // private pool
+			priv.Limit(2), // capped view of the private pool
+			NewExec(2),    // second private pool
+		}
+		defer execs[4].Close()
+		const n = 20000
+		var wg sync.WaitGroup
+		for gi := 0; gi < 8; gi++ {
+			e := execs[gi%len(execs)]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for rep := 0; rep < 5; rep++ {
+					buf := make([]int32, n)
+					FillIn(e, buf, 1)
+					got := ReduceIn(e, n, 64, int64(0),
+						func(lo, hi int) int64 {
+							var s int64
+							for i := lo; i < hi; i++ {
+								s += int64(buf[i])
+							}
+							return s
+						},
+						func(a, b int64) int64 { return a + b })
+					if got != n {
+						t.Errorf("reduce = %d, want %d", got, n)
+						return
+					}
+					// Nested loop on the same context.
+					var inner atomic.Int64
+					e.ForBlock(40, 1, func(lo, hi int) {
+						for i := lo; i < hi; i++ {
+							e.ForGrain(50, 10, func(int) { inner.Add(1) })
+						}
+					})
+					if inner.Load() != 2000 {
+						t.Errorf("nested total = %d", inner.Load())
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+// TestExecConcurrentWithSetProcs checks that per-run contexts stay correct
+// while the default pool is being resized underneath the Limit views.
+func TestExecConcurrentWithSetProcs(t *testing.T) {
+	withWorkers(t, 4, func() {
+		stop := make(chan struct{})
+		var resizer sync.WaitGroup
+		resizer.Add(1)
+		go func() {
+			defer resizer.Done()
+			sizes := []int{2, 4, 1, 3}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					SetProcs(sizes[i%len(sizes)])
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		for gi := 0; gi < 4; gi++ {
+			k := gi%3 + 1
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for rep := 0; rep < 50; rep++ {
+					covered, peak := trackConc(Limit(k), 300)
+					if covered != 300 {
+						t.Errorf("covered %d", covered)
+						return
+					}
+					if int(peak) > k {
+						t.Errorf("cap %d exceeded: %d", k, peak)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(stop)
+		resizer.Wait()
+	})
+}

@@ -9,25 +9,50 @@
 // load balancing). This preserves work-efficiency and keeps span within
 // logarithmic factors of the model for the loop shapes used here.
 //
+// # Execution contexts
+//
+// Every primitive exists in two forms: a package-level function (For,
+// ForBlock, Do, Reduce, Fill, ...) that runs on the process-global default
+// context, and a form bound to an *Exec handle (methods for the monomorphic
+// primitives, *In functions for the generic ones). An Exec owns a worker
+// budget:
+//
+//   - A nil *Exec is the default context: loops run on the process-global
+//     pool sized by Procs()/SetProcs. All package-level functions are thin
+//     wrappers over the nil context.
+//   - NewExec(p) returns a context owning a private pool of p-1 workers,
+//     isolated from the global pool and from every other Exec. Close
+//     releases the workers; a closed context runs loops inline.
+//   - e.Limit(k) derives a context sharing e's pool but capping any one
+//     loop at k workers (submitter included). Limit allocates no goroutines,
+//     so a per-request worker cap costs nothing: concurrent submitters
+//     share the underlying pool's workers fairly (blocks are claimed
+//     dynamically) while each stays within its own cap.
+//
+// This is what makes concurrent serving safe: two simultaneous runs with
+// different worker caps never mutate global state, never restart a pool,
+// and never observe each other's cap.
+//
 // # Persistent worker pool
 //
-// Blocks are executed by a lazily-started persistent pool of Procs()-1
-// worker goroutines (the submitting goroutine is always the remaining
-// worker). Workers park on a buffered channel that doubles as a wake-up
-// semaphore: submitting a loop enqueues at most min(pool size, blocks-1)
-// wake tokens carrying the task descriptor, so a parked worker is woken
-// with one channel receive instead of a fresh goroutine spawn and stack.
-// Task descriptors are recycled through a sync.Pool guarded by a reference
-// count, so a parallel loop costs O(1) allocations and zero goroutine
-// creations in steady state — the scheduling overhead the paper's ParlayLib
-// baseline never pays, removed.
+// Blocks are executed by a lazily-started persistent pool of workers (the
+// submitting goroutine is always one additional worker). Workers park on a
+// buffered channel that doubles as a wake-up semaphore: submitting a loop
+// enqueues at most min(available workers, blocks-1) wake tokens carrying
+// the task descriptor, so a parked worker is woken with one channel receive
+// instead of a fresh goroutine spawn and stack. Task descriptors are
+// recycled through a sync.Pool guarded by a reference count, so a parallel
+// loop costs O(1) allocations and zero goroutine creations in steady state
+// — the scheduling overhead the paper's ParlayLib baseline never pays,
+// removed.
 //
-// The pool is generational: SetProcs retires the current generation (its
-// workers exit once idle) and the next parallel loop lazily starts a new
-// one with the updated size. Loops already in flight on a retired
+// The global pool is generational: SetProcs retires the current generation
+// (its workers exit once idle) and the next parallel loop lazily starts a
+// new one with the updated size. Loops already in flight on a retired
 // generation stay correct — the submitter claims every block its helpers
 // do not — so SetProcs may be called concurrently with running loops.
 // SetProcs(1) stops the pool entirely; all primitives then run inline.
+// Private pools (NewExec) are fixed-size and have no generations.
 //
 // # Work/span accounting
 //
@@ -47,19 +72,21 @@ import (
 	"sync/atomic"
 )
 
-// procs is the number of workers used by the primitives in this package.
-// It defaults to runtime.GOMAXPROCS(0) and can be lowered for scalability
-// experiments (Fig. 4 of the paper).
+// procs is the number of workers used by the default context. It defaults
+// to runtime.GOMAXPROCS(0) and can be lowered for scalability experiments
+// (Fig. 4 of the paper).
 var procs atomic.Int32
 
 func init() {
 	procs.Store(int32(runtime.GOMAXPROCS(0)))
 }
 
-// SetProcs sets the number of parallel workers. p < 1 resets to GOMAXPROCS.
-// It returns the previous value. The worker pool is resized lazily: the
-// current generation of workers is told to retire and the next parallel
-// loop starts a fresh one. Safe to call while loops are running.
+// SetProcs sets the number of workers of the default context. p < 1 resets
+// to GOMAXPROCS. It returns the previous value. The global worker pool is
+// resized lazily: the current generation of workers is told to retire and
+// the next parallel loop starts a fresh one. Safe to call while loops are
+// running, but note that it mutates process-global state — concurrent
+// servers should use per-run contexts (NewExec, Limit) instead.
 func SetProcs(p int) int {
 	if p < 1 {
 		p = runtime.GOMAXPROCS(0)
@@ -76,13 +103,101 @@ func SetProcs(p int) int {
 	return prev
 }
 
-// Procs reports the current number of parallel workers.
+// Procs reports the number of workers of the default context.
 func Procs() int { return int(procs.Load()) }
 
 // DefaultGrain is the per-block minimum number of loop iterations. It is
 // sized so that the per-block scheduling overhead (~hundreds of ns) is
 // amortized over enough work.
 const DefaultGrain = 1024
+
+// Exec is an execution context: a worker budget plus the pool that supplies
+// the workers. The zero value for a *pointer* — a nil *Exec — is the
+// default context backed by the process-global pool; see the package
+// comment for NewExec and Limit. All methods are safe for concurrent use,
+// including concurrent loops on one Exec, which share its workers fairly.
+type Exec struct {
+	// limit is the maximum number of workers one loop may use, submitter
+	// included. Always >= 1.
+	limit int
+	// priv is the owning pool; nil means the process-global pool.
+	priv *privPool
+}
+
+// NewExec returns an execution context owning a private pool of p-1 worker
+// goroutines (the submitting goroutine is the p-th worker). p < 1 selects
+// runtime.GOMAXPROCS(0). The workers are started lazily by the first
+// parallel loop and released by Close.
+func NewExec(p int) *Exec {
+	if p < 1 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	e := &Exec{limit: p}
+	if p > 1 {
+		e.priv = &privPool{size: p - 1}
+	}
+	return e
+}
+
+// Limit returns a context that runs loops on e's pool but uses at most k
+// workers per loop (submitter included). k < 1 or k >= e's budget returns e
+// itself. The derived context shares e's workers — Close on either affects
+// both — and allocates no goroutines, so deriving per-request caps is free.
+func (e *Exec) Limit(k int) *Exec {
+	if k < 1 {
+		return e
+	}
+	if e == nil {
+		return &Exec{limit: k}
+	}
+	if k >= e.limit {
+		return e
+	}
+	return &Exec{limit: k, priv: e.priv}
+}
+
+// Limit returns a view of the default context capped at k workers per loop,
+// with no global mutation and no pool restart: Limit(k).ForBlock runs on
+// the same process-global pool as ForBlock, waking at most k-1 helpers.
+func Limit(k int) *Exec { return (*Exec)(nil).Limit(k) }
+
+// Close releases the context's private workers. Loops submitted after
+// Close run inline (sequentially). Close on the default context or on a
+// context without a private pool is a no-op; a context derived with Limit
+// shares its parent's pool, so closing either closes both.
+func (e *Exec) Close() {
+	if e != nil && e.priv != nil {
+		e.priv.close()
+	}
+}
+
+// Procs reports the maximum number of workers a loop on e may use. For the
+// default (nil) context this is Procs(); for others it is the construction
+// budget folded with any Limit caps.
+func (e *Exec) Procs() int {
+	if e == nil {
+		return Procs()
+	}
+	p := e.limit
+	if e.priv == nil {
+		// A Limit view of the default context: the global pool bounds it.
+		if g := Procs(); g < p {
+			p = g
+		}
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// getPoolFor returns the pool e's loops run on, or nil to run inline.
+func (e *Exec) getPoolFor() *pool {
+	if e == nil || e.priv == nil {
+		return getPool(Procs())
+	}
+	return e.priv.get()
+}
 
 // task is one parallel loop in flight: a body, a partition of [0, n) into
 // nBlocks blocks of grain iterations, and an atomic claim counter. Tasks
@@ -126,9 +241,8 @@ func (t *task) release() {
 	}
 }
 
-// pool is one generation of persistent workers. tasks is both the job
-// queue and the wake-up semaphore; stop is closed to retire the
-// generation.
+// pool is one set of persistent workers. tasks is both the job queue and
+// the wake-up semaphore; stop is closed to retire the workers.
 type pool struct {
 	size  int
 	tasks chan *task
@@ -140,9 +254,9 @@ var (
 	curPool atomic.Pointer[pool]
 )
 
-// getPool returns a pool of p-1 workers, lazily (re)starting it when the
-// size changed since the last parallel loop. It returns nil when the
-// worker count is (concurrently) 1 — the caller then runs inline. p is
+// getPool returns the global pool of p-1 workers, lazily (re)starting it
+// when the size changed since the last parallel loop. It returns nil when
+// the worker count is (concurrently) 1 — the caller then runs inline. p is
 // the caller's stale Procs() read; the authoritative value is re-read
 // under the lock so a racing SetProcs(1) can never have its shutdown
 // undone by a pool resurrection (which would leak parked workers).
@@ -162,16 +276,57 @@ func getPool(p int) *pool {
 		}
 		close(pl.stop)
 	}
-	pl := &pool{
-		size:  want,
-		tasks: make(chan *task, 4*want+16),
-		stop:  make(chan struct{}),
-	}
-	for i := 0; i < want; i++ {
-		go pl.worker()
-	}
+	pl := newPool(want)
 	curPool.Store(pl)
 	return pl
+}
+
+func newPool(size int) *pool {
+	pl := &pool{
+		size:  size,
+		tasks: make(chan *task, 4*size+16),
+		stop:  make(chan struct{}),
+	}
+	for i := 0; i < size; i++ {
+		go pl.worker()
+	}
+	return pl
+}
+
+// privPool is the fixed-size lazily-started pool behind NewExec contexts.
+type privPool struct {
+	size   int
+	mu     sync.Mutex
+	closed bool
+	cur    atomic.Pointer[pool]
+}
+
+// get returns the pool, starting its workers on first use; nil after close.
+func (pp *privPool) get() *pool {
+	if pl := pp.cur.Load(); pl != nil {
+		return pl
+	}
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if pp.closed {
+		return nil
+	}
+	if pl := pp.cur.Load(); pl != nil {
+		return pl
+	}
+	pl := newPool(pp.size)
+	pp.cur.Store(pl)
+	return pl
+}
+
+func (pp *privPool) close() {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	pp.closed = true
+	if pl := pp.cur.Load(); pl != nil {
+		close(pl.stop)
+		pp.cur.Store(nil)
+	}
 }
 
 // worker parks on the task channel and helps whatever loop wakes it.
@@ -187,15 +342,17 @@ func (pl *pool) worker() {
 	}
 }
 
-// For runs body(i) for every i in [0, n) in parallel with the default grain.
-func For(n int, body func(i int)) {
-	ForGrain(n, DefaultGrain, body)
+// For runs body(i) for every i in [0, n) in parallel on e with the default
+// grain.
+func (e *Exec) For(n int, body func(i int)) {
+	e.ForGrain(n, DefaultGrain, body)
 }
 
-// ForGrain runs body(i) for every i in [0, n) in parallel. Blocks have at
-// least grain iterations; a loop with n <= grain runs sequentially inline.
-func ForGrain(n, grain int, body func(i int)) {
-	ForBlock(n, grain, func(lo, hi int) {
+// ForGrain runs body(i) for every i in [0, n) in parallel on e. Blocks have
+// at least grain iterations; a loop with n <= grain runs sequentially
+// inline.
+func (e *Exec) ForGrain(n, grain int, body func(i int)) {
+	e.ForBlock(n, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			body(i)
 		}
@@ -203,16 +360,17 @@ func ForGrain(n, grain int, body func(i int)) {
 }
 
 // ForBlock partitions [0, n) into blocks of at least grain iterations and
-// runs body on each block in parallel. Workers claim blocks dynamically via
-// an atomic counter, so irregular per-block costs are load balanced.
-func ForBlock(n, grain int, body func(lo, hi int)) {
+// runs body on each block in parallel on e. Workers claim blocks
+// dynamically via an atomic counter, so irregular per-block costs are load
+// balanced.
+func (e *Exec) ForBlock(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	if grain < 1 {
 		grain = 1
 	}
-	p := Procs()
+	p := e.Procs()
 	if p == 1 || n <= grain {
 		body(0, n)
 		return
@@ -228,8 +386,8 @@ func ForBlock(n, grain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	pl := getPool(p)
-	if pl == nil { // SetProcs(1) raced the Procs() read above: run inline
+	pl := e.getPoolFor()
+	if pl == nil { // worker count is 1, or the context was closed: inline
 		body(0, n)
 		return
 	}
@@ -240,7 +398,12 @@ func ForBlock(n, grain int, body func(lo, hi int)) {
 	t.nBlocks = int32(nBlocks)
 	t.next.Store(0)
 	t.wg.Add(nBlocks)
-	wakes := pl.size
+	// The cap p bounds this loop's workers (submitter included) even when
+	// the underlying pool is larger — the Limit contract.
+	wakes := p - 1
+	if wakes > pl.size {
+		wakes = pl.size
+	}
 	if wakes > nBlocks-1 {
 		wakes = nBlocks - 1
 	}
@@ -267,12 +430,12 @@ func ForBlock(n, grain int, body func(lo, hi int)) {
 	t.release()
 }
 
-// Do runs the given functions with fork-join semantics and waits for all
-// of them: the n-ary analogue of the model's binary fork. Like a fork in
-// the work-span model, it permits but does not guarantee concurrency —
+// Do runs the given functions on e with fork-join semantics and waits for
+// all of them: the n-ary analogue of the model's binary fork. Like a fork
+// in the work-span model, it permits but does not guarantee concurrency —
 // when no pool worker is free the submitter runs every function itself,
 // sequentially — so the functions must not synchronize with one another.
-func Do(fns ...func()) {
+func (e *Exec) Do(fns ...func()) {
 	switch len(fns) {
 	case 0:
 		return
@@ -280,29 +443,35 @@ func Do(fns ...func()) {
 		fns[0]()
 		return
 	}
-	if Procs() == 1 {
+	if e.Procs() == 1 {
 		for _, f := range fns {
 			f()
 		}
 		return
 	}
-	ForBlock(len(fns), 1, func(lo, hi int) {
+	e.ForBlock(len(fns), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fns[i]()
 		}
 	})
 }
 
-// Reduce computes merge over leaf values of the blocks of [0, n).
-// id is the identity of merge. merge must be associative.
-func Reduce[T any](n, grain int, id T, leaf func(lo, hi int) T, merge func(a, b T) T) T {
+// Iota fills dst[i] = base + i in parallel on e.
+func (e *Exec) Iota(dst []int32, base int32) {
+	e.For(len(dst), func(i int) { dst[i] = base + int32(i) })
+}
+
+// ReduceIn computes merge over leaf values of the blocks of [0, n) on e.
+// id is the identity of merge. merge must be associative. (A function
+// rather than an Exec method because Go methods cannot be generic.)
+func ReduceIn[T any](e *Exec, n, grain int, id T, leaf func(lo, hi int) T, merge func(a, b T) T) T {
 	if n <= 0 {
 		return id
 	}
 	if grain < 1 {
 		grain = 1
 	}
-	p := Procs()
+	p := e.Procs()
 	if p == 1 || n <= grain {
 		return merge(id, leaf(0, n))
 	}
@@ -312,7 +481,7 @@ func Reduce[T any](n, grain int, id T, leaf func(lo, hi int) T, merge func(a, b 
 		nBlocks = (n + grain - 1) / grain
 	}
 	partial := make([]T, nBlocks)
-	ForBlock(nBlocks, 1, func(blo, bhi int) {
+	e.ForBlock(nBlocks, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo := b * grain
 			hi := lo + grain
@@ -329,6 +498,56 @@ func Reduce[T any](n, grain int, id T, leaf func(lo, hi int) T, merge func(a, b 
 	return out
 }
 
+// FillIn sets every element of dst to v in parallel on e.
+func FillIn[T any](e *Exec, dst []T, v T) {
+	e.ForBlock(len(dst), DefaultGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = v
+		}
+	})
+}
+
+// CopyIn copies src into dst in parallel on e. Panics if lengths differ.
+func CopyIn[T any](e *Exec, dst, src []T) {
+	if len(dst) != len(src) {
+		panic("parallel.Copy: length mismatch")
+	}
+	e.ForBlock(len(dst), DefaultGrain, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// For runs body(i) for every i in [0, n) in parallel with the default grain
+// on the default context.
+func For(n int, body func(i int)) {
+	(*Exec)(nil).ForGrain(n, DefaultGrain, body)
+}
+
+// ForGrain runs body(i) for every i in [0, n) in parallel on the default
+// context. Blocks have at least grain iterations; a loop with n <= grain
+// runs sequentially inline.
+func ForGrain(n, grain int, body func(i int)) {
+	(*Exec)(nil).ForGrain(n, grain, body)
+}
+
+// ForBlock partitions [0, n) into blocks of at least grain iterations and
+// runs body on each block in parallel on the default context.
+func ForBlock(n, grain int, body func(lo, hi int)) {
+	(*Exec)(nil).ForBlock(n, grain, body)
+}
+
+// Do runs the given functions with fork-join semantics on the default
+// context; see (*Exec).Do for the concurrency contract.
+func Do(fns ...func()) {
+	(*Exec)(nil).Do(fns...)
+}
+
+// Reduce computes merge over leaf values of the blocks of [0, n) on the
+// default context. id is the identity of merge. merge must be associative.
+func Reduce[T any](n, grain int, id T, leaf func(lo, hi int) T, merge func(a, b T) T) T {
+	return ReduceIn(nil, n, grain, id, leaf, merge)
+}
+
 // MapInt32 fills dst[i] = f(i) for i in [0, n) in parallel.
 func MapInt32(dst []int32, f func(i int) int32) {
 	For(len(dst), func(i int) { dst[i] = f(i) })
@@ -336,24 +555,15 @@ func MapInt32(dst []int32, f func(i int) int32) {
 
 // Fill sets every element of dst to v in parallel.
 func Fill[T any](dst []T, v T) {
-	ForBlock(len(dst), DefaultGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = v
-		}
-	})
+	FillIn(nil, dst, v)
 }
 
 // Iota fills dst[i] = base + i in parallel.
 func Iota(dst []int32, base int32) {
-	For(len(dst), func(i int) { dst[i] = base + int32(i) })
+	(*Exec)(nil).Iota(dst, base)
 }
 
 // Copy copies src into dst in parallel. Panics if lengths differ.
 func Copy[T any](dst, src []T) {
-	if len(dst) != len(src) {
-		panic("parallel.Copy: length mismatch")
-	}
-	ForBlock(len(dst), DefaultGrain, func(lo, hi int) {
-		copy(dst[lo:hi], src[lo:hi])
-	})
+	CopyIn(nil, dst, src)
 }

@@ -13,11 +13,17 @@ const scanBlock = 4096
 // ExclusiveScanInt32 replaces a with its exclusive prefix sum and returns the
 // total. a[i] becomes sum of the original a[0..i).
 func ExclusiveScanInt32(a []int32) int32 {
+	return ExclusiveScanInt32In(nil, a)
+}
+
+// ExclusiveScanInt32In is ExclusiveScanInt32 running on the execution
+// context e (nil = default).
+func ExclusiveScanInt32In(e *parallel.Exec, a []int32) int32 {
 	n := len(a)
 	if n == 0 {
 		return 0
 	}
-	if n <= scanBlock || parallel.Procs() == 1 {
+	if n <= scanBlock || e.Procs() == 1 {
 		var s int32
 		for i := 0; i < n; i++ {
 			v := a[i]
@@ -28,7 +34,7 @@ func ExclusiveScanInt32(a []int32) int32 {
 	}
 	nb := (n + scanBlock - 1) / scanBlock
 	sums := make([]int32, nb)
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo, hi := b*scanBlock, (b+1)*scanBlock
 			if hi > n {
@@ -47,7 +53,7 @@ func ExclusiveScanInt32(a []int32) int32 {
 		sums[b] = total
 		total += v
 	}
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo, hi := b*scanBlock, (b+1)*scanBlock
 			if hi > n {
@@ -148,15 +154,20 @@ func PackInt32(src []int32, keep func(i int) bool) []int32 {
 
 // PackIndices returns the indices i in [0, n) with keep(i) true, in order.
 func PackIndices(n int, keep func(i int) bool) []int32 {
+	return PackIndicesIn(nil, n, keep)
+}
+
+// PackIndicesIn is PackIndices running on the execution context e.
+func PackIndicesIn(e *parallel.Exec, n int, keep func(i int) bool) []int32 {
 	flags := make([]int32, n)
-	parallel.For(n, func(i int) {
+	e.For(n, func(i int) {
 		if keep(i) {
 			flags[i] = 1
 		}
 	})
-	total := ExclusiveScanInt32(flags)
+	total := ExclusiveScanInt32In(e, flags)
 	out := make([]int32, total)
-	parallel.For(n, func(i int) {
+	e.For(n, func(i int) {
 		if i+1 < n {
 			if flags[i+1] != flags[i] {
 				out[flags[i]] = int32(i)

@@ -14,15 +14,21 @@ import (
 // keys become contiguous, and within a bucket the original order is kept.
 // Work O(n + nBuckets), span polylogarithmic (two scans plus scatters).
 func CountingSortByKey(n int, nBuckets int32, key func(i int) int32) (perm []int32, offsets []int32) {
+	return CountingSortByKeyIn(nil, n, nBuckets, key)
+}
+
+// CountingSortByKeyIn is CountingSortByKey running on the execution
+// context e (nil = default).
+func CountingSortByKeyIn(e *parallel.Exec, n int, nBuckets int32, key func(i int) int32) (perm []int32, offsets []int32) {
 	offsets = make([]int32, int(nBuckets)+1)
 	counts := offsets[:nBuckets]
 	// Parallel histogram with per-block local counters merged by scan.
-	p := parallel.Procs()
+	p := e.Procs()
 	if n < 1<<14 || p == 1 {
 		for i := 0; i < n; i++ {
 			counts[key(i)]++
 		}
-		ExclusiveScanInt32(offsets)
+		ExclusiveScanInt32In(e, offsets)
 		perm = make([]int32, n)
 		cursor := make([]int32, nBuckets)
 		copy(cursor, offsets[:nBuckets])
@@ -38,7 +44,7 @@ func CountingSortByKey(n int, nBuckets int32, key func(i int) int32) (perm []int
 	blockSz := (n + nb - 1) / nb
 	nb = (n + blockSz - 1) / blockSz
 	hist := make([]int32, nb*int(nBuckets))
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo, hi := b*blockSz, (b+1)*blockSz
 			if hi > n {
@@ -51,18 +57,18 @@ func CountingSortByKey(n int, nBuckets int32, key func(i int) int32) (perm []int
 		}
 	})
 	// offsets: total per bucket, then exclusive scan.
-	parallel.For(int(nBuckets), func(k int) {
+	e.For(int(nBuckets), func(k int) {
 		var s int32
 		for b := 0; b < nb; b++ {
 			s += hist[b*int(nBuckets)+k]
 		}
 		counts[k] = s
 	})
-	ExclusiveScanInt32(offsets)
+	ExclusiveScanInt32In(e, offsets)
 	// Per (block, bucket) start = offsets[bucket] + sum of this bucket over
 	// earlier blocks. Computed by a per-bucket sequential pass in parallel
 	// over buckets (column scan).
-	parallel.For(int(nBuckets), func(k int) {
+	e.For(int(nBuckets), func(k int) {
 		s := offsets[k]
 		for b := 0; b < nb; b++ {
 			c := hist[b*int(nBuckets)+k]
@@ -71,7 +77,7 @@ func CountingSortByKey(n int, nBuckets int32, key func(i int) int32) (perm []int
 		}
 	})
 	perm = make([]int32, n)
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo, hi := b*blockSz, (b+1)*blockSz
 			if hi > n {
@@ -126,7 +132,12 @@ func SortPairsByKey(keys, vals []int32, maxKey int32) {
 
 // MaxInt32 returns the maximum of a, or def when a is empty.
 func MaxInt32(a []int32, def int32) int32 {
-	return parallel.Reduce(len(a), parallel.DefaultGrain, def,
+	return MaxInt32In(nil, a, def)
+}
+
+// MaxInt32In is MaxInt32 running on the execution context e.
+func MaxInt32In(e *parallel.Exec, a []int32, def int32) int32 {
+	return parallel.ReduceIn(e, len(a), parallel.DefaultGrain, def,
 		func(lo, hi int) int32 {
 			m := def
 			for i := lo; i < hi; i++ {

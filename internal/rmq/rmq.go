@@ -30,9 +30,12 @@ type Min struct {
 
 // NewMin builds a range-minimum structure over a. The array is retained
 // (not copied) and must not change while queries are made.
-func NewMin(a []int32) *Min {
+func NewMin(a []int32) *Min { return NewMinIn(nil, a) }
+
+// NewMinIn is NewMin building on the execution context e (nil = default).
+func NewMinIn(e *parallel.Exec, a []int32) *Min {
 	m := &Min{a: a}
-	m.build(lessMin)
+	m.build(e, lessMin)
 	return m
 }
 
@@ -42,17 +45,20 @@ type Max struct {
 }
 
 // NewMax builds a range-maximum structure over a.
-func NewMax(a []int32) *Max {
+func NewMax(a []int32) *Max { return NewMaxIn(nil, a) }
+
+// NewMaxIn is NewMax building on the execution context e (nil = default).
+func NewMaxIn(e *parallel.Exec, a []int32) *Max {
 	m := &Max{}
 	m.a = a
-	m.build(lessMax)
+	m.build(e, lessMax)
 	return m
 }
 
 func lessMin(x, y int32) bool { return x < y }
 func lessMax(x, y int32) bool { return x > y }
 
-func (m *Min) build(better func(x, y int32) bool) {
+func (m *Min) build(e *parallel.Exec, better func(x, y int32) bool) {
 	n := len(m.a)
 	if n == 0 {
 		return
@@ -61,7 +67,7 @@ func (m *Min) build(better func(x, y int32) bool) {
 	m.prefix = make([]int32, n)
 	m.suffix = make([]int32, n)
 	blockBest := make([]int32, nb)
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo := b * blockSize
 			hi := lo + blockSize
@@ -101,7 +107,7 @@ func (m *Min) build(better func(x, y int32) bool) {
 		cur := make([]int32, width)
 		prev := m.table[l-1]
 		half := span / 2
-		parallel.ForGrain(width, 2048, func(i int) {
+		e.ForGrain(width, 2048, func(i int) {
 			x, y := prev[i], prev[i+half]
 			if better(y, x) {
 				x = y

@@ -34,14 +34,21 @@ func Compute(g *graph.Graph, rt *etour.Rooted) *Tags {
 // ComputeScratch is Compute drawing its temporaries — and the returned Low
 // and High arrays — from sc (which may be nil). The caller owns the
 // arena-backed Low/High; First/Last/Parent alias the Rooted input.
+// Equivalent to ComputeIn with a nil execution context.
 func ComputeScratch(g *graph.Graph, rt *etour.Rooted, sc *graph.Scratch) *Tags {
+	return ComputeIn(nil, g, rt, sc)
+}
+
+// ComputeIn is ComputeScratch running on the execution context e (nil =
+// the process-global default).
+func ComputeIn(e *parallel.Exec, g *graph.Graph, rt *etour.Rooted, sc *graph.Scratch) *Tags {
 	n := int(g.N)
 	first, last, parent := rt.First, rt.Last, rt.Parent
 	w1 := sc.GetInt32(n)
 	w2 := sc.GetInt32(n)
-	parallel.Copy(w1, first)
-	parallel.Copy(w2, first)
-	parallel.ForBlock(n, 256, func(lo, hi int) {
+	parallel.CopyIn(e, w1, first)
+	parallel.CopyIn(e, w2, first)
+	e.ForBlock(n, 256, func(lo, hi int) {
 		for v := int32(lo); v < int32(hi); v++ {
 			for _, w := range g.Neighbors(v) {
 				if w == v || parent[w] == v || parent[v] == w {
@@ -54,16 +61,16 @@ func ComputeScratch(g *graph.Graph, rt *etour.Rooted, sc *graph.Scratch) *Tags {
 	})
 	a1 := sc.GetInt32(len(rt.Tour))
 	a2 := sc.GetInt32(len(rt.Tour))
-	parallel.For(len(rt.Tour), func(t int) {
+	e.For(len(rt.Tour), func(t int) {
 		v := rt.Tour[t]
 		a1[t] = w1[v]
 		a2[t] = w2[v]
 	})
-	qmin := rmq.NewMin(a1)
-	qmax := rmq.NewMax(a2)
+	qmin := rmq.NewMinIn(e, a1)
+	qmax := rmq.NewMaxIn(e, a2)
 	low := sc.GetInt32(n)
 	high := sc.GetInt32(n)
-	parallel.For(n, func(v int) {
+	e.For(n, func(v int) {
 		low[v] = qmin.Query(int(first[v]), int(last[v]))
 		high[v] = qmax.Query(int(first[v]), int(last[v]))
 	})

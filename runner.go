@@ -1,0 +1,68 @@
+package fastbcc
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Runner serves BCC decompositions concurrently with a bounded worker
+// budget and recycled scratch memory — the serving pattern the package
+// documentation describes.
+//
+// A Runner owns a private worker pool, isolated from the process-global
+// one: at most workers-1 pool goroutines ever exist, no matter how many
+// Run calls are in flight, and each calling goroutine works only on its
+// own run (so k concurrent calls execute on at most workers-1+k
+// goroutines). Concurrent runs share the pool workers fairly through
+// dynamic block claiming, and a run's Options.Threads further caps that
+// one run — submitter included — within the Runner's budget. Each run draws its ~16n int32 of
+// auxiliary buffers from a recycled arena, so a warm Runner allocates only
+// what the Result itself retains.
+//
+// All methods are safe for concurrent use. The zero value is not usable;
+// construct with NewRunner.
+type Runner struct {
+	exec *parallel.Exec
+	// arenas recycles one *Scratch per concurrent run rather than sharing
+	// a single arena, so concurrent runs never contend on a freelist
+	// mutex and a burst of k runs settles at k pooled arenas.
+	arenas sync.Pool
+}
+
+// NewRunner returns a Runner with workers-1 shared pool goroutines, so a
+// single in-flight run uses at most workers workers including its caller
+// (workers < 1 selects GOMAXPROCS). The pool goroutines are started
+// lazily by the first run and released by Close.
+func NewRunner(workers int) *Runner {
+	r := &Runner{exec: parallel.NewExec(workers)}
+	r.arenas.New = func() any { return graph.NewScratch() }
+	return r
+}
+
+// Run computes the biconnected components of g like BCC, on the Runner's
+// worker budget. opts may be nil for defaults. opts.Threads caps this
+// run's share of the Runner's workers; opts.Scratch overrides the
+// Runner's recycled arena (for callers that manage their own). The
+// returned Result never aliases pooled memory.
+func (r *Runner) Run(g *Graph, opts *Options) *Result {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	ex := r.exec.Limit(o.Threads)
+	sc := o.Scratch
+	if sc == nil {
+		arena := r.arenas.Get().(*Scratch)
+		defer r.arenas.Put(arena)
+		sc = arena
+	}
+	return core.BCC(g, core.Options{Seed: o.Seed, LocalSearch: o.LocalSearch, Scratch: sc, Exec: ex})
+}
+
+// Close releases the Runner's worker goroutines. Runs started after Close
+// execute sequentially on the calling goroutine; runs already in flight
+// complete normally. Close is idempotent.
+func (r *Runner) Close() { r.exec.Close() }

@@ -1,0 +1,160 @@
+package fastbcc
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// The serving contract (see the package-level Serving section): concurrent
+// BCC / Runner.Run calls with differing Threads values must be safe,
+// deterministic, and must not mutate the process-global worker
+// configuration. On the pre-context substrate Options.Threads called
+// parallel.SetProcs, so the concurrent sections below raced to resize the
+// one global pool and the final Procs() assertion failed.
+
+// servingGraphs builds a few structurally different test graphs.
+func servingGraphs(t *testing.T) []*Graph {
+	t.Helper()
+	gs := []*Graph{
+		GenerateRMAT(12, 8, 42),
+		GenerateGrid(64, 64, true),
+		GenerateChain(4096),
+	}
+	return gs
+}
+
+// resultsEqual compares two decompositions of g semantically. The exact
+// Label/Parent arrays depend on CAS claim order inside connectivity, so
+// only scheduling-independent properties are compared: the component
+// count, the articulation points, and the bridges — together these pin
+// down the block structure.
+func resultsEqual(g *Graph, a, b *Result) bool {
+	if a.NumBCC != b.NumBCC {
+		return false
+	}
+	apA, apB := a.ArticulationPoints(), b.ArticulationPoints()
+	if len(apA) != len(apB) {
+		return false
+	}
+	for i := range apA {
+		if apA[i] != apB[i] {
+			return false
+		}
+	}
+	brA, brB := a.Bridges(g), b.Bridges(g)
+	if len(brA) != len(brB) {
+		return false
+	}
+	for i := range brA {
+		if brA[i] != brB[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConcurrentBCCDifferingThreads(t *testing.T) {
+	oldMax := runtime.GOMAXPROCS(4)
+	oldProcs := parallel.SetProcs(4) // size the shared default pool once
+	defer func() {
+		runtime.GOMAXPROCS(oldMax)
+		parallel.SetProcs(oldProcs)
+	}()
+
+	graphs := servingGraphs(t)
+	refs := make([]*Result, len(graphs))
+	for i, g := range graphs {
+		refs[i] = BCC(g, &Options{Seed: 7})
+	}
+
+	before := parallel.Procs()
+	var wg sync.WaitGroup
+	for worker := 0; worker < 8; worker++ {
+		threads := worker%4 + 1 // differing Threads caps: 1, 2, 3, 4
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				for i, g := range graphs {
+					res := BCC(g, &Options{Seed: 7, Threads: threads})
+					if !resultsEqual(g, res, refs[i]) {
+						t.Errorf("Threads=%d: result diverged on graph %d", threads, i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := parallel.Procs(); got != before {
+		t.Fatalf("concurrent BCC calls mutated global Procs: %d -> %d", before, got)
+	}
+}
+
+func TestRunnerConcurrent(t *testing.T) {
+	oldMax := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(oldMax)
+
+	graphs := servingGraphs(t)
+	refs := make([]*Result, len(graphs))
+	for i, g := range graphs {
+		refs[i] = BCC(g, &Options{Seed: 7})
+	}
+
+	before := parallel.Procs()
+	r := NewRunner(4)
+	defer r.Close()
+	var wg sync.WaitGroup
+	for worker := 0; worker < 8; worker++ {
+		threads := worker % 5 // 0 (uncapped) through 4
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				for i, g := range graphs {
+					res := r.Run(g, &Options{Seed: 7, Threads: threads})
+					if !resultsEqual(g, res, refs[i]) {
+						t.Errorf("Runner Threads=%d: result diverged on graph %d", threads, i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := parallel.Procs(); got != before {
+		t.Fatalf("Runner mutated global Procs: %d -> %d", before, got)
+	}
+}
+
+func TestRunnerResultsOutliveArenaReuse(t *testing.T) {
+	g := GenerateRMAT(10, 4, 1)
+	r := NewRunner(2)
+	defer r.Close()
+	first := r.Run(g, &Options{Seed: 7})
+	snapshot := append([]int32(nil), first.Label...)
+	// Subsequent runs recycle the arena; the first Result must not alias it.
+	for i := 0; i < 5; i++ {
+		r.Run(g, &Options{Seed: uint64(i) * 13})
+	}
+	for v := range snapshot {
+		if first.Label[v] != snapshot[v] {
+			t.Fatalf("Result.Label mutated by later runs at %d", v)
+		}
+	}
+}
+
+func TestRunnerRunAfterClose(t *testing.T) {
+	g := GenerateChain(512)
+	r := NewRunner(4)
+	ref := r.Run(g, nil)
+	r.Close()
+	res := r.Run(g, nil) // must degrade to inline execution, not hang
+	if !resultsEqual(g, res, ref) {
+		t.Fatal("run after Close diverged")
+	}
+}
