@@ -12,6 +12,8 @@
 //	bccbench -exp all             # everything
 //	bccbench -exp tab2 -scale medium -reps 3
 //	bccbench -exp tab2 -graphs SQR,REC,Chn7
+//	bccbench -micro BENCH_N.json       # hot-path micro-benchmarks -> JSON report
+//	bccbench -qbench -scale small      # online query throughput (Store/Index serving path)
 package main
 
 import (
@@ -31,7 +33,13 @@ func main() {
 	graphs := flag.String("graphs", "", "comma-separated subset of instance names (default: all 27)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	micro := flag.String("micro", "", "run the hot-path micro-benchmarks and write a BENCH_*.json report to this path")
+	qbench := flag.Bool("qbench", false, "measure online query throughput through the Store/Index serving path")
 	flag.Parse()
+
+	if *qbench {
+		bench.RunQueryThroughput(bench.ParseScale(*scale), os.Stdout)
+		return
+	}
 
 	if *micro != "" {
 		rep := bench.RunMicro()

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	fastbcc "repro"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	store := fastbcc.NewStore(2)
+	srv := httptest.NewServer(newServer(store))
+	t.Cleanup(func() {
+		srv.Close()
+		store.Close()
+	})
+	return srv
+}
+
+func do(t *testing.T, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: bad JSON: %v", method, url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// barbell is the test graph: triangle 0-1-2, bridge 2-3, square 3-4-5-6.
+const barbell = `{"n":7,"edges":[[0,1],[1,2],[2,0],[2,3],[3,4],[4,5],[5,6],[6,3]]}`
+
+func TestServerEndToEnd(t *testing.T) {
+	srv := testServer(t)
+
+	code, body := do(t, http.MethodGet, srv.URL+"/healthz", "")
+	if code != http.StatusOK || body["ok"] != true {
+		t.Fatalf("healthz: %d %v", code, body)
+	}
+
+	code, body = do(t, http.MethodPut, srv.URL+"/v1/graphs/demo", barbell)
+	if code != http.StatusOK {
+		t.Fatalf("load: %d %v", code, body)
+	}
+	if body["n"] != float64(7) || body["blocks"] != float64(3) ||
+		body["cuts"] != float64(2) || body["bridges"] != float64(1) || body["version"] != float64(1) {
+		t.Fatalf("load stats: %v", body)
+	}
+
+	queries := []struct {
+		url  string
+		key  string
+		want any
+	}{
+		{"/v1/graphs/demo/query/connected?u=0&v=6", "result", true},
+		{"/v1/graphs/demo/query/biconnected?u=0&v=1", "result", true},
+		{"/v1/graphs/demo/query/biconnected?u=0&v=6", "result", false},
+		{"/v1/graphs/demo/query/twoecc?u=3&v=6", "result", true},
+		{"/v1/graphs/demo/query/twoecc?u=2&v=3", "result", false},
+		{"/v1/graphs/demo/query/separates?x=2&u=0&v=4", "result", true},
+		{"/v1/graphs/demo/query/separates?x=4&u=0&v=3", "result", false},
+		{"/v1/graphs/demo/query/cuts?u=0&v=4", "count", float64(2)},
+		{"/v1/graphs/demo/query/bridges?u=1&v=5", "count", float64(1)},
+	}
+	for _, q := range queries {
+		code, body := do(t, http.MethodGet, srv.URL+q.url, "")
+		if code != http.StatusOK || body[q.key] != q.want {
+			t.Errorf("%s: %d %v, want %s=%v", q.url, code, body, q.key, q.want)
+		}
+	}
+
+	// Enumerating variants.
+	code, body = do(t, http.MethodGet, srv.URL+"/v1/graphs/demo/query/cuts?u=0&v=4&list=1", "")
+	if code != http.StatusOK || fmt.Sprint(body["cuts"]) != "[2 3]" {
+		t.Fatalf("cuts list: %d %v", code, body)
+	}
+	code, body = do(t, http.MethodGet, srv.URL+"/v1/graphs/demo/query/bridges?u=1&v=5&list=1", "")
+	if code != http.StatusOK || fmt.Sprint(body["bridges"]) != "[[2 3]]" {
+		t.Fatalf("bridges list: %d %v", code, body)
+	}
+
+	// Rebuild refuses graph-defining fields: replacing a graph is PUT's job.
+	if code, _ := do(t, http.MethodPost, srv.URL+"/v1/graphs/demo/rebuild", `{"edges":[[0,1]]}`); code != http.StatusBadRequest {
+		t.Fatalf("rebuild with edges: %d", code)
+	}
+
+	// Rebuild bumps the version; stats agree.
+	code, body = do(t, http.MethodPost, srv.URL+"/v1/graphs/demo/rebuild", `{"seed":9}`)
+	if code != http.StatusOK || body["version"] != float64(2) {
+		t.Fatalf("rebuild: %d %v", code, body)
+	}
+	code, body = do(t, http.MethodGet, srv.URL+"/v1/graphs/demo", "")
+	if code != http.StatusOK || body["version"] != float64(2) {
+		t.Fatalf("stats: %d %v", code, body)
+	}
+
+	// Listing.
+	code, body = do(t, http.MethodGet, srv.URL+"/v1/graphs", "")
+	if code != http.StatusOK || len(body["graphs"].([]any)) != 1 {
+		t.Fatalf("list: %d %v", code, body)
+	}
+
+	// Errors: bad vertex, unknown op, unknown graph, bad body.
+	if code, _ := do(t, http.MethodGet, srv.URL+"/v1/graphs/demo/query/connected?u=0&v=99", ""); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range vertex: %d", code)
+	}
+	if code, _ := do(t, http.MethodGet, srv.URL+"/v1/graphs/demo/query/connected?u=0", ""); code != http.StatusBadRequest {
+		t.Fatalf("missing v: %d", code)
+	}
+	if code, _ := do(t, http.MethodGet, srv.URL+"/v1/graphs/demo/query/nonsense?u=0&v=1", ""); code != http.StatusNotFound {
+		t.Fatalf("unknown op: %d", code)
+	}
+	if code, _ := do(t, http.MethodGet, srv.URL+"/v1/graphs/nope/query/connected?u=0&v=1", ""); code != http.StatusNotFound {
+		t.Fatalf("unknown graph: %d", code)
+	}
+	if code, _ := do(t, http.MethodPut, srv.URL+"/v1/graphs/bad", `{"n":2,"edges":[[0,7]]}`); code != http.StatusBadRequest {
+		t.Fatalf("bad edge: %d", code)
+	}
+
+	// Remove, then everything 404s.
+	if code, _ := do(t, http.MethodDelete, srv.URL+"/v1/graphs/demo", ""); code != http.StatusOK {
+		t.Fatalf("remove: %d", code)
+	}
+	if code, _ := do(t, http.MethodGet, srv.URL+"/v1/graphs/demo", ""); code != http.StatusNotFound {
+		t.Fatalf("stats after remove: %d", code)
+	}
+}

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	fastbcc "repro"
+)
+
+// maxBodyBytes bounds load-request bodies; a 64 MiB JSON edge list is
+// roughly 4M edges, beyond which callers should ship a binary file and
+// load it by path.
+const maxBodyBytes = 64 << 20
+
+type server struct {
+	store *fastbcc.Store
+	mux   *http.ServeMux
+}
+
+// newServer wires the JSON API around a Store. Exposed separately from
+// main so tests drive the exact production handler.
+func newServer(store *fastbcc.Store) http.Handler {
+	s := &server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
+	s.mux.HandleFunc("PUT /v1/graphs/{name}", s.handleLoad)
+	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleStats)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleRemove)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/rebuild", s.handleRebuild)
+	s.mux.HandleFunc("GET /v1/graphs/{name}/query/{op}", s.handleQuery)
+	return s.mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// graphInfo is the stats payload for one snapshot.
+type graphInfo struct {
+	Name    string  `json:"name"`
+	Version int64   `json:"version"`
+	N       int     `json:"n"`
+	M       int     `json:"m"`
+	Blocks  int     `json:"blocks"`
+	Cuts    int     `json:"cuts"`
+	Bridges int     `json:"bridges"`
+	TwoECC  int     `json:"two_ecc"`
+	BuildMS float64 `json:"build_ms"`
+	BuiltAt string  `json:"built_at"`
+}
+
+func info(snap *fastbcc.Snapshot) graphInfo {
+	return graphInfo{
+		Name:    snap.Name,
+		Version: snap.Version,
+		N:       snap.Graph.NumVertices(),
+		M:       snap.Graph.NumEdges(),
+		Blocks:  snap.Index.NumBlocks(),
+		Cuts:    snap.Index.NumCutVertices(),
+		Bridges: snap.Index.NumBridges(),
+		TwoECC:  snap.Index.NumTwoECC(),
+		BuildMS: float64(snap.BuildTime.Microseconds()) / 1000,
+		BuiltAt: snap.BuiltAt.UTC().Format("2006-01-02T15:04:05.000Z"),
+	}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"graphs":         st.Graphs,
+		"live_snapshots": st.LiveSnapshots,
+	})
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	names := s.store.Names()
+	out := make([]graphInfo, 0, len(names))
+	for _, name := range names {
+		snap, err := s.store.Acquire(name)
+		if err != nil {
+			continue // removed between Names and Acquire
+		}
+		out = append(out, info(snap))
+		snap.Release()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
+}
+
+// loadRequest loads a graph from an inline edge list or a binary file
+// written by fastbcc.SaveGraph.
+type loadRequest struct {
+	N           int        `json:"n"`
+	Edges       [][2]int32 `json:"edges"`
+	Path        string     `json:"path"`
+	Seed        uint64     `json:"seed"`
+	Threads     int        `json:"threads"`
+	LocalSearch bool       `json:"local_search"`
+}
+
+func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req loadRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var g *fastbcc.Graph
+	var err error
+	switch {
+	case req.Path != "" && req.Edges != nil:
+		writeError(w, http.StatusBadRequest, "give either edges or path, not both")
+		return
+	case req.Path != "":
+		g, err = fastbcc.LoadGraph(req.Path)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "load %q: %v", req.Path, err)
+			return
+		}
+	default:
+		edges := make([]fastbcc.Edge, len(req.Edges))
+		for i, e := range req.Edges {
+			edges[i] = fastbcc.Edge{U: e[0], W: e[1]}
+		}
+		g, err = fastbcc.NewGraphFromEdges(req.N, edges)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad graph: %v", err)
+			return
+		}
+	}
+	opts := &fastbcc.Options{Seed: req.Seed, Threads: req.Threads, LocalSearch: req.LocalSearch}
+	snap, err := s.store.Load(name, g, opts)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	defer snap.Release()
+	writeJSON(w, http.StatusOK, info(snap))
+}
+
+func (s *server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req loadRequest // only the option fields apply
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		if req.N != 0 || req.Edges != nil || req.Path != "" {
+			writeError(w, http.StatusBadRequest,
+				"rebuild recomputes the existing graph; to replace it, PUT the graph instead")
+			return
+		}
+	}
+	opts := &fastbcc.Options{Seed: req.Seed, Threads: req.Threads, LocalSearch: req.LocalSearch}
+	snap, err := s.store.Rebuild(name, opts)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer snap.Release()
+	writeJSON(w, http.StatusOK, info(snap))
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.store.Acquire(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer snap.Release()
+	writeJSON(w, http.StatusOK, info(snap))
+}
+
+func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Remove(r.PathValue("name")); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
+}
+
+// queryResponse answers one query; Count/Cuts/Bridges appear only for
+// the ops that produce them.
+type queryResponse struct {
+	Graph   string     `json:"graph"`
+	Version int64      `json:"version"`
+	Op      string     `json:"op"`
+	U       int32      `json:"u"`
+	V       int32      `json:"v"`
+	X       *int32     `json:"x,omitempty"`
+	Result  *bool      `json:"result,omitempty"`
+	Count   *int       `json:"count,omitempty"`
+	Cuts    []int32    `json:"cuts,omitempty"`
+	Bridges [][2]int32 `json:"bridges,omitempty"`
+}
+
+var errMissingParam = errors.New("missing parameter")
+
+func vertexParam(r *http.Request, key string, n int) (int32, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("%w %q", errMissingParam, key)
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad vertex %q: %v", key, err)
+	}
+	if v < 0 || v >= int64(n) {
+		return 0, fmt.Errorf("vertex %s=%d out of range [0,%d)", key, v, n)
+	}
+	return int32(v), nil
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	name, op := r.PathValue("name"), r.PathValue("op")
+	snap, err := s.store.Acquire(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer snap.Release()
+	idx := snap.Index
+	n := snap.Graph.NumVertices()
+
+	u, err := vertexParam(r, "u", n)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v, err := vertexParam(r, "v", n)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := queryResponse{Graph: snap.Name, Version: snap.Version, Op: op, U: u, V: v}
+	list := r.URL.Query().Get("list") != ""
+	setBool := func(b bool) { resp.Result = &b }
+	setCount := func(c int) { resp.Count = &c }
+
+	switch op {
+	case "connected":
+		setBool(idx.Connected(u, v))
+	case "biconnected":
+		setBool(idx.Biconnected(u, v))
+	case "twoecc":
+		setBool(idx.TwoEdgeConnected(u, v))
+	case "separates":
+		x, err := vertexParam(r, "x", n)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp.X = &x
+		setBool(idx.Separates(x, u, v))
+	case "cuts":
+		setCount(idx.NumCutsOnPath(u, v))
+		if list {
+			cuts := idx.CutsOnPath(u, v)
+			if cuts == nil {
+				cuts = []int32{}
+			}
+			resp.Cuts = cuts
+		}
+	case "bridges":
+		setCount(idx.NumBridgesOnPath(u, v))
+		if list {
+			bridges := idx.BridgesOnPath(u, v)
+			resp.Bridges = make([][2]int32, len(bridges))
+			for i, b := range bridges {
+				resp.Bridges[i] = [2]int32{b.U, b.W}
+			}
+		}
+	default:
+		writeError(w, http.StatusNotFound,
+			"unknown op %q (want connected|biconnected|twoecc|separates|cuts|bridges)", op)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,67 @@
+// Queries: build the connectivity-query index over a network and answer
+// online reliability questions in O(1) per query.
+//
+// The decomposition (fastbcc.BCC) is the offline half; the Index is the
+// online half: block-cut tree and bridge tree flattened with Euler-tour
+// LCA, so "which routers are single points of failure between A and B"
+// is a constant-time lookup rather than a graph traversal.
+//
+// Run with: go run ./examples/queries
+package main
+
+import (
+	"fmt"
+
+	fastbcc "repro"
+)
+
+func main() {
+	// The data-center topology from examples/blockcut: three meshed pods
+	// joined through aggregation routers 4 and 9, plus a stub host 14.
+	//
+	//   pod A (0-3 clique) --4-- pod B (5-8 clique) --9-- pod C (10-13 clique)
+	//                                  |
+	//                                 14 (stub host)
+	var edges []fastbcc.Edge
+	clique := func(vs ...int32) {
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				edges = append(edges, fastbcc.Edge{U: vs[i], W: vs[j]})
+			}
+		}
+	}
+	clique(0, 1, 2, 3)
+	clique(5, 6, 7, 8)
+	clique(10, 11, 12, 13)
+	edges = append(edges,
+		fastbcc.Edge{U: 3, W: 4}, fastbcc.Edge{U: 4, W: 5},
+		fastbcc.Edge{U: 8, W: 9}, fastbcc.Edge{U: 9, W: 10},
+		fastbcc.Edge{U: 7, W: 14},
+	)
+	g, err := fastbcc.NewGraphFromEdges(15, edges)
+	if err != nil {
+		panic(err)
+	}
+
+	res, idx := fastbcc.BuildIndex(g, nil)
+	fmt.Printf("network: %d nodes, %d links, %d blocks, %d cut routers, %d bridge links\n",
+		g.NumVertices(), g.NumEdges(), res.NumBCC, idx.NumCutVertices(), idx.NumBridges())
+
+	// Which routers are single points of failure between two hosts?
+	pairs := [][2]int32{{0, 2}, {0, 13}, {5, 14}}
+	for _, p := range pairs {
+		fmt.Printf("cut routers between %d and %d: %v\n",
+			p[0], p[1], idx.CutsOnPath(p[0], p[1]))
+	}
+
+	// Would losing router 4 cut pod A off from pod C? And router 6?
+	fmt.Printf("losing 4 disconnects 0 from 13: %v\n", idx.Separates(4, 0, 13))
+	fmt.Printf("losing 6 disconnects 0 from 13: %v\n", idx.Separates(6, 0, 13))
+
+	// Which links are unprotected (every 1<->12 route crosses them)?
+	fmt.Printf("unprotected links between 1 and 12: %v\n", idx.BridgesOnPath(1, 12))
+
+	// Single-link-failure safety: inside a pod yes, across pods no.
+	fmt.Printf("0<->3 survives any single link failure: %v\n", idx.TwoEdgeConnected(0, 3))
+	fmt.Printf("0<->13 survives any single link failure: %v\n", idx.TwoEdgeConnected(0, 13))
+}

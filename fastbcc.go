@@ -73,6 +73,29 @@
 // Results never alias pooled memory, so they remain valid indefinitely.
 // One process-wide parallel.SetProcs sizing (or the GOMAXPROCS default)
 // still governs plain BCC calls without a Runner.
+//
+// # Online queries
+//
+// A Result is a decomposition; an Index answers questions about it. The
+// index flattens the block-cut tree and the bridge tree (over the
+// 2-edge-connected components) into rooted array-based forests with
+// Euler-tour LCA, so after an O(n+m) parallel build every scalar query is
+// O(1) and allocation-free:
+//
+//	res, idx := fastbcc.BuildIndex(g, nil)
+//	idx.Biconnected(u, v)       // share a block?
+//	idx.Separates(x, u, v)      // does removing x disconnect u from v?
+//	idx.NumCutsOnPath(u, v)     // single points of failure between u and v
+//	idx.TwoEdgeConnected(u, v)  // immune to any single link failure?
+//	idx.CutsOnPath(u, v)        // ... enumerated (allocates the output)
+//	idx.BridgesOnPath(u, v)     // the links every u-v route crosses
+//
+// For serving many graphs under churn, a Store keeps a catalog of named
+// graphs with versioned, ref-counted (graph, Result, Index) snapshots:
+// Acquire hands out the current snapshot, rebuilds compute on the Store's
+// Runner budget and swap atomically, and readers holding a superseded
+// version keep querying it safely until they Release. cmd/bccd exposes a
+// Store over HTTP/JSON.
 package fastbcc
 
 import (

@@ -1,0 +1,51 @@
+package fastbcc
+
+import (
+	"repro/internal/bctree"
+	"repro/internal/parallel"
+)
+
+// Index answers online connectivity queries over one decomposition in
+// O(1) (scalar queries, allocation-free) or O(path length) (enumeration):
+//
+//	res := fastbcc.BCC(g, nil)
+//	idx := fastbcc.NewIndex(g, res)
+//	idx.Biconnected(u, v)       // share a block?
+//	idx.Separates(x, u, v)      // does removing x disconnect u from v?
+//	idx.NumCutsOnPath(u, v)     // articulation points between u and v
+//	idx.CutsOnPath(u, v)        // ... enumerated
+//	idx.TwoEdgeConnected(u, v)  // no single edge removal disconnects them?
+//	idx.BridgesOnPath(u, v)     // bridges every u-v route crosses
+//
+// An Index is immutable and safe for concurrent use; it is the per-version
+// payload a Store snapshot serves. See internal/bctree for the structure
+// (block-cut tree + bridge tree, flattened, with Euler-tour LCA over the
+// package's RMQ).
+type Index = bctree.Index
+
+// NewIndex builds the query index for g's decomposition res, in parallel
+// on the default execution context. res must be the decomposition of g.
+func NewIndex(g *Graph, res *Result) *Index { return bctree.New(g, res) }
+
+// BuildIndex computes the decomposition and its query index in one call,
+// sharing one execution context and Threads cap. opts may be nil.
+func BuildIndex(g *Graph, opts *Options) (*Result, *Index) {
+	res := BCC(g, opts)
+	var threads int
+	if opts != nil {
+		threads = opts.Threads
+	}
+	return res, bctree.NewIn(parallel.Limit(threads), g, res)
+}
+
+// BuildIndex is Runner.Run followed by an index build, all within the
+// Runner's worker budget (and this run's opts.Threads cap). The returned
+// Result and Index never alias pooled memory.
+func (r *Runner) BuildIndex(g *Graph, opts *Options) (*Result, *Index) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	res := r.Run(g, &o)
+	return res, bctree.NewIn(r.exec.Limit(o.Threads), g, res)
+}

@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	fastbcc "repro"
+	"repro/internal/bctree"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -94,8 +96,76 @@ func RunMicro() *MicroReport {
 			core.BCC(g, core.Options{Seed: 7, Scratch: sc2})
 		}
 	})
+
+	// The serving path: query-index construction and per-query costs over
+	// the same instance. Query endpoints are pre-drawn so the measured op
+	// is the query alone; Sink defeats dead-code elimination.
+	res := core.BCC(g, core.Options{Seed: 7})
+	add("IndexBuild/RMAT-16-8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bctree.New(g, res)
+		}
+	})
+	idx := bctree.New(g, res)
+	nv := g.NumVertices()
+	const qn = 1 << 12
+	qu := make([]int32, qn)
+	qv := make([]int32, qn)
+	qx := make([]int32, qn)
+	for i := 0; i < qn; i++ {
+		qu[i] = int32(rng.Intn(nv))
+		qv[i] = int32(rng.Intn(nv))
+		qx[i] = int32(rng.Intn(nv))
+	}
+	query := func(name string, f func(j int) bool) {
+		add("Query/"+name+"/RMAT-16-8", func(b *testing.B) {
+			b.ReportAllocs()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				if f(i & (qn - 1)) {
+					s++
+				}
+			}
+			Sink += s
+		})
+	}
+	query("Connected", func(j int) bool { return idx.Connected(qu[j], qv[j]) })
+	query("Biconnected", func(j int) bool { return idx.Biconnected(qu[j], qv[j]) })
+	query("TwoEdgeConnected", func(j int) bool { return idx.TwoEdgeConnected(qu[j], qv[j]) })
+	query("Separates", func(j int) bool { return idx.Separates(qx[j], qu[j], qv[j]) })
+	query("NumCutsOnPath", func(j int) bool { return idx.NumCutsOnPath(qu[j], qv[j]) > 0 })
+	query("NumBridgesOnPath", func(j int) bool { return idx.NumBridgesOnPath(qu[j], qv[j]) > 0 })
+
+	// One full serving hop: snapshot acquire + a mixed query + release,
+	// through the Store (the path cmd/bccd sits on).
+	st := fastbcc.NewStore(0)
+	if snap, err := st.Load("bench", g, &fastbcc.Options{Seed: 7}); err == nil {
+		snap.Release()
+	}
+	add("Store/AcquireQueryRelease/RMAT-16-8", func(b *testing.B) {
+		b.ReportAllocs()
+		s := 0
+		for i := 0; i < b.N; i++ {
+			snap, err := st.Acquire("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			j := i & (qn - 1)
+			if snap.Index.Separates(qx[j], qu[j], qv[j]) {
+				s++
+			}
+			snap.Release()
+		}
+		Sink += s
+	})
+	st.Close()
 	return rep
 }
+
+// Sink keeps query results observable so benchmarked calls cannot be
+// optimized away.
+var Sink int
 
 // WriteJSON writes the report to path, indented for diff-friendliness.
 func (r *MicroReport) WriteJSON(path string) error {

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	fastbcc "repro"
+	"repro/internal/gen"
+)
+
+// RunQueryThroughput measures online query throughput through the full
+// serving path (Store snapshot acquire → Index query → release), the
+// workload cmd/bccd puts on the subsystem: GOMAXPROCS reader goroutines
+// fire mixed queries against one snapshot while a writer rebuilds it in
+// the background, demonstrating that queries never block recomputation.
+func RunQueryThroughput(sc Scale, out io.Writer) {
+	scale := pick(sc, 14, 16, 18)
+	g := gen.RMAT(scale, 8, 0xBC)
+	store := fastbcc.NewStore(0)
+	defer store.Close()
+	snap, err := store.Load("bench", g, nil)
+	if err != nil {
+		fmt.Fprintf(out, "qbench: %v\n", err)
+		return
+	}
+	snap.Release()
+
+	readers := runtime.GOMAXPROCS(0)
+	fmt.Fprintf(out, "# query throughput: RMAT-%d-8 n=%d m=%d, %d reader goroutines, concurrent rebuilds\n",
+		scale, g.NumVertices(), g.NumEdges(), readers)
+
+	const opsPerReader = 1 << 19
+	run := func(name string, q func(idx *fastbcc.Index, u, v, x int32) bool) {
+		stop := make(chan struct{})
+		var rebuilds atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { // background writer: the serving pattern under churn
+			defer wg.Done()
+			for seed := uint64(1); ; seed++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if s, err := store.Rebuild("bench", &fastbcc.Options{Seed: seed}); err == nil {
+					s.Release()
+					rebuilds.Add(1)
+				}
+			}
+		}()
+		var hits atomic.Int64
+		t0 := time.Now()
+		var rg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			rg.Add(1)
+			go func(seed uint64) {
+				defer rg.Done()
+				rng := seed*0x9E3779B97F4A7C15 + 1
+				next := func(n int32) int32 {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					return int32(rng % uint64(n))
+				}
+				n := int32(g.NumVertices())
+				h := int64(0)
+				for i := 0; i < opsPerReader; i++ {
+					snap, err := store.Acquire("bench")
+					if err != nil {
+						break
+					}
+					if q(snap.Index, next(n), next(n), next(n)) {
+						h++
+					}
+					snap.Release()
+				}
+				hits.Add(h)
+			}(uint64(r + 1))
+		}
+		rg.Wait()
+		el := time.Since(t0)
+		close(stop)
+		wg.Wait()
+		qps := float64(opsPerReader*readers) / el.Seconds()
+		fmt.Fprintf(out, "%-18s %10.2f M queries/s   (%d rebuilds behind the readers, %d hits)\n",
+			name, qps/1e6, rebuilds.Load(), hits.Load())
+	}
+
+	run("connected", func(idx *fastbcc.Index, u, v, _ int32) bool { return idx.Connected(u, v) })
+	run("biconnected", func(idx *fastbcc.Index, u, v, _ int32) bool { return idx.Biconnected(u, v) })
+	run("twoecc", func(idx *fastbcc.Index, u, v, _ int32) bool { return idx.TwoEdgeConnected(u, v) })
+	run("separates", func(idx *fastbcc.Index, u, v, x int32) bool { return idx.Separates(x, u, v) })
+	run("cuts-on-path", func(idx *fastbcc.Index, u, v, _ int32) bool { return idx.NumCutsOnPath(u, v) > 0 })
+	run("bridges-on-path", func(idx *fastbcc.Index, u, v, _ int32) bool { return idx.NumBridgesOnPath(u, v) > 0 })
+}

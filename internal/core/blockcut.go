@@ -1,93 +1,152 @@
 package core
 
-import "sort"
+import (
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/prim"
+)
 
 // BlockCutTree is the block-cut tree (block forest) of a graph: one node
 // per block and one per articulation point, with an edge whenever the
 // articulation point belongs to the block. It is the standard substrate
 // for the applications the paper cites (betweenness/closeness centrality
-// decomposition, planarity testing, network robustness).
+// decomposition, planarity testing, network robustness) and for the
+// path-query index in internal/bctree.
+//
+// The tree is stored flat: block nodes get ids 0..NumBlocks-1 (in dense
+// label order), cut nodes follow, and adjacency is one CSR over all nodes.
+// Every array is dense int32 — no maps — so construction is a handful of
+// parallel passes and the structure can be handed to the graph/etour/rmq
+// machinery directly.
 type BlockCutTree struct {
 	// NumBlocks is the number of block nodes (ids 0..NumBlocks-1).
 	NumBlocks int
-	// Cuts lists the articulation points; cut node i corresponds to
-	// tree node NumBlocks + i.
+	// Cuts lists the articulation points in increasing vertex order; cut
+	// node i corresponds to tree node NumBlocks + i.
 	Cuts []int32
-	// Adj[node] lists the tree neighbors of each node (block nodes first,
-	// then cut nodes).
-	Adj [][]int32
+	// CutNode maps a vertex to its cut node id, or -1 when the vertex is
+	// not an articulation point.
+	CutNode []int32
 	// BlockOf maps a dense label (Result.Label) to its block node id, or
 	// -1 for root-singleton labels that are not blocks.
 	BlockOf []int32
+	// Offsets and Adj are the CSR adjacency over all NumNodes() tree
+	// nodes: Adj[Offsets[x]:Offsets[x+1]] lists the neighbors of node x,
+	// sorted ascending. Every edge joins a block node and a cut node.
+	Offsets []int32
+	Adj     []int32
 }
 
-// BlockCutTree derives the block-cut tree from the decomposition.
+// NumNodes returns the total node count (blocks + cuts).
+func (t *BlockCutTree) NumNodes() int { return len(t.Offsets) - 1 }
+
+// Neighbors returns the tree neighbors of node x (sorted ascending).
+func (t *BlockCutTree) Neighbors(x int32) []int32 {
+	return t.Adj[t.Offsets[x]:t.Offsets[x+1]]
+}
+
+// Degree returns the number of tree neighbors of node x.
+func (t *BlockCutTree) Degree(x int32) int {
+	return int(t.Offsets[x+1] - t.Offsets[x])
+}
+
+// AsGraph returns the tree as a *graph.Graph sharing the CSR arrays, so
+// the connectivity/Euler-tour machinery can run over it directly. The
+// view must be treated as immutable.
+func (t *BlockCutTree) AsGraph() *graph.Graph {
+	return &graph.Graph{N: int32(t.NumNodes()), Offsets: t.Offsets, Adj: t.Adj}
+}
+
+// ForestEdges returns the tree edges, each once with U < W. Block ids
+// precede cut ids and every edge joins a block to a cut, so U is always
+// the block-side endpoint.
+func (t *BlockCutTree) ForestEdges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(t.Adj)/2)
+	for x := 0; x < t.NumBlocks; x++ {
+		for _, w := range t.Neighbors(int32(x)) {
+			out = append(out, graph.Edge{U: int32(x), W: w})
+		}
+	}
+	return out
+}
+
+// BlockCutTree derives the block-cut tree from the decomposition. The
+// result is cached on the Result by the constructors (see
+// PrecomputeTopology), in which case the same tree is returned to every
+// caller and must be treated as immutable.
 func (r *Result) BlockCutTree() *BlockCutTree {
+	if t := r.bct; t != nil {
+		return t
+	}
+	return buildBlockCutTree(nil, r, r.ArticulationPoints())
+}
+
+// buildBlockCutTree is the one construction pass behind BlockCutTree:
+// dense block ids by a prefix sum over labels, cut ids by rank in cuts,
+// and the adjacency CSR via the parallel atomic-free graph builder.
+func buildBlockCutTree(e *parallel.Exec, r *Result, cuts []int32) *BlockCutTree {
 	n := len(r.Label)
-	t := &BlockCutTree{BlockOf: make([]int32, r.NumLabels)}
-	// Blocks: labels with a head.
-	for l := range t.BlockOf {
-		t.BlockOf[l] = -1
+	t := &BlockCutTree{
+		Cuts:    cuts,
+		CutNode: make([]int32, n),
+		BlockOf: make([]int32, r.NumLabels),
 	}
-	for l, h := range r.Head {
-		if h != -1 {
-			t.BlockOf[l] = int32(t.NumBlocks)
-			t.NumBlocks++
+	// Dense block ids: BlockOf[l] = #block labels before l, or -1.
+	e.For(r.NumLabels, func(l int) {
+		if r.Head[l] != -1 {
+			t.BlockOf[l] = 1
+		} else {
+			t.BlockOf[l] = 0
 		}
-	}
-	t.Cuts = r.ArticulationPoints()
-	cutNode := make(map[int32]int32, len(t.Cuts))
-	for i, v := range t.Cuts {
-		cutNode[v] = int32(t.NumBlocks + i)
-	}
-	t.Adj = make([][]int32, t.NumBlocks+len(t.Cuts))
-	link := func(block, cut int32) {
-		t.Adj[block] = append(t.Adj[block], cut)
-		t.Adj[cut] = append(t.Adj[cut], block)
-	}
-	// An articulation point a belongs to: the blocks it heads, and (when
-	// a is not a root) the block of its own label.
-	seen := map[[2]int32]bool{}
-	for l, h := range r.Head {
-		if h == -1 {
-			continue
+	})
+	t.NumBlocks = int(prim.ExclusiveScanInt32In(e, t.BlockOf))
+	e.For(r.NumLabels, func(l int) {
+		if r.Head[l] == -1 {
+			t.BlockOf[l] = -1
 		}
-		if c, ok := cutNode[h]; ok {
-			key := [2]int32{t.BlockOf[l], c}
-			if !seen[key] {
-				seen[key] = true
-				link(t.BlockOf[l], c)
-			}
-		}
+	})
+	parallel.FillIn(e, t.CutNode, -1)
+	e.For(len(cuts), func(i int) {
+		t.CutNode[cuts[i]] = int32(t.NumBlocks + i)
+	})
+
+	// Tree edges, duplicate-free by construction: an articulation point a
+	// belongs to the blocks it heads (one link per such label) and, when a
+	// is not a root, to the block of its own label (one link per cut
+	// vertex). The two sources never collide: a head link (B_l, cut(h))
+	// equals a member link (B_{Label[v]}, cut(v)) only if v == h and
+	// Label[h] == l, impossible because a head always lies outside the
+	// component it heads (Label[Head[l]] != l).
+	headLinks := prim.PackIndicesIn(e, r.NumLabels, func(l int) bool {
+		h := r.Head[l]
+		return h != -1 && t.CutNode[h] != -1
+	})
+	memberLinks := prim.PackIndicesIn(e, n, func(v int) bool {
+		return t.CutNode[v] != -1 && r.Parent[v] != -1
+	})
+	links := make([]graph.Edge, len(headLinks)+len(memberLinks))
+	e.For(len(headLinks), func(i int) {
+		l := headLinks[i]
+		links[i] = graph.Edge{U: t.BlockOf[l], W: t.CutNode[r.Head[l]]}
+	})
+	base := len(headLinks)
+	e.For(len(memberLinks), func(i int) {
+		v := memberLinks[i]
+		links[base+i] = graph.Edge{U: t.BlockOf[r.Label[v]], W: t.CutNode[v]}
+	})
+	bg, err := graph.FromEdgesIn(e, t.NumBlocks+len(cuts), links, nil)
+	if err != nil {
+		panic("core: block-cut tree edges out of range: " + err.Error())
 	}
-	for v := 0; v < n; v++ {
-		c, ok := cutNode[int32(v)]
-		if !ok || r.Parent[v] == -1 {
-			continue
-		}
-		b := t.BlockOf[r.Label[v]]
-		key := [2]int32{b, c}
-		if !seen[key] {
-			seen[key] = true
-			link(b, c)
-		}
-	}
-	for _, a := range t.Adj {
-		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
-	}
+	t.Offsets, t.Adj = bg.Offsets, bg.Adj
 	return t
 }
 
-// IsTree verifies the block-cut structure is a forest with one tree per
-// 2-edge-connected... per connected component containing at least one
-// block: #edges == #nodes - #trees. Used by tests and as a sanity check.
+// IsTree verifies the block-cut structure is a forest: #edges == #nodes -
+// #trees. Used by tests and as a sanity check.
 func (t *BlockCutTree) IsTree() bool {
-	nodes := len(t.Adj)
-	edges := 0
-	for _, a := range t.Adj {
-		edges += len(a)
-	}
-	edges /= 2
+	nodes := t.NumNodes()
+	edges := len(t.Adj) / 2
 	// Count connected components of the tree with a scratch DFS.
 	visited := make([]bool, nodes)
 	comps := 0
@@ -102,7 +161,7 @@ func (t *BlockCutTree) IsTree() bool {
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, w := range t.Adj[v] {
+			for _, w := range t.Neighbors(v) {
 				if !visited[w] {
 					visited[w] = true
 					stack = append(stack, w)

@@ -21,7 +21,7 @@ func TestBlockCutTreeChain(t *testing.T) {
 	}
 	// Each cut joins exactly 2 blocks; end blocks have degree 1.
 	for i := 0; i < len(bct.Cuts); i++ {
-		if d := len(bct.Adj[bct.NumBlocks+i]); d != 2 {
+		if d := bct.Degree(int32(bct.NumBlocks + i)); d != 2 {
 			t.Fatalf("cut %d degree %d", i, d)
 		}
 	}
@@ -34,8 +34,8 @@ func TestBlockCutTreeStar(t *testing.T) {
 	if bct.NumBlocks != 5 || len(bct.Cuts) != 1 {
 		t.Fatalf("blocks=%d cuts=%d", bct.NumBlocks, len(bct.Cuts))
 	}
-	if len(bct.Adj[bct.NumBlocks]) != 5 {
-		t.Fatalf("center degree %d", len(bct.Adj[bct.NumBlocks]))
+	if bct.Degree(int32(bct.NumBlocks)) != 5 {
+		t.Fatalf("center degree %d", bct.Degree(int32(bct.NumBlocks)))
 	}
 	if !bct.IsTree() {
 		t.Fatal("not a tree")
@@ -96,13 +96,57 @@ func TestBlockCutTreeRandomForestInvariant(t *testing.T) {
 		}
 		// Every cut node has degree >= 2 (it joins at least two blocks).
 		for i := range bct.Cuts {
-			if len(bct.Adj[bct.NumBlocks+i]) < 2 {
+			if bct.Degree(int32(bct.NumBlocks+i)) < 2 {
 				t.Fatalf("trial %d: cut %d has degree %d", trial, i,
-					len(bct.Adj[bct.NumBlocks+i]))
+					bct.Degree(int32(bct.NumBlocks+i)))
 			}
 		}
 		if bct.NumBlocks != res.NumBCC {
 			t.Fatalf("trial %d: blocks %d != NumBCC %d", trial, bct.NumBlocks, res.NumBCC)
 		}
+	}
+}
+
+func TestBlockCutTreeDenseFieldsAndCaching(t *testing.T) {
+	g := gen.CliqueChain(4, 4)
+	res := BCC(g, Options{Seed: 7})
+	bct := res.BlockCutTree()
+	if res.BlockCutTree() != bct {
+		t.Fatal("BlockCutTree is not cached on a constructor-built Result")
+	}
+	ap := res.ArticulationPoints()
+	if &ap[0] != &res.ArticulationPoints()[0] {
+		t.Fatal("ArticulationPoints is not cached on a constructor-built Result")
+	}
+	// CutNode is the dense inverse of Cuts; all other vertices map to -1.
+	want := make([]int32, g.NumVertices())
+	for v := range want {
+		want[v] = -1
+	}
+	for i, v := range bct.Cuts {
+		want[v] = int32(bct.NumBlocks + i)
+	}
+	for v := range want {
+		if bct.CutNode[v] != want[v] {
+			t.Fatalf("CutNode[%d] = %d, want %d", v, bct.CutNode[v], want[v])
+		}
+	}
+	// Every edge joins a block node and a cut node, and ForestEdges
+	// enumerates each exactly once with the block first.
+	fe := bct.ForestEdges()
+	if 2*len(fe) != len(bct.Adj) {
+		t.Fatalf("ForestEdges %d edges, CSR has %d arcs", len(fe), len(bct.Adj))
+	}
+	for _, e := range fe {
+		if int(e.U) >= bct.NumBlocks || int(e.W) < bct.NumBlocks {
+			t.Fatalf("edge (%d,%d) does not join a block to a cut", e.U, e.W)
+		}
+	}
+	// A caller-assembled Result (no caches) still answers, fresh per call.
+	bare := &Result{Label: res.Label, Head: res.Head, Parent: res.Parent,
+		NumLabels: res.NumLabels, NumBCC: res.NumBCC}
+	if got := bare.BlockCutTree(); got.NumBlocks != bct.NumBlocks || len(got.Cuts) != len(bct.Cuts) {
+		t.Fatalf("uncached BlockCutTree: blocks=%d cuts=%d, want %d/%d",
+			got.NumBlocks, len(got.Cuts), bct.NumBlocks, len(bct.Cuts))
 	}
 }

@@ -107,6 +107,12 @@ type Result struct {
 	// per-call O(n) label scan made those queries quadratic in callers
 	// that loop over edges.
 	labelCount []int32
+	// artPoints and bct cache ArticulationPoints and BlockCutTree, which
+	// used to be recomputed — O(n) and with maps — on every call.
+	// Populated once by the constructors (PrecomputeTopology) before the
+	// Result is published, same discipline as labelCount.
+	artPoints []int32
+	bct       *BlockCutTree
 }
 
 // computeLabelSizes is the one O(n) pass behind LabelSizes.
@@ -218,9 +224,14 @@ func BCC(g *graph.Graph, opt Options) *Result {
 	// Rooted arrays, so each buffer goes back exactly once.
 	sc.PutInt32(tg.Low, tg.High, rt.First, rt.Last)
 	// Populate the per-label size cache before the Result is published so
-	// IsBridge/Bridges are O(1)-per-query reads on a BCC result.
+	// IsBridge/Bridges are O(1)-per-query reads on a BCC result, and the
+	// articulation-point / block-cut-tree caches so every Result carries
+	// its query substrate (computed once, on this run's execution context).
 	res.PrecomputeLabelSizes()
 	res.Times.LastCC = time.Since(t0)
+	// Outside the step breakdown: the paper's four steps end at Last-CC;
+	// the caches are this implementation's serving addition.
+	res.precomputeTopology(e)
 
 	// Auxiliary space estimate (bytes): per-vertex tag arrays (w1, w2,
 	// low, high, first, last, parent, comp, labels, head ≈ 10n int32),
@@ -253,29 +264,58 @@ func (r *Result) Blocks() [][]int32 {
 	return blocks
 }
 
-// ArticulationPoints returns the articulation points: vertices belonging
-// to at least two blocks (Thm. 4.4: exactly the BCC heads, counting the
-// parent-side block for non-roots).
+// ArticulationPoints returns the articulation points in increasing vertex
+// order: vertices belonging to at least two blocks (Thm. 4.4: exactly the
+// BCC heads, counting the parent-side block for non-roots). For
+// constructor-built Results the answer is cached (see PrecomputeTopology)
+// and shared between callers — treat it as read-only.
 func (r *Result) ArticulationPoints() []int32 {
+	if ap := r.artPoints; ap != nil {
+		return ap
+	}
+	return computeArticulationPoints(nil, r)
+}
+
+// computeArticulationPoints is the parallel pass behind ArticulationPoints.
+// The result is never nil (an empty answer is a non-nil empty slice, so the
+// cache can distinguish "computed, none" from "not computed").
+func computeArticulationPoints(e *parallel.Exec, r *Result) []int32 {
 	n := len(r.Label)
 	blocksOf := make([]int32, n)
-	for _, h := range r.Head {
-		if h != -1 {
-			blocksOf[h]++
+	e.ForBlock(r.NumLabels, parallel.DefaultGrain, func(lo, hi int) {
+		for l := lo; l < hi; l++ {
+			if h := r.Head[l]; h != -1 {
+				atomic.AddInt32(&blocksOf[h], 1)
+			}
 		}
-	}
-	for v := 0; v < n; v++ {
+	})
+	out := prim.PackIndicesIn(e, n, func(v int) bool {
+		c := blocksOf[v]
 		if r.Parent[v] != -1 {
-			blocksOf[v]++
+			c++
 		}
-	}
-	var out []int32
-	for v := 0; v < n; v++ {
-		if blocksOf[v] >= 2 {
-			out = append(out, int32(v))
-		}
+		return c >= 2
+	})
+	if out == nil {
+		out = []int32{}
 	}
 	return out
+}
+
+// PrecomputeTopology populates the ArticulationPoints and BlockCutTree
+// caches. Constructors call it exactly once before publishing the Result;
+// like PrecomputeLabelSizes it must not be called concurrently with other
+// accessors, and a caller-assembled Result without the caches simply gets
+// a fresh computation per call.
+func (r *Result) PrecomputeTopology() { r.precomputeTopology(nil) }
+
+func (r *Result) precomputeTopology(e *parallel.Exec) {
+	if r.artPoints == nil {
+		r.artPoints = computeArticulationPoints(e, r)
+	}
+	if r.bct == nil {
+		r.bct = buildBlockCutTree(e, r, r.artPoints)
+	}
 }
 
 // IsBridge reports whether the edge {u,w} of g is a bridge: its block has

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"sync/atomic"
+
+	"repro/internal/graph"
 	"repro/internal/parallel"
 	"repro/internal/prim"
-	"sync/atomic"
 )
 
 // BlockSizes returns the number of vertices of every block, indexed by
@@ -75,7 +77,7 @@ func (r *Result) NumArticulationPoints() int {
 }
 
 // NumBridges counts bridge edges of g without materializing them.
-func (r *Result) NumBridges(g interface{ Neighbors(int32) []int32 }) int {
+func (r *Result) NumBridges(g *graph.Graph) int {
 	n := len(r.Label)
 	count := make([]int32, r.NumLabels)
 	for v := 0; v < n; v++ {

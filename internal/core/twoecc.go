@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/conn"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // TwoECC computes the 2-edge-connected components of g from an existing
@@ -14,17 +15,16 @@ import (
 // at articulation points, 2ECCs split at bridges. It reuses the filtered
 // connectivity machinery of Last-CC with a "skip bridges" predicate, so it
 // runs in the same O(n+m) work / polylog span / O(n) space envelope.
-func (r *Result) TwoECC(g *graph.Graph) []int32 {
-	n := len(r.Label)
+func (r *Result) TwoECC(g *graph.Graph) []int32 { return r.TwoECCIn(nil, g) }
+
+// TwoECCIn is TwoECC running on the execution context e (nil = the
+// process-global default).
+func (r *Result) TwoECCIn(e *parallel.Exec, g *graph.Graph) []int32 {
 	// Per-label member counts identify bridge tree edges: a tree edge
 	// (p(v), v) is a bridge iff v's label is a singleton and the edge has
-	// multiplicity 1 (same logic as Bridges).
-	count := make([]int32, r.NumLabels)
-	for v := 0; v < n; v++ {
-		if r.Parent[v] != -1 {
-			count[r.Label[v]]++
-		}
-	}
+	// multiplicity 1 (same logic as Bridges). The counts are exactly
+	// LabelSizes, cached on constructor-built Results.
+	count := r.LabelSizes()
 	isBridge := func(u, w int32) bool {
 		// Orient to (parent, child).
 		if r.Parent[w] != u {
@@ -47,6 +47,7 @@ func (r *Result) TwoECC(g *graph.Graph) []int32 {
 	cc := conn.Connectivity(g, conn.Options{
 		Seed:   0x2ecc,
 		Filter: func(u, w int32) bool { return !isBridge(u, w) },
+		Exec:   e,
 	})
-	return cc.Normalize()
+	return cc.NormalizeIn(e)
 }

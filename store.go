@@ -1,0 +1,267 @@
+package fastbcc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Snapshot is one immutable version of a served graph: the graph, its
+// decomposition, and the query index, published together. Snapshots are
+// ref-counted: Store.Acquire retains one and the caller must Release it
+// when done. A snapshot stays fully usable after being superseded by a
+// rebuild — queries in flight never observe a half-swapped state and
+// never block recomputation.
+type Snapshot struct {
+	// Name and Version identify the snapshot: Version increases by one
+	// per (re)build of Name.
+	Name    string
+	Version int64
+	// Graph, Result, and Index are the immutable payload.
+	Graph  *Graph
+	Result *Result
+	Index  *Index
+	// BuiltAt records when the snapshot was published; BuildTime is the
+	// wall time the decomposition + index build took.
+	BuiltAt   time.Time
+	BuildTime time.Duration
+
+	refs  atomic.Int64 // the store's reference + one per Acquire
+	store *Store
+}
+
+// tryRetain takes a reference unless the snapshot is already dead
+// (refs == 0), which can happen when a rebuild swaps it out between a
+// reader loading the pointer and retaining it.
+func (s *Snapshot) tryRetain() bool {
+	for {
+		r := s.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// Release returns the snapshot to the store. The caller must not use the
+// snapshot afterwards. Releasing more times than acquired panics.
+func (s *Snapshot) Release() {
+	n := s.refs.Add(-1)
+	switch {
+	case n == 0:
+		// Superseded and no reader left: the version is fully retired.
+		if s.store != nil {
+			s.store.live.Add(-1)
+		}
+	case n < 0:
+		panic("fastbcc: Snapshot released more times than acquired")
+	}
+}
+
+// Store is a named-graph catalog serving versioned decomposition
+// snapshots — the front end cmd/bccd exposes over HTTP. Each name holds
+// one current Snapshot; Load and Rebuild compute a new version on the
+// Store's Runner budget and swap it in atomically, so concurrent Acquire
+// calls always see a complete snapshot and queries never block
+// recomputation (rebuilds of the same name serialize; different names
+// rebuild concurrently within the worker budget).
+//
+// All methods are safe for concurrent use. The zero value is not usable;
+// construct with NewStore.
+type Store struct {
+	runner *Runner
+	live   atomic.Int64 // snapshots with at least one outstanding reference
+
+	mu     sync.RWMutex
+	byName map[string]*storeEntry
+	closed bool
+}
+
+type storeEntry struct {
+	buildMu sync.Mutex // serializes (re)builds of this name
+	removed bool       // guarded by buildMu
+	version atomic.Int64
+	cur     atomic.Pointer[Snapshot]
+}
+
+// NewStore returns a Store whose rebuilds share a Runner with workers-1
+// pool goroutines (workers < 1 selects GOMAXPROCS). Close releases them.
+func NewStore(workers int) *Store {
+	return &Store{runner: NewRunner(workers), byName: map[string]*storeEntry{}}
+}
+
+// Runner returns the Store's Runner, for callers that want to share its
+// worker budget for ad-hoc decompositions.
+func (s *Store) Runner() *Runner { return s.runner }
+
+func (s *Store) lookup(name string) (*storeEntry, error) {
+	s.mu.RLock()
+	en := s.byName[name]
+	s.mu.RUnlock()
+	if en == nil {
+		return nil, fmt.Errorf("fastbcc: graph %q not loaded", name)
+	}
+	return en, nil
+}
+
+// Load computes the decomposition and index of g and installs it as the
+// current snapshot of name (creating or replacing the entry). It returns
+// the new snapshot retained for the caller: Release it when done.
+func (s *Store) Load(name string, g *Graph, opts *Options) (*Snapshot, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("fastbcc: store is closed")
+	}
+	en := s.byName[name]
+	if en == nil {
+		en = &storeEntry{}
+		s.byName[name] = en
+	}
+	s.mu.Unlock()
+	return s.build(en, name, g, opts)
+}
+
+// Rebuild recomputes the current graph of name into a new snapshot
+// version (for example after tuning Options). It returns the new
+// snapshot retained for the caller: Release it when done.
+func (s *Store) Rebuild(name string, opts *Options) (*Snapshot, error) {
+	en, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.build(en, name, nil, opts)
+}
+
+// build computes and installs one snapshot version. g == nil reuses the
+// entry's current graph (Rebuild); the read happens under buildMu so a
+// concurrent Load's replacement graph is not lost.
+func (s *Store) build(en *storeEntry, name string, g *Graph, opts *Options) (*Snapshot, error) {
+	en.buildMu.Lock()
+	defer en.buildMu.Unlock()
+	if en.removed {
+		return nil, fmt.Errorf("fastbcc: graph %q not loaded", name)
+	}
+	if g == nil {
+		cur := en.cur.Load()
+		if cur == nil {
+			return nil, fmt.Errorf("fastbcc: graph %q not loaded", name)
+		}
+		g = cur.Graph
+	}
+	t0 := time.Now()
+	res, idx := s.runner.BuildIndex(g, opts)
+	snap := &Snapshot{
+		Name:      name,
+		Version:   en.version.Add(1),
+		Graph:     g,
+		Result:    res,
+		Index:     idx,
+		BuiltAt:   time.Now(),
+		BuildTime: time.Since(t0),
+		store:     s,
+	}
+	snap.refs.Store(2) // the store's reference + the returned handle
+	s.live.Add(1)
+	if old := en.cur.Swap(snap); old != nil {
+		old.Release()
+	}
+	return snap, nil
+}
+
+// Acquire retains and returns the current snapshot of name. The caller
+// must Release it; until then the snapshot stays valid even if a rebuild
+// supersedes it.
+func (s *Store) Acquire(name string) (*Snapshot, error) {
+	en, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		snap := en.cur.Load()
+		if snap == nil {
+			return nil, fmt.Errorf("fastbcc: graph %q not loaded", name)
+		}
+		if snap.tryRetain() {
+			return snap, nil
+		}
+		// The snapshot died between the load and the retain (swapped out
+		// and fully released); the entry now points at its replacement.
+	}
+}
+
+// Remove drops name from the catalog. Snapshots already acquired stay
+// valid until released.
+func (s *Store) Remove(name string) error {
+	s.mu.Lock()
+	en := s.byName[name]
+	delete(s.byName, name)
+	s.mu.Unlock()
+	if en == nil {
+		return fmt.Errorf("fastbcc: graph %q not loaded", name)
+	}
+	s.retire(en)
+	return nil
+}
+
+func (s *Store) retire(en *storeEntry) {
+	en.buildMu.Lock()
+	en.removed = true
+	old := en.cur.Swap(nil)
+	en.buildMu.Unlock()
+	if old != nil {
+		old.Release()
+	}
+}
+
+// Names returns the loaded graph names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.byName))
+	for name := range s.byName {
+		out = append(out, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// StoreStats is a point-in-time gauge of the catalog.
+type StoreStats struct {
+	// Graphs is the number of loaded names.
+	Graphs int
+	// LiveSnapshots counts snapshots with at least one outstanding
+	// reference — current versions plus superseded ones still held by
+	// in-flight readers.
+	LiveSnapshots int64
+}
+
+// Stats returns current catalog gauges.
+func (s *Store) Stats() StoreStats {
+	s.mu.RLock()
+	n := len(s.byName)
+	s.mu.RUnlock()
+	return StoreStats{Graphs: n, LiveSnapshots: s.live.Load()}
+}
+
+// Close retires every entry and releases the Store's workers. Snapshots
+// already acquired stay valid until released; Load/Rebuild/Acquire after
+// Close fail. Close is idempotent.
+func (s *Store) Close() {
+	s.mu.Lock()
+	s.closed = true
+	entries := make([]*storeEntry, 0, len(s.byName))
+	for _, en := range s.byName {
+		entries = append(entries, en)
+	}
+	s.byName = map[string]*storeEntry{}
+	s.mu.Unlock()
+	for _, en := range entries {
+		s.retire(en)
+	}
+	s.runner.Close()
+}
