@@ -1,0 +1,188 @@
+package fastbcc_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	fastbcc "repro"
+	"repro/internal/check"
+)
+
+// algoTestGraph has two components (a square with a chord-connected tail
+// and a triangle), cut vertices, and a bridge — every engine must agree.
+func algoTestGraph(t *testing.T) *fastbcc.Graph {
+	t.Helper()
+	g, err := fastbcc.NewGraphFromEdges(8, []fastbcc.Edge{
+		{U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 3}, {U: 3, W: 0}, {U: 3, W: 4},
+		{U: 5, W: 6}, {U: 6, W: 7}, {U: 7, W: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAlgorithmsEnumeration(t *testing.T) {
+	algos := fastbcc.Algorithms()
+	if len(algos) < 5 {
+		t.Fatalf("expected at least 5 registered algorithms, got %v", algos)
+	}
+	if algos[0].Name != "fast" {
+		t.Fatalf("default algorithm should come first, got %q", algos[0].Name)
+	}
+	seen := map[string]bool{}
+	for _, a := range algos {
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"fast", "fast-opt", "seq", "gbbs", "sm14", "tv"} {
+		if !seen[want] {
+			t.Errorf("algorithm %q missing from enumeration", want)
+		}
+	}
+}
+
+func TestBCCWithEveryAlgorithm(t *testing.T) {
+	g := algoTestGraph(t)
+	ref := fastbcc.BCC(g, nil)
+	for _, a := range fastbcc.Algorithms() {
+		res := fastbcc.BCC(g, &fastbcc.Options{Algorithm: a.Name, Seed: 5})
+		if res.NumBCC != ref.NumBCC {
+			t.Errorf("%s: NumBCC = %d, want %d", a.Name, res.NumBCC, ref.NumBCC)
+		}
+		if !check.Equal(res.Blocks(), ref.Blocks()) {
+			t.Errorf("%s: block decomposition differs from default engine", a.Name)
+		}
+	}
+}
+
+func TestBCCUnknownAlgorithmPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("BCC with unknown algorithm did not panic")
+		}
+		if !strings.Contains(panicText(r), "unknown algorithm") {
+			t.Fatalf("panic %v does not name the problem", r)
+		}
+	}()
+	fastbcc.BCC(algoTestGraph(t), &fastbcc.Options{Algorithm: "nope"})
+}
+
+func panicText(v any) string {
+	if err, ok := v.(error); ok {
+		return err.Error()
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}
+
+func TestRunnerWithEveryAlgorithm(t *testing.T) {
+	g := algoTestGraph(t)
+	r := fastbcc.NewRunner(4)
+	defer r.Close()
+	ref := r.Run(g, nil)
+	for _, a := range fastbcc.Algorithms() {
+		res := r.Run(g, &fastbcc.Options{Algorithm: a.Name, Threads: 2})
+		if !check.Equal(res.Blocks(), ref.Blocks()) {
+			t.Errorf("%s via Runner: block decomposition differs", a.Name)
+		}
+	}
+}
+
+func TestStorePerEntryAlgorithm(t *testing.T) {
+	g := algoTestGraph(t)
+	st := fastbcc.NewStore(2)
+	defer st.Close()
+
+	snap, err := st.Load("g", g, &fastbcc.Options{Algorithm: "sm14"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Algorithm != "sm14" {
+		t.Fatalf("snapshot algorithm = %q, want sm14", snap.Algorithm)
+	}
+	snap.Release()
+
+	// Rebuild without an algorithm keeps the entry's engine.
+	snap, err = st.Rebuild("g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Algorithm != "sm14" || snap.Version != 2 {
+		t.Fatalf("rebuild kept algo=%q v=%d, want sm14 v2", snap.Algorithm, snap.Version)
+	}
+	snap.Release()
+
+	// Rebuild can switch engines; stats reflect the per-entry algorithm.
+	snap, err = st.Rebuild("g", &fastbcc.Options{Algorithm: "gbbs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Algorithm != "gbbs" {
+		t.Fatalf("switched algorithm = %q, want gbbs", snap.Algorithm)
+	}
+	snap.Release()
+	if stats := st.Stats(); stats.ByAlgorithm["gbbs"] != 1 {
+		t.Fatalf("stats by-algorithm = %v, want gbbs:1", stats.ByAlgorithm)
+	}
+
+	// Unknown algorithms error without installing a snapshot.
+	if _, err := st.Rebuild("g", &fastbcc.Options{Algorithm: "nope"}); err == nil {
+		t.Fatal("rebuild with unknown algorithm did not error")
+	}
+	snap, err = st.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Algorithm != "gbbs" || snap.Version != 3 {
+		t.Fatalf("failed rebuild disturbed the entry: algo=%q v=%d", snap.Algorithm, snap.Version)
+	}
+	snap.Release()
+
+	// Default loads resolve to the canonical default name.
+	snap, err = st.Load("d", g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Algorithm != "fast" {
+		t.Fatalf("default algorithm = %q, want fast", snap.Algorithm)
+	}
+	snap.Release()
+
+	// A load that replaces an entry without naming an algorithm gets the
+	// documented default, not the replaced entry's engine; and unknown
+	// names are classifiable with errors.Is.
+	snap, err = st.Load("g", g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Algorithm != "fast" {
+		t.Fatalf("replacing load algorithm = %q, want fast", snap.Algorithm)
+	}
+	snap.Release()
+	if _, err := st.Load("g", g, &fastbcc.Options{Algorithm: "nope"}); !errors.Is(err, fastbcc.ErrUnknownAlgorithm) {
+		t.Fatalf("unknown-algorithm error not classifiable: %v", err)
+	}
+	// Restore the engine under test for the query comparison below.
+	if _, err := st.Rebuild("g", &fastbcc.Options{Algorithm: "gbbs"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queries answer identically regardless of the serving engine.
+	sa, _ := st.Acquire("g")
+	sb, _ := st.Acquire("d")
+	defer sa.Release()
+	defer sb.Release()
+	for u := int32(0); u < 8; u++ {
+		for v := int32(0); v < 8; v++ {
+			if sa.Index.Connected(u, v) != sb.Index.Connected(u, v) ||
+				sa.Index.Biconnected(u, v) != sb.Index.Biconnected(u, v) ||
+				sa.Index.TwoEdgeConnected(u, v) != sb.Index.TwoEdgeConnected(u, v) {
+				t.Fatalf("engines disagree on query (%d,%d)", u, v)
+			}
+		}
+	}
+}

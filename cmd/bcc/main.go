@@ -6,7 +6,7 @@
 //	bcc -in graph.bin                  # binary file written by bccgen
 //	bcc -in graph.txt -format edges    # "n m" header + "u w" lines
 //	bcc -gen SQR -scale small          # a suite instance by name
-//	bcc -in graph.bin -alg seq         # Hopcroft–Tarjan instead of FAST-BCC
+//	bcc -in graph.bin -algo seq        # any registered engine (-algo list)
 //	bcc -in graph.bin -blocks          # also list the blocks (small graphs)
 package main
 
@@ -17,6 +17,7 @@ import (
 
 	fastbcc "repro"
 	"repro/internal/bench"
+	"repro/internal/engine"
 	"repro/internal/graph"
 )
 
@@ -25,11 +26,31 @@ func main() {
 	format := flag.String("format", "bin", "input format: bin|edges")
 	genName := flag.String("gen", "", "generate a suite instance by name (e.g. SQR, Chn7)")
 	scale := flag.String("scale", "small", "scale for -gen: small|medium|large")
-	alg := flag.String("alg", "fast", "algorithm: fast|seq")
+	algo := flag.String("algo", "", "algorithm (registry name, default fast; 'list' prints the choices)")
+	alg := flag.String("alg", "", "deprecated alias for -algo (ignored when -algo is set)")
 	threads := flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
 	localSearch := flag.Bool("opt", false, "enable hash-bag/local-search connectivity")
 	blocks := flag.Bool("blocks", false, "print the blocks (use on small graphs)")
 	flag.Parse()
+
+	name := *algo
+	if name == "" && *alg != "" {
+		fmt.Fprintln(os.Stderr, "bcc: -alg is deprecated, use -algo")
+		name = *alg
+	}
+	if name == "list" {
+		for _, a := range fastbcc.Algorithms() {
+			fmt.Printf("%-10s connected-only=%v sequential=%v deterministic=%v\n",
+				a.Name, a.ConnectedOnly, a.Sequential, a.Deterministic)
+		}
+		return
+	}
+	a, err := engine.Get(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcc: %v (try -algo list)\n", err)
+		os.Exit(2)
+	}
+	name = a.Name()
 
 	g, err := load(*in, *format, *genName, *scale)
 	if err != nil {
@@ -38,36 +59,23 @@ func main() {
 	}
 	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
 
-	switch *alg {
-	case "seq":
-		res := fastbcc.BCCSeq(g)
-		fmt.Printf("algorithm: Hopcroft-Tarjan (sequential)\n")
-		fmt.Printf("#BCC: %d\n", res.NumBCC())
-		fmt.Printf("articulation points: %d\n", len(res.ArticulationPoints()))
-		fmt.Printf("bridges: %d\n", len(res.Bridges()))
-		if *blocks {
-			for i, b := range res.Blocks {
-				fmt.Printf("block %d: %v\n", i, b)
-			}
+	res := fastbcc.BCC(g, &fastbcc.Options{
+		Algorithm:   name,
+		Threads:     *threads,
+		LocalSearch: *localSearch,
+	})
+	fmt.Printf("algorithm: %s\n", name)
+	fmt.Printf("#BCC: %d\n", res.NumBCC)
+	fmt.Printf("articulation points: %d\n", len(res.ArticulationPoints()))
+	fmt.Printf("bridges: %d\n", len(res.Bridges(g)))
+	t := res.Times
+	fmt.Printf("steps: first-cc=%v rooting=%v tagging=%v last-cc=%v total=%v\n",
+		t.FirstCC, t.Rooting, t.Tagging, t.LastCC, t.Total())
+	fmt.Printf("aux space estimate: %.1f MB\n", float64(res.AuxBytes)/(1<<20))
+	if *blocks {
+		for i, b := range res.Blocks() {
+			fmt.Printf("block %d: %v\n", i, b)
 		}
-	case "fast":
-		res := fastbcc.BCC(g, &fastbcc.Options{Threads: *threads, LocalSearch: *localSearch})
-		fmt.Printf("algorithm: FAST-BCC\n")
-		fmt.Printf("#BCC: %d\n", res.NumBCC)
-		fmt.Printf("articulation points: %d\n", len(res.ArticulationPoints()))
-		fmt.Printf("bridges: %d\n", len(res.Bridges(g)))
-		t := res.Times
-		fmt.Printf("steps: first-cc=%v rooting=%v tagging=%v last-cc=%v total=%v\n",
-			t.FirstCC, t.Rooting, t.Tagging, t.LastCC, t.Total())
-		fmt.Printf("aux space estimate: %.1f MB\n", float64(res.AuxBytes)/(1<<20))
-		if *blocks {
-			for i, b := range res.Blocks() {
-				fmt.Printf("block %d: %v\n", i, b)
-			}
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "bcc: unknown algorithm %q\n", *alg)
-		os.Exit(2)
 	}
 }
 

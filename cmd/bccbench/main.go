@@ -13,6 +13,7 @@
 //	bccbench -exp tab2 -scale medium -reps 3
 //	bccbench -exp tab2 -graphs SQR,REC,Chn7
 //	bccbench -micro BENCH_N.json       # hot-path micro-benchmarks -> JSON report
+//	bccbench -micro BENCH_N.json -algo fast,seq   # engine matrix subset
 //	bccbench -qbench -scale small      # online query throughput (Store/Index serving path)
 package main
 
@@ -33,6 +34,7 @@ func main() {
 	graphs := flag.String("graphs", "", "comma-separated subset of instance names (default: all 27)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	micro := flag.String("micro", "", "run the hot-path micro-benchmarks and write a BENCH_*.json report to this path")
+	algo := flag.String("algo", "", "comma-separated engine subset for the -micro engine matrix (default: every registered engine)")
 	qbench := flag.Bool("qbench", false, "measure online query throughput through the Store/Index serving path")
 	flag.Parse()
 
@@ -42,7 +44,17 @@ func main() {
 	}
 
 	if *micro != "" {
-		rep := bench.RunMicro()
+		var engines []string
+		if *algo != "" {
+			for _, name := range strings.Split(*algo, ",") {
+				engines = append(engines, strings.TrimSpace(name))
+			}
+		}
+		rep, err := bench.RunMicro(engines)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bccbench: %v\n", err)
+			os.Exit(2)
+		}
 		if err := rep.WriteJSON(*micro); err != nil {
 			fmt.Fprintf(os.Stderr, "bccbench: %v\n", err)
 			os.Exit(1)

@@ -9,13 +9,19 @@
 //
 // Endpoints (all JSON):
 //
-//	GET    /healthz                          liveness + catalog gauges
+//	GET    /healthz                          liveness + catalog gauges + the
+//	                                         registered algorithms with their
+//	                                         capability flags
 //	GET    /v1/graphs                        list loaded graphs
 //	PUT    /v1/graphs/{name}                 load a graph: {"n":..,"edges":[[u,w],..]}
 //	                                         or {"path":"file.bin"}; optional
-//	                                         "seed", "threads", "local_search"
-//	GET    /v1/graphs/{name}                 snapshot stats
-//	POST   /v1/graphs/{name}/rebuild         recompute a new snapshot version
+//	                                         "algo" (a registered algorithm
+//	                                         name; default "fast"), "seed",
+//	                                         "threads", "local_search", "source"
+//	GET    /v1/graphs/{name}                 snapshot stats (includes "algo")
+//	POST   /v1/graphs/{name}/rebuild         recompute a new snapshot version;
+//	                                         "algo" switches the engine, empty
+//	                                         keeps the entry's current one
 //	DELETE /v1/graphs/{name}                 drop the graph
 //	GET    /v1/graphs/{name}/query/{op}?u=&v=[&x=][&list=1]
 //
@@ -23,6 +29,13 @@
 // separates (does removing x disconnect u from v), cuts (articulation
 // points between u and v; list=1 enumerates them), bridges (bridges
 // every u-v route crosses; list=1 enumerates them).
+//
+// Every graph is served by the engine its snapshot was built with: the
+// paper's FAST-BCC by default, or any registered baseline (seq, gbbs,
+// sm14, tv, fast-opt) selected per load/rebuild with "algo". All engines
+// produce the same decomposition, so query answers are engine-independent;
+// the choice trades construction speed, memory, and determinism (see the
+// README's "Choosing an algorithm").
 //
 // Rebuilds run on the store's bounded worker budget and swap snapshots
 // atomically, so queries keep being served from the previous version

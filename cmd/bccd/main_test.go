@@ -138,3 +138,58 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Fatalf("stats after remove: %d", code)
 	}
 }
+
+// TestServerAlgorithmSelection loads the same graph once per registered
+// algorithm and checks the decomposition stats and query answers are
+// engine-independent, the "algo" field round-trips through stats, and
+// rebuilds keep or switch the engine as requested.
+func TestServerAlgorithmSelection(t *testing.T) {
+	srv := testServer(t)
+
+	// healthz advertises the registry.
+	code, body := do(t, http.MethodGet, srv.URL+"/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d %v", code, body)
+	}
+	algos, _ := body["algorithms"].([]any)
+	if len(algos) < 5 {
+		t.Fatalf("healthz algorithms: %v", body["algorithms"])
+	}
+
+	for _, a := range fastbcc.Algorithms() {
+		name := "algo-" + a.Name
+		req := fmt.Sprintf(`{"n":7,"edges":[[0,1],[1,2],[2,0],[2,3],[3,4],[4,5],[5,6],[6,3]],"algo":%q}`, a.Name)
+		code, body := do(t, http.MethodPut, srv.URL+"/v1/graphs/"+name, req)
+		if code != http.StatusOK {
+			t.Fatalf("load %s: %d %v", a.Name, code, body)
+		}
+		if body["algo"] != a.Name {
+			t.Fatalf("load %s: algo=%v", a.Name, body["algo"])
+		}
+		if body["blocks"] != float64(3) || body["cuts"] != float64(2) || body["bridges"] != float64(1) {
+			t.Fatalf("%s decomposition differs: %v", a.Name, body)
+		}
+		code, body = do(t, http.MethodGet, srv.URL+"/v1/graphs/"+name+"/query/separates?x=2&u=0&v=4", "")
+		if code != http.StatusOK || body["result"] != true {
+			t.Fatalf("%s separates query: %d %v", a.Name, code, body)
+		}
+	}
+
+	// Rebuild with no algo keeps the engine; with algo switches it.
+	code, body = do(t, http.MethodPost, srv.URL+"/v1/graphs/algo-sm14/rebuild", "")
+	if code != http.StatusOK || body["algo"] != "sm14" || body["version"] != float64(2) {
+		t.Fatalf("rebuild keep: %d %v", code, body)
+	}
+	code, body = do(t, http.MethodPost, srv.URL+"/v1/graphs/algo-sm14/rebuild", `{"algo":"gbbs"}`)
+	if code != http.StatusOK || body["algo"] != "gbbs" || body["version"] != float64(3) {
+		t.Fatalf("rebuild switch: %d %v", code, body)
+	}
+
+	// Unknown algorithms are a client error on load and rebuild.
+	if code, _ := do(t, http.MethodPut, srv.URL+"/v1/graphs/bad-algo", `{"n":2,"edges":[[0,1]],"algo":"nope"}`); code != http.StatusBadRequest {
+		t.Fatalf("load with unknown algo: %d", code)
+	}
+	if code, _ := do(t, http.MethodPost, srv.URL+"/v1/graphs/algo-fast/rebuild", `{"algo":"nope"}`); code != http.StatusBadRequest {
+		t.Fatalf("rebuild with unknown algo: %d", code)
+	}
+}

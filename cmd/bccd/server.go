@@ -48,6 +48,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 type graphInfo struct {
 	Name    string  `json:"name"`
 	Version int64   `json:"version"`
+	Algo    string  `json:"algo"`
 	N       int     `json:"n"`
 	M       int     `json:"m"`
 	Blocks  int     `json:"blocks"`
@@ -62,6 +63,7 @@ func info(snap *fastbcc.Snapshot) graphInfo {
 	return graphInfo{
 		Name:    snap.Name,
 		Version: snap.Version,
+		Algo:    snap.Algorithm,
 		N:       snap.Graph.NumVertices(),
 		M:       snap.Graph.NumEdges(),
 		Blocks:  snap.Index.NumBlocks(),
@@ -73,12 +75,31 @@ func info(snap *fastbcc.Snapshot) graphInfo {
 	}
 }
 
+// algoInfo is one entry of the healthz "algorithms" list.
+type algoInfo struct {
+	Name          string `json:"name"`
+	ConnectedOnly bool   `json:"connected_only,omitempty"`
+	Sequential    bool   `json:"sequential,omitempty"`
+	Deterministic bool   `json:"deterministic,omitempty"`
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.store.Stats()
+	algos := make([]algoInfo, 0, 8)
+	for _, a := range fastbcc.Algorithms() {
+		algos = append(algos, algoInfo{
+			Name:          a.Name,
+			ConnectedOnly: a.ConnectedOnly,
+			Sequential:    a.Sequential,
+			Deterministic: a.Deterministic,
+		})
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":             true,
 		"graphs":         st.Graphs,
 		"live_snapshots": st.LiveSnapshots,
+		"by_algorithm":   st.ByAlgorithm,
+		"algorithms":     algos,
 	})
 }
 
@@ -102,9 +123,11 @@ type loadRequest struct {
 	N           int        `json:"n"`
 	Edges       [][2]int32 `json:"edges"`
 	Path        string     `json:"path"`
+	Algo        string     `json:"algo"`
 	Seed        uint64     `json:"seed"`
 	Threads     int        `json:"threads"`
 	LocalSearch bool       `json:"local_search"`
+	Source      int32      `json:"source"`
 }
 
 func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
@@ -138,10 +161,14 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	opts := &fastbcc.Options{Seed: req.Seed, Threads: req.Threads, LocalSearch: req.LocalSearch}
+	opts := &fastbcc.Options{Algorithm: req.Algo, Seed: req.Seed, Threads: req.Threads, LocalSearch: req.LocalSearch, Source: req.Source}
 	snap, err := s.store.Load(name, g, opts)
 	if err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		status := http.StatusConflict
+		if errors.Is(err, fastbcc.ErrUnknownAlgorithm) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, "%v", err)
 		return
 	}
 	defer snap.Release()
@@ -162,10 +189,14 @@ func (s *server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	opts := &fastbcc.Options{Seed: req.Seed, Threads: req.Threads, LocalSearch: req.LocalSearch}
+	opts := &fastbcc.Options{Algorithm: req.Algo, Seed: req.Seed, Threads: req.Threads, LocalSearch: req.LocalSearch, Source: req.Source}
 	snap, err := s.store.Rebuild(name, opts)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		status := http.StatusNotFound
+		if errors.Is(err, fastbcc.ErrUnknownAlgorithm) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, "%v", err)
 		return
 	}
 	defer snap.Release()

@@ -1,31 +1,33 @@
-// Command bccverify runs every BCC implementation in the repository on the
-// same graph and cross-checks the decompositions, as the paper does with
-// #BCC ("We compare the number of BCCs reported by each algorithm with SEQ
-// to verify correctness", Sec. 6) — but stronger: the full vertex-set block
-// decomposition must match.
+// Command bccverify runs every registered BCC engine on the same graph
+// and cross-checks the decompositions against the sequential
+// Hopcroft–Tarjan oracle, as the paper does with #BCC ("We compare the
+// number of BCCs reported by each algorithm with SEQ to verify
+// correctness", Sec. 6) — but stronger: the full vertex-set block
+// decomposition must match. The engine list comes from the algorithm
+// registry, so a newly registered engine is verified with no change here.
 //
 // Usage:
 //
 //	bccverify -gen SQR -scale small
 //	bccverify -in graph.bin
 //	bccverify -random 500 -edges 1200 -trials 20
+//	bccverify -gen SQR -algo gbbs,tv     # verify a subset of engines
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	fastbcc "repro"
 	"repro/internal/bench"
-	"repro/internal/bfsbcc"
 	"repro/internal/check"
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/prim"
 	"repro/internal/seqbcc"
-	"repro/internal/smbcc"
-	"repro/internal/tv"
 )
 
 func main() {
@@ -36,7 +38,14 @@ func main() {
 	edges := flag.Int("edges", 0, "edges for -random (default 2n)")
 	trials := flag.Int("trials", 10, "number of random trials")
 	seed := flag.Uint64("seed", 1, "random seed")
+	algos := flag.String("algo", "", "comma-separated engine subset (default: every registered engine)")
 	flag.Parse()
+
+	names, err := selectAlgos(*algos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bccverify:", err)
+		os.Exit(2)
+	}
 
 	switch {
 	case *random > 0:
@@ -47,11 +56,11 @@ func main() {
 		rng := prim.NewRNG(*seed)
 		for trial := 0; trial < *trials; trial++ {
 			g := gen.ER(*random, m, rng.Next())
-			if !verify(g, fmt.Sprintf("random trial %d", trial)) {
+			if !verify(g, fmt.Sprintf("random trial %d", trial), names) {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("OK: %d random graphs (n=%d, m≈%d) verified across all algorithms\n",
+		fmt.Printf("OK: %d random graphs (n=%d, m≈%d) verified across all engines\n",
 			*trials, *random, m)
 	case *genName != "":
 		ins, ok := bench.ByName(*genName)
@@ -60,28 +69,47 @@ func main() {
 			os.Exit(2)
 		}
 		g := ins.Build(bench.ParseScale(*scale))
-		if !verify(g, *genName) {
+		if !verify(g, *genName, names) {
 			os.Exit(1)
 		}
-		fmt.Printf("OK: %s verified across all algorithms\n", *genName)
+		fmt.Printf("OK: %s verified across all engines\n", *genName)
 	case *in != "":
 		g, err := graph.LoadFile(*in)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bccverify:", err)
 			os.Exit(1)
 		}
-		if !verify(g, *in) {
+		if !verify(g, *in, names) {
 			os.Exit(1)
 		}
-		fmt.Printf("OK: %s verified across all algorithms\n", *in)
+		fmt.Printf("OK: %s verified across all engines\n", *in)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-// verify cross-checks all implementations on g; returns false on mismatch.
-func verify(g *graph.Graph, what string) bool {
+// selectAlgos resolves the -algo subset against the registry (empty =
+// all registered engines).
+func selectAlgos(spec string) ([]string, error) {
+	if spec == "" {
+		return engine.Names(), nil
+	}
+	var names []string
+	for _, name := range strings.Split(spec, ",") {
+		a, err := engine.Get(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, a.Name())
+	}
+	return names, nil
+}
+
+// verify cross-checks the selected engines on g against the seqbcc
+// oracle (and, on small inputs, an independent recursive oracle);
+// returns false on mismatch.
+func verify(g *graph.Graph, what string, names []string) bool {
 	ref := seqbcc.BCC(g)
 	refBlocks := ref.Blocks
 	fmt.Printf("%s: n=%d m=%d #BCC=%d\n", what, g.NumVertices(), g.NumEdges(), ref.NumBCC())
@@ -97,14 +125,9 @@ func verify(g *graph.Graph, what string) bool {
 	}
 
 	bad := false
-	bad = fail("FAST-BCC", core.BCC(g, core.Options{Seed: 7}).Blocks()) || bad
-	bad = fail("FAST-opt", core.BCC(g, core.Options{Seed: 8, LocalSearch: true}).Blocks()) || bad
-	bad = fail("GBBS", bfsbcc.BCC(g, bfsbcc.Options{Seed: 7}).Blocks()) || bad
-	bad = fail("TV", tv.BCC(g, tv.Options{Seed: 7}).Blocks()) || bad
-	if sm, err := smbcc.BCC(g, smbcc.Options{}); err == nil {
-		bad = fail("SM14", sm.Blocks()) || bad
-	} else {
-		fmt.Printf("  %-10s skipped (%v)\n", "SM14", err)
+	for _, name := range names {
+		res := fastbcc.BCC(g, &fastbcc.Options{Algorithm: name, Seed: 7})
+		bad = fail(name, res.Blocks()) || bad
 	}
 	// Independent recursive oracle on small inputs only (O(n) recursion).
 	if g.NumVertices() <= 100000 {

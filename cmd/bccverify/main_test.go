@@ -7,12 +7,16 @@ import (
 )
 
 func TestVerifyAgreesOnStructuredGraphs(t *testing.T) {
+	all, err := selectAlgos("")
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := map[string]func() bool{
-		"cycle":       func() bool { return verify(gen.Cycle(50), "cycle") },
-		"chain":       func() bool { return verify(gen.Chain(40), "chain") },
-		"cliquechain": func() bool { return verify(gen.CliqueChain(3, 4), "cliquechain") },
-		"disjoint":    func() bool { return verify(gen.Disjoint(gen.Cycle(6), gen.Star(5)), "disjoint") },
-		"rmat":        func() bool { return verify(gen.RMAT(8, 4, 1), "rmat") },
+		"cycle":       func() bool { return verify(gen.Cycle(50), "cycle", all) },
+		"chain":       func() bool { return verify(gen.Chain(40), "chain", all) },
+		"cliquechain": func() bool { return verify(gen.CliqueChain(3, 4), "cliquechain", all) },
+		"disjoint":    func() bool { return verify(gen.Disjoint(gen.Cycle(6), gen.Star(5)), "disjoint", all) },
+		"rmat":        func() bool { return verify(gen.RMAT(8, 4, 1), "rmat", all) },
 	}
 	for name, run := range cases {
 		t.Run(name, func(t *testing.T) {

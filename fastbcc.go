@@ -23,10 +23,25 @@
 // vertex plus a component head per label; explicit blocks, articulation
 // points, and bridges are derived on demand.
 //
-// Baselines (sequential Hopcroft–Tarjan, a faithful Tarjan–Vishkin, a
-// GBBS-style BFS-skeleton algorithm, and an SM'14-style algorithm) live in
-// internal packages and are exercised by the cmd/bccbench experiment
-// driver; BCCSeq exposes Hopcroft–Tarjan for convenience.
+// # Choosing an algorithm
+//
+// Every BCC implementation in the repository — FAST-BCC plus the paper's
+// baselines (sequential Hopcroft–Tarjan, a faithful Tarjan–Vishkin, a
+// GBBS-style BFS-skeleton algorithm, and an SM'14-style algorithm) — is a
+// registered engine producing the same Result representation, selected by
+// Options.Algorithm:
+//
+//	res := fastbcc.BCC(g, &fastbcc.Options{Algorithm: "gbbs"})
+//	for _, a := range fastbcc.Algorithms() { ... } // the choices + caps
+//
+// All engines return identical decompositions (the cross-test suite
+// enforces it), so the whole query and serving surface — Index, Runner,
+// Store, cmd/bccd — works identically on any of them; the choice trades
+// construction speed, memory, and determinism (see the README's
+// capabilities table). Engines with native restrictions are normalized:
+// the SM'14 baseline only supports connected graphs, so the registry
+// runs it per connected component and merges. BCCSeq exposes
+// Hopcroft–Tarjan's explicit block output directly for convenience.
 //
 // # Performance
 //
@@ -99,7 +114,10 @@
 package fastbcc
 
 import (
+	"fmt"
+
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/parallel"
@@ -127,8 +145,14 @@ type Scratch = graph.Scratch
 // NewGraphFromEdgesScratch.
 func NewScratch() *Scratch { return graph.NewScratch() }
 
-// Options tunes the FAST-BCC run. The zero value is a sensible default.
+// Options tunes the decomposition run. The zero value is a sensible
+// default (the FAST-BCC engine on the default execution context).
 type Options struct {
+	// Algorithm selects the engine by registry name ("" = "fast", the
+	// paper's FAST-BCC). Algorithms() enumerates the choices with their
+	// capabilities; unknown names make BCC panic — validate user-supplied
+	// names up front (the Store does) or pick from Algorithms().
+	Algorithm string
 	// Seed drives the randomized connectivity; runs with equal seeds on
 	// equal graphs produce identical spanning forests.
 	Seed uint64
@@ -143,6 +167,86 @@ type Options struct {
 	Threads int
 	// Scratch, when non-nil, recycles auxiliary buffers across BCC calls.
 	Scratch *Scratch
+	// Source is the root vertex for engines that grow a tree from a seed
+	// vertex (the SM'14 baseline's BFS root); the default engine ignores
+	// it.
+	Source int32
+}
+
+// AlgorithmInfo describes one registered BCC engine: its registry name
+// plus capability flags for choosing among them (see the README's
+// "Choosing an algorithm" table).
+type AlgorithmInfo struct {
+	// Name is the value for Options.Algorithm.
+	Name string
+	// ConnectedOnly marks engines whose native implementation supports
+	// only connected graphs; the serving stack transparently runs them
+	// per component, so any graph still works.
+	ConnectedOnly bool
+	// Sequential marks single-threaded engines that ignore Threads.
+	Sequential bool
+	// Deterministic marks engines whose full Result (labels, parents,
+	// heads — not just the block decomposition, which is canonical for
+	// every engine) is identical across runs with equal Options.
+	Deterministic bool
+}
+
+// Algorithms enumerates the registered BCC engines, default first. Every
+// name is valid for Options.Algorithm everywhere an Options is accepted
+// (BCC, Runner, Store, cmd/bccd's "algo" field).
+func Algorithms() []AlgorithmInfo {
+	engines := engine.All()
+	out := make([]AlgorithmInfo, len(engines))
+	for i, a := range engines {
+		c := a.Caps()
+		out[i] = AlgorithmInfo{
+			Name:          a.Name(),
+			ConnectedOnly: c.ConnectedOnly,
+			Sequential:    c.Sequential,
+			Deterministic: c.Deterministic,
+		}
+	}
+	return out
+}
+
+// ErrUnknownAlgorithm is wrapped by the errors Store.Load/Rebuild return
+// for an unregistered Options.Algorithm, so serving layers can classify
+// bad names with errors.Is (cmd/bccd maps them to HTTP 400).
+var ErrUnknownAlgorithm = engine.ErrUnknownAlgorithm
+
+// resolveAlgorithm canonicalizes an algorithm name ("" selects the
+// default engine) and validates it against the registry, returning an
+// error that lists the valid names.
+func resolveAlgorithm(name string) (string, error) {
+	a, err := engine.Get(name)
+	if err != nil {
+		return "", fmt.Errorf("fastbcc: %w", err)
+	}
+	return a.Name(), nil
+}
+
+// runEngine dispatches one decomposition to the selected engine. exec
+// overrides the Threads-derived context when non-nil (the Runner path).
+func runEngine(g *Graph, o Options, exec *parallel.Exec) (*Result, error) {
+	a, err := engine.Get(o.Algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("fastbcc: %w", err)
+	}
+	opt := engine.RunOptions{
+		Exec:        exec,
+		Scratch:     o.Scratch,
+		Source:      o.Source,
+		Seed:        o.Seed,
+		LocalSearch: o.LocalSearch,
+	}
+	if exec == nil {
+		opt.Threads = o.Threads
+	}
+	res, err := a.Run(g, opt)
+	if err != nil {
+		return nil, fmt.Errorf("fastbcc: algorithm %q: %w", a.Name(), err)
+	}
+	return res, nil
 }
 
 // NewGraphFromEdges builds a symmetric CSR graph over n vertices. Self
@@ -164,20 +268,32 @@ func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
 // SaveGraph writes the graph to path in the package's binary format.
 func SaveGraph(g *Graph, path string) error { return g.SaveFile(path) }
 
-// BCC computes the biconnected components of g with FAST-BCC.
-// opts may be nil for defaults.
+// BCC computes the biconnected components of g with the engine selected
+// by opts.Algorithm (default FAST-BCC). opts may be nil for defaults.
+// BCC panics on an unknown Algorithm name — a programmer error, since
+// Algorithms() enumerates the valid ones; serving layers that accept
+// user-supplied names should go through a Store, which validates and
+// returns an error instead.
 func BCC(g *Graph, opts *Options) *Result {
 	var o Options
 	if opts != nil {
 		o = *opts
 	}
-	var ex *parallel.Exec
-	if o.Threads > 0 {
-		// A per-call cap over the default pool: no global mutation, no
-		// pool restart, safe under concurrent calls with differing caps.
-		ex = parallel.Limit(o.Threads)
+	if o.Algorithm == "" || o.Algorithm == engine.Default {
+		// The default engine keeps its direct path: no registry hop, and
+		// the per-call Threads cap over the default pool mutates no
+		// global state.
+		var ex *parallel.Exec
+		if o.Threads > 0 {
+			ex = parallel.Limit(o.Threads)
+		}
+		return core.BCC(g, core.Options{Seed: o.Seed, LocalSearch: o.LocalSearch, Scratch: o.Scratch, Exec: ex})
 	}
-	return core.BCC(g, core.Options{Seed: o.Seed, LocalSearch: o.LocalSearch, Scratch: o.Scratch, Exec: ex})
+	res, err := runEngine(g, o, nil)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // BCCSeq computes the biconnected components with the sequential

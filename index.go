@@ -27,8 +27,9 @@ type Index = bctree.Index
 // on the default execution context. res must be the decomposition of g.
 func NewIndex(g *Graph, res *Result) *Index { return bctree.New(g, res) }
 
-// BuildIndex computes the decomposition and its query index in one call,
-// sharing one execution context and Threads cap. opts may be nil.
+// BuildIndex computes the decomposition (with the engine selected by
+// opts.Algorithm) and its query index in one call, sharing one execution
+// context and Threads cap. opts may be nil.
 func BuildIndex(g *Graph, opts *Options) (*Result, *Index) {
 	res := BCC(g, opts)
 	var threads int
@@ -42,10 +43,23 @@ func BuildIndex(g *Graph, opts *Options) (*Result, *Index) {
 // Runner's worker budget (and this run's opts.Threads cap). The returned
 // Result and Index never alias pooled memory.
 func (r *Runner) BuildIndex(g *Graph, opts *Options) (*Result, *Index) {
+	res, idx, err := r.buildIndex(g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res, idx
+}
+
+// buildIndex is the error-returning form behind Runner.BuildIndex, used
+// by the Store so bad algorithm names reach clients as errors.
+func (r *Runner) buildIndex(g *Graph, opts *Options) (*Result, *Index, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
 	}
-	res := r.Run(g, &o)
-	return res, bctree.NewIn(r.exec.Limit(o.Threads), g, res)
+	res, err := r.run(g, &o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, bctree.NewIn(r.exec.Limit(o.Threads), g, res), nil
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"os"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 	fastbcc "repro"
 	"repro/internal/bctree"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -38,10 +40,25 @@ type MicroReport struct {
 
 // RunMicro measures the hot paths the execution substrate optimizes: CSR
 // construction (fresh and arena-backed) and repeated full BCC runs (fresh
-// and arena-backed). Workloads intentionally match the checked-in Go
-// benchmarks (BenchmarkFromEdges, BenchmarkBCC*) so `go test -bench`
-// numbers and BENCH_*.json entries are directly comparable.
-func RunMicro() *MicroReport {
+// and arena-backed), plus one construction row per registered BCC engine
+// (the algorithm-registry matrix; engineNames selects a subset, nil = all
+// registered). Workloads intentionally match the checked-in Go benchmarks
+// (BenchmarkFromEdges, BenchmarkBCC*) so `go test -bench` numbers and
+// BENCH_*.json entries are directly comparable.
+func RunMicro(engineNames []string) (*MicroReport, error) {
+	// Resolve the engine subset up front so a typo fails fast instead of
+	// after the expensive construction rows have already run.
+	if engineNames == nil {
+		engineNames = engine.Names()
+	}
+	engines := make([]engine.Algorithm, len(engineNames))
+	for i, name := range engineNames {
+		a, err := engine.Get(name)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+		engines[i] = a
+	}
 	rep := &MicroReport{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -96,6 +113,21 @@ func RunMicro() *MicroReport {
 			core.BCC(g, core.Options{Seed: 7, Scratch: sc2})
 		}
 	})
+
+	// Per-engine construction on the same instance: the registry matrix.
+	// "fast" duplicates the BCC row by design — it pins the registry
+	// dispatch to the direct-path number.
+	for _, a := range engines {
+		a := a
+		add("Engine/"+a.Name()+"/RMAT-16-8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Run(g, engine.RunOptions{Seed: 7}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 
 	// The serving path: query-index construction and per-query costs over
 	// the same instance. Query endpoints are pre-drawn so the measured op
@@ -160,7 +192,7 @@ func RunMicro() *MicroReport {
 		Sink += s
 	})
 	st.Close()
-	return rep
+	return rep, nil
 }
 
 // Sink keeps query results observable so benchmarked calls cannot be

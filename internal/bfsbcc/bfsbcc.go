@@ -19,6 +19,11 @@
 // the fence/back predicates are the same under either numbering. The
 // diameter-proportional steps 2–3 are exactly what Fig. 5 of the paper
 // shows dominating on large-diameter graphs.
+//
+// Every parallel loop runs on the execution context of Options.Exec (nil =
+// the process-global default), so concurrent serving with this baseline is
+// isolated exactly like the fastbcc path: per-run worker caps, no global
+// state.
 package bfsbcc
 
 import (
@@ -37,6 +42,9 @@ type Options struct {
 	Seed uint64
 	// ConnAlg selects the connectivity algorithm (GBBS uses UF-Async).
 	ConnAlg conn.Algorithm
+	// Exec is the execution context every parallel loop of the run uses
+	// (nil = the process-global default).
+	Exec *parallel.Exec
 }
 
 // BCC computes biconnected components with the BFS-skeleton baseline. The
@@ -44,6 +52,7 @@ type Options struct {
 // derived queries (Blocks, ArticulationPoints, Bridges) are shared.
 func BCC(g *graph.Graph, opt Options) *core.Result {
 	n := int(g.N)
+	e := opt.Exec
 	res := &core.Result{}
 
 	// ---- Step 1: First-CC (labels only) -----------------------------------
@@ -51,6 +60,7 @@ func BCC(g *graph.Graph, opt Options) *core.Result {
 	cc := conn.Connectivity(g, conn.Options{
 		Algorithm: opt.ConnAlg,
 		Seed:      opt.Seed,
+		Exec:      e,
 	})
 	res.Times.FirstCC = time.Since(t0)
 
@@ -58,10 +68,10 @@ func BCC(g *graph.Graph, opt Options) *core.Result {
 	t0 = time.Now()
 	parent := make([]int32, n)
 	level := make([]int32, n)
-	parallel.Fill(parent, -1)
-	parallel.Fill(level, -1)
-	frontier := prim.PackIndices(n, func(v int) bool { return cc.Comp[v] == int32(v) })
-	parallel.For(len(frontier), func(i int) {
+	parallel.FillIn(e, parent, -1)
+	parallel.FillIn(e, level, -1)
+	frontier := prim.PackIndicesIn(e, n, func(v int) bool { return cc.Comp[v] == int32(v) })
+	e.For(len(frontier), func(i int) {
 		r := frontier[i]
 		parent[r] = r // temporarily self; reset to -1 after BFS
 		level[r] = 0
@@ -70,14 +80,14 @@ func BCC(g *graph.Graph, opt Options) *core.Result {
 	levels := [][]int32{frontier}
 	for len(frontier) > 0 {
 		maxLevel++
-		next := expand(g, frontier, parent, level, maxLevel)
+		next := expand(e, g, frontier, parent, level, maxLevel)
 		frontier = next
 		if len(next) > 0 {
 			levels = append(levels, next)
 		}
 	}
 	maxLevel = int32(len(levels) - 1)
-	parallel.For(n, func(v int) {
+	e.For(n, func(v int) {
 		if parent[v] == int32(v) {
 			parent[v] = -1
 		}
@@ -90,11 +100,11 @@ func BCC(g *graph.Graph, opt Options) *core.Result {
 	// Children lists: counting sort vertices by parent (roots bucketed at
 	// their own id; they are skipped as "children").
 	size := make([]int32, n)
-	parallel.Fill(size, 1)
+	parallel.FillIn(e, size, 1)
 	// Bottom-up subtree sizes, one level at a time (span ∝ D).
 	for l := maxLevel; l >= 1; l-- {
 		lv := levels[l]
-		parallel.For(len(lv), func(i int) {
+		e.For(len(lv), func(i int) {
 			v := lv[i]
 			atomic.AddInt32(&size[parent[v]], size[v])
 		})
@@ -109,7 +119,7 @@ func BCC(g *graph.Graph, opt Options) *core.Result {
 	}
 	for l := 0; l < int(maxLevel); l++ {
 		lv := levels[l]
-		parallel.ForBlock(len(lv), 64, func(lo, hi int) {
+		e.ForBlock(len(lv), 64, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := lv[i]
 				off := first[v] + 1
@@ -127,13 +137,13 @@ func BCC(g *graph.Graph, opt Options) *core.Result {
 		})
 	}
 	last := make([]int32, n)
-	parallel.For(n, func(v int) { last[v] = first[v] + size[v] - 1 })
+	e.For(n, func(v int) { last[v] = first[v] + size[v] - 1 })
 	// w1/w2 over non-tree edges, then low/high folded bottom-up.
 	w1 := make([]int32, n)
 	w2 := make([]int32, n)
-	parallel.Copy(w1, first)
-	parallel.Copy(w2, first)
-	parallel.ForBlock(n, 256, func(lo, hi int) {
+	parallel.CopyIn(e, w1, first)
+	parallel.CopyIn(e, w2, first)
+	e.ForBlock(n, 256, func(lo, hi int) {
 		for v := int32(lo); v < int32(hi); v++ {
 			for _, w := range g.Neighbors(v) {
 				if w == v || parent[w] == v || parent[v] == w {
@@ -148,7 +158,7 @@ func BCC(g *graph.Graph, opt Options) *core.Result {
 	high := w2 // folded in place bottom-up
 	for l := maxLevel; l >= 1; l-- {
 		lv := levels[l]
-		parallel.For(len(lv), func(i int) {
+		e.For(len(lv), func(i int) {
 			v := lv[i]
 			prim.WriteMin(&low[parent[v]], low[v])
 			prim.WriteMax(&high[parent[v]], high[v])
@@ -174,12 +184,13 @@ func BCC(g *graph.Graph, opt Options) *core.Result {
 		Algorithm: opt.ConnAlg,
 		Seed:      opt.Seed + 0x5eed,
 		Filter:    inSkeleton,
+		Exec:      e,
 	})
-	res.Label = sk.Normalize()
+	res.Label = sk.NormalizeIn(e)
 	res.NumLabels = sk.NumComp
 	res.Head = make([]int32, sk.NumComp)
-	parallel.Fill(res.Head, -1)
-	parallel.For(n, func(v int) {
+	parallel.FillIn(e, res.Head, -1)
+	e.For(n, func(v int) {
 		p := parent[v]
 		if p != -1 && res.Label[v] != res.Label[p] {
 			// Same-value concurrent writes (the head is unique per label);
@@ -203,14 +214,14 @@ func BCC(g *graph.Graph, opt Options) *core.Result {
 	// Pre-publication cache init so LabelSizes, ArticulationPoints, and
 	// BlockCutTree stay lock-free afterwards.
 	res.PrecomputeLabelSizes()
-	res.PrecomputeTopology()
+	res.PrecomputeTopologyIn(e)
 	return res
 }
 
-func expand(g *graph.Graph, frontier []int32, parent, level []int32, lvl int32) []int32 {
+func expand(e *parallel.Exec, g *graph.Graph, frontier []int32, parent, level []int32, lvl int32) []int32 {
 	nb := (len(frontier) + 255) / 256
 	outs := make([][]int32, nb)
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo, hi := b*256, (b+1)*256
 			if hi > len(frontier) {
@@ -234,9 +245,9 @@ func expand(g *graph.Graph, frontier []int32, parent, level []int32, lvl int32) 
 	for b := range outs {
 		sizes[b] = int32(len(outs[b]))
 	}
-	total := prim.ExclusiveScanInt32(sizes)
+	total := prim.ExclusiveScanInt32In(e, sizes)
 	next := make([]int32, total)
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			copy(next[sizes[b]:], outs[b])
 		}

@@ -309,6 +309,12 @@ func computeArticulationPoints(e *parallel.Exec, r *Result) []int32 {
 // a fresh computation per call.
 func (r *Result) PrecomputeTopology() { r.precomputeTopology(nil) }
 
+// PrecomputeTopologyIn is PrecomputeTopology running on the execution
+// context e (nil = the process-global default), so constructors outside
+// this package (bfsbcc, the engine adapters) keep the whole build on one
+// per-run context.
+func (r *Result) PrecomputeTopologyIn(e *parallel.Exec) { r.precomputeTopology(e) }
+
 func (r *Result) precomputeTopology(e *parallel.Exec) {
 	if r.artPoints == nil {
 		r.artPoints = computeArticulationPoints(e, r)

@@ -1,8 +1,10 @@
-// Package crosstest cross-checks every BCC implementation in the
-// repository against every other on the full benchmark suite and on random
-// multigraphs — the strongest correctness statement the repository makes
-// (five algorithms sharing almost no code must produce identical block
-// decompositions).
+// Package crosstest cross-checks every registered BCC engine against the
+// sequential Hopcroft–Tarjan oracle on the full benchmark suite and on
+// random multigraphs — the strongest correctness statement the repository
+// makes (six engines sharing almost no code must produce identical block
+// decompositions). The engine list is driven off the algorithm registry
+// (internal/engine), so a newly registered engine joins the matrix with
+// no change here.
 package crosstest
 
 import (
@@ -10,47 +12,46 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/bctree"
 	"repro/internal/bench"
-	"repro/internal/bfsbcc"
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/seqbcc"
-	"repro/internal/smbcc"
-	"repro/internal/tv"
 )
 
-// allDecompositions runs every algorithm on g, returning named block sets.
-func allDecompositions(g *graph.Graph, seed uint64) map[string][][]int32 {
-	out := map[string][][]int32{
-		"seq":      seqbcc.BCC(g).Blocks,
-		"fast":     core.BCC(g, core.Options{Seed: seed}).Blocks(),
-		"fast-opt": core.BCC(g, core.Options{Seed: seed + 1, LocalSearch: true}).Blocks(),
-		"gbbs":     bfsbcc.BCC(g, bfsbcc.Options{Seed: seed}).Blocks(),
-		"tv":       tv.BCC(g, tv.Options{Seed: seed}).Blocks(),
-	}
-	if sm, err := smbcc.BCC(g, smbcc.Options{}); err == nil {
-		out["sm14"] = sm.Blocks()
+// allResults runs every registered engine on g, returning named results.
+func allResults(t testing.TB, g *graph.Graph, seed uint64) map[string]*core.Result {
+	t.Helper()
+	out := map[string]*core.Result{}
+	for _, a := range engine.All() {
+		res, err := a.Run(g, engine.RunOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("engine %s: %v", a.Name(), err)
+		}
+		out[a.Name()] = res
 	}
 	return out
 }
 
-func assertAllAgree(t *testing.T, g *graph.Graph, seed uint64) {
+func assertAllAgree(t testing.TB, g *graph.Graph, seed uint64) {
 	t.Helper()
-	ds := allDecompositions(g, seed)
-	ref := ds["seq"]
-	for name, blocks := range ds {
-		if !check.Equal(blocks, ref) {
-			t.Fatalf("%s disagrees with seq:\n %s\n vs\n %s",
-				name, check.Describe(blocks), check.Describe(ref))
+	// The raw sequential implementation is the oracle — independent of
+	// the engine adapters, so registry bugs cannot mask themselves.
+	ref := seqbcc.BCC(g).Blocks
+	for name, res := range allResults(t, g, seed) {
+		if !check.Equal(res.Blocks(), ref) {
+			t.Fatalf("%s disagrees with seq oracle:\n %s\n vs\n %s",
+				name, check.Describe(res.Blocks()), check.Describe(ref))
 		}
 	}
 }
 
-func TestAllAlgorithmsAgreeOnSuite(t *testing.T) {
-	// The full 27-instance suite at Small scale: every algorithm must
-	// produce the identical decomposition on every instance.
+func TestAllEnginesAgreeOnSuite(t *testing.T) {
+	// The full 27-instance suite at Small scale: every registered engine
+	// must produce the identical decomposition on every instance.
 	for _, ins := range bench.Suite() {
 		ins := ins
 		t.Run(ins.Name, func(t *testing.T) {
@@ -62,7 +63,7 @@ func TestAllAlgorithmsAgreeOnSuite(t *testing.T) {
 	}
 }
 
-func TestAllAlgorithmsAgreeOnAdversarial(t *testing.T) {
+func TestAllEnginesAgreeOnAdversarial(t *testing.T) {
 	cases := []struct {
 		name string
 		g    *graph.Graph
@@ -78,6 +79,8 @@ func TestAllAlgorithmsAgreeOnAdversarial(t *testing.T) {
 		{"denseclusters", gen.CliqueChain(20, 8)},
 		{"bigcycle", gen.Cycle(30000)},
 		{"manyisolated", graph.MustFromEdges(1000, []graph.Edge{{U: 0, W: 999}})},
+		{"disconnected", gen.Disjoint(gen.CliqueChain(4, 5), gen.Cycle(77))},
+		{"forest", gen.Disjoint(gen.RandomTree(300, 2), gen.RandomTree(200, 5))},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -87,7 +90,7 @@ func TestAllAlgorithmsAgreeOnAdversarial(t *testing.T) {
 	}
 }
 
-func TestQuickAllAlgorithmsAgree(t *testing.T) {
+func TestQuickAllEnginesAgree(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(60)
@@ -103,10 +106,9 @@ func TestQuickAllAlgorithmsAgree(t *testing.T) {
 			}
 		}
 		g := graph.MustFromEdges(n, edges)
-		ds := allDecompositions(g, uint64(seed))
-		ref := ds["seq"]
-		for _, blocks := range ds {
-			if !check.Equal(blocks, ref) {
+		ref := seqbcc.BCC(g).Blocks
+		for _, res := range allResults(t, g, uint64(seed)) {
+			if !check.Equal(res.Blocks(), ref) {
 				return false
 			}
 		}
@@ -127,5 +129,57 @@ func TestNumBCCMatchesAcrossScales(t *testing.T) {
 		if fast.NumBCC != seq.NumBCC() {
 			t.Fatalf("%s: fast %d != seq %d", ins.Name, fast.NumBCC, seq.NumBCC())
 		}
+	}
+}
+
+// TestIndexQueriesAgreeAcrossEngines builds the online query index from
+// every engine's Result and checks that all scalar queries answer
+// identically on a corpus covering random, forest, multigraph,
+// disconnected, and huge-diameter shapes — the serving-path guarantee
+// that the algorithm choice is invisible to clients.
+func TestIndexQueriesAgreeAcrossEngines(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"random", gen.ER(120, 260, 5)},
+		{"forest", gen.Disjoint(gen.RandomTree(80, 3), gen.RandomTree(50, 2))},
+		{"multigraph", graph.MustFromEdges(9, []graph.Edge{
+			{U: 0, W: 1}, {U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 0}, {U: 2, W: 3},
+			{U: 3, W: 4}, {U: 4, W: 4}, {U: 5, W: 6}, {U: 6, W: 7}, {U: 7, W: 5}})},
+		{"disconnected", gen.Disjoint(gen.CliqueChain(3, 4), gen.Cycle(15))},
+		{"hugediameter", gen.Chain(4000)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			results := allResults(t, tc.g, 23)
+			indexes := map[string]*bctree.Index{}
+			for name, res := range results {
+				indexes[name] = bctree.New(tc.g, res)
+			}
+			ref := indexes["fast"]
+			n := tc.g.NumVertices()
+			rng := rand.New(rand.NewSource(99))
+			for trial := 0; trial < 400; trial++ {
+				u := int32(rng.Intn(n))
+				v := int32(rng.Intn(n))
+				x := int32(rng.Intn(n))
+				for name, idx := range indexes {
+					if idx.Connected(u, v) != ref.Connected(u, v) ||
+						idx.Biconnected(u, v) != ref.Biconnected(u, v) ||
+						idx.TwoEdgeConnected(u, v) != ref.TwoEdgeConnected(u, v) {
+						t.Fatalf("%s index disagrees with fast on (%d,%d)", name, u, v)
+					}
+					if ref.Connected(u, v) {
+						if idx.NumCutsOnPath(u, v) != ref.NumCutsOnPath(u, v) ||
+							idx.NumBridgesOnPath(u, v) != ref.NumBridgesOnPath(u, v) ||
+							idx.Separates(x, u, v) != ref.Separates(x, u, v) {
+							t.Fatalf("%s index path queries disagree on (%d,%d,x=%d)", name, u, v, x)
+						}
+					}
+				}
+			}
+		})
 	}
 }

@@ -14,25 +14,30 @@ type BFSResult struct {
 	Depth  int32   // number of levels minus one (eccentricity of source)
 }
 
-// BFS runs a parallel frontier-based breadth-first search from src.
+// BFS runs a parallel frontier-based breadth-first search from src on the
+// default execution context.
+func BFS(g *Graph, src V) *BFSResult { return BFSIn(nil, g, src) }
+
+// BFSIn runs a parallel frontier-based breadth-first search from src on
+// the execution context e (nil = the process-global default).
 // Frontiers are expanded level by level, so the span is proportional to the
 // source's eccentricity — this is exactly the weakness of BFS-based BCC
 // skeletons the paper targets, and the baselines here inherit it.
-func BFS(g *Graph, src V) *BFSResult {
+func BFSIn(e *parallel.Exec, g *Graph, src V) *BFSResult {
 	n := int(g.N)
 	res := &BFSResult{
 		Parent: make([]V, n),
 		Level:  make([]int32, n),
 	}
-	parallel.Fill(res.Parent, -1)
-	parallel.Fill(res.Level, -1)
+	parallel.FillIn(e, res.Parent, -1)
+	parallel.FillIn(e, res.Level, -1)
 	res.Parent[src] = src
 	res.Level[src] = 0
 	frontier := []V{src}
 	level := int32(0)
 	for len(frontier) > 0 {
 		level++
-		next := bfsExpand(g, frontier, res.Parent, res.Level, level)
+		next := bfsExpand(e, g, frontier, res.Parent, res.Level, level)
 		frontier = next
 	}
 	res.Depth = level - 1
@@ -41,14 +46,14 @@ func BFS(g *Graph, src V) *BFSResult {
 
 // bfsExpand claims the unvisited neighbors of the frontier via CAS on
 // Parent and returns the next frontier (deduplicated by the CAS).
-func bfsExpand(g *Graph, frontier []V, parent []V, lvl []int32, level int32) []V {
+func bfsExpand(e *parallel.Exec, g *Graph, frontier []V, parent []V, lvl []int32, level int32) []V {
 	// Per-block output buffers stitched together with a scan keep the
 	// result deterministic in size (order varies but is sorted afterwards
 	// only where needed by callers).
 	type block struct{ out []V }
 	nb := (len(frontier) + 255) / 256
 	blocks := make([]block, nb)
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo, hi := b*256, (b+1)*256
 			if hi > len(frontier) {
@@ -72,9 +77,9 @@ func bfsExpand(g *Graph, frontier []V, parent []V, lvl []int32, level int32) []V
 	for b := range blocks {
 		sizes[b] = int32(len(blocks[b].out))
 	}
-	total := prim.ExclusiveScanInt32(sizes)
+	total := prim.ExclusiveScanInt32In(e, sizes)
 	next := make([]V, total)
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			copy(next[sizes[b]:], blocks[b].out)
 		}

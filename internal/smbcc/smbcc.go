@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/uf"
 )
 
@@ -36,6 +37,10 @@ import (
 type Options struct {
 	// Source is the BFS root (default vertex 0).
 	Source int32
+	// Exec is the execution context the (parallel) BFS rooting step runs
+	// on (nil = the process-global default); the marking phase is
+	// sequential, mirroring the original's limited scalability.
+	Exec *parallel.Exec
 }
 
 // ErrDisconnected is returned for graphs that are not connected.
@@ -69,7 +74,7 @@ func BCC(g *graph.Graph, opt Options) (*Result, error) {
 	}
 
 	t0 := time.Now()
-	bfs := graph.BFS(g, src)
+	bfs := graph.BFSIn(opt.Exec, g, src)
 	res.Parent = bfs.Parent
 	res.Level = bfs.Level
 	res.Parent[src] = -1

@@ -34,6 +34,9 @@ import (
 type Options struct {
 	Seed        uint64
 	LocalSearch bool
+	// Exec is the execution context every parallel loop of the run uses
+	// (nil = the process-global default).
+	Exec *parallel.Exec
 }
 
 // Result is the Tarjan–Vishkin decomposition. BCCs are reported per *edge*
@@ -58,6 +61,7 @@ type Result struct {
 // BCC runs Tarjan–Vishkin on g.
 func BCC(g *graph.Graph, opt Options) *Result {
 	n := int(g.N)
+	e := opt.Exec
 	res := &Result{}
 
 	// Step 1: spanning forest via connectivity.
@@ -66,21 +70,22 @@ func BCC(g *graph.Graph, opt Options) *Result {
 		Seed:        opt.Seed,
 		LocalSearch: opt.LocalSearch,
 		WantForest:  true,
+		Exec:        e,
 	})
 	res.Times.FirstCC = time.Since(t0)
 
 	// Step 2: root with ETT.
 	t0 = time.Now()
-	rt := etour.Root(n, cc.Forest, cc.Comp)
+	rt := etour.RootIn(e, n, cc.Forest, cc.Comp, nil)
 	res.Times.Rooting = time.Since(t0)
 
 	// Step 3: tags + explicit skeleton construction.
 	t0 = time.Now()
-	tg := tags.Compute(g, rt)
+	tg := tags.ComputeIn(e, g, rt, nil)
 	parent, first, last := tg.Parent, tg.First, tg.Last
 
 	// Indexed edge list (each parallel copy is its own G'-vertex).
-	edges := indexEdges(g)
+	edges := indexEdges(e, g)
 	res.Edges = edges
 	m := len(edges)
 
@@ -88,8 +93,8 @@ func BCC(g *graph.Graph, opt Options) *Result {
 	// lose the claim and are treated as back edges, as in the original
 	// algorithm where T is a set of edge instances.
 	treeEdgeOf := make([]int32, n)
-	parallel.Fill(treeEdgeOf, -1)
-	parallel.ForBlock(m, parallel.DefaultGrain, func(lo, hi int) {
+	parallel.FillIn(e, treeEdgeOf, -1)
+	e.ForBlock(m, parallel.DefaultGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := edges[i]
 			if parent[e.W] == e.U {
@@ -109,7 +114,7 @@ func BCC(g *graph.Graph, opt Options) *Result {
 	type gedge struct{ a, b int32 }
 	nb := (m + 2047) / 2048
 	outs := make([][]gedge, nb)
-	parallel.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo, hi := b*2048, (b+1)*2048
 			if hi > m {
@@ -162,24 +167,24 @@ func BCC(g *graph.Graph, opt Options) *Result {
 	// Step 4: CC on G' by union-find over edge ids.
 	t0 = time.Now()
 	u := uf.New(m)
-	parallel.ForBlock(len(eprime), parallel.DefaultGrain, func(lo, hi int) {
+	e.ForBlock(len(eprime), parallel.DefaultGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			u.Union(eprime[i].a, eprime[i].b)
 		}
 	})
 	comp := make([]int32, m)
-	parallel.For(m, func(i int) { comp[i] = u.Find(int32(i)) })
+	e.For(m, func(i int) { comp[i] = u.Find(int32(i)) })
 	// Dense ids; self-loop edges keep a component but do not form blocks
 	// beyond their vertex, matching vertex-set BCC semantics elsewhere.
 	dense := make([]int32, m)
 	isRoot := make([]int32, m)
-	parallel.For(m, func(i int) {
+	e.For(m, func(i int) {
 		if comp[i] == int32(i) {
 			isRoot[i] = 1
 		}
 	})
-	numComp := int(prim.ExclusiveScanInt32(isRoot))
-	parallel.For(m, func(i int) { dense[i] = isRoot[comp[i]] })
+	numComp := int(prim.ExclusiveScanInt32In(e, isRoot))
+	e.For(m, func(i int) { dense[i] = isRoot[comp[i]] })
 	res.EdgeComp = dense
 	nBCC := numComp
 	// Subtract components made solely of self-loop edges.
@@ -247,10 +252,10 @@ func claim(p *int32, v int32) {
 
 // indexEdges builds the undirected edge list (one entry per parallel copy,
 // self-loops included once each) in parallel.
-func indexEdges(g *graph.Graph) []graph.Edge {
+func indexEdges(e *parallel.Exec, g *graph.Graph) []graph.Edge {
 	n := int(g.N)
 	cnt := make([]int32, n+1)
-	parallel.For(n, func(v int) {
+	e.For(n, func(v int) {
 		c := int32(0)
 		for _, w := range g.Neighbors(int32(v)) {
 			if int32(v) < w {
@@ -268,9 +273,9 @@ func indexEdges(g *graph.Graph) []graph.Edge {
 		}
 		cnt[v] = c - loops/2
 	})
-	total := prim.ExclusiveScanInt32(cnt)
+	total := prim.ExclusiveScanInt32In(e, cnt)
 	edges := make([]graph.Edge, total)
-	parallel.For(n, func(v int) {
+	e.For(n, func(v int) {
 		off := cnt[v]
 		loopSeen := int32(0)
 		for _, w := range g.Neighbors(int32(v)) {

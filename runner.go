@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 )
@@ -42,12 +43,23 @@ func NewRunner(workers int) *Runner {
 	return r
 }
 
-// Run computes the biconnected components of g like BCC, on the Runner's
-// worker budget. opts may be nil for defaults. opts.Threads caps this
-// run's share of the Runner's workers; opts.Scratch overrides the
-// Runner's recycled arena (for callers that manage their own). The
-// returned Result never aliases pooled memory.
+// Run computes the biconnected components of g like BCC — including
+// engine selection via opts.Algorithm, with the same panic-on-unknown-name
+// contract — on the Runner's worker budget. opts may be nil for defaults.
+// opts.Threads caps this run's share of the Runner's workers; opts.Scratch
+// overrides the Runner's recycled arena (for callers that manage their
+// own). The returned Result never aliases pooled memory.
 func (r *Runner) Run(g *Graph, opts *Options) *Result {
+	res, err := r.run(g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// run is the error-returning dispatch behind Run, shared with the Store
+// (which surfaces bad algorithm names to clients instead of panicking).
+func (r *Runner) run(g *Graph, opts *Options) (*Result, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -59,7 +71,11 @@ func (r *Runner) Run(g *Graph, opts *Options) *Result {
 		defer r.arenas.Put(arena)
 		sc = arena
 	}
-	return core.BCC(g, core.Options{Seed: o.Seed, LocalSearch: o.LocalSearch, Scratch: sc, Exec: ex})
+	if o.Algorithm == "" || o.Algorithm == engine.Default {
+		return core.BCC(g, core.Options{Seed: o.Seed, LocalSearch: o.LocalSearch, Scratch: sc, Exec: ex}), nil
+	}
+	o.Scratch = sc
+	return runEngine(g, o, ex)
 }
 
 // Close releases the Runner's worker goroutines. Runs started after Close

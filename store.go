@@ -19,6 +19,9 @@ type Snapshot struct {
 	// per (re)build of Name.
 	Name    string
 	Version int64
+	// Algorithm is the registry name of the engine that computed this
+	// snapshot's decomposition (see Algorithms).
+	Algorithm string
 	// Graph, Result, and Index are the immutable payload.
 	Graph  *Graph
 	Result *Result
@@ -127,8 +130,10 @@ func (s *Store) Load(name string, g *Graph, opts *Options) (*Snapshot, error) {
 }
 
 // Rebuild recomputes the current graph of name into a new snapshot
-// version (for example after tuning Options). It returns the new
-// snapshot retained for the caller: Release it when done.
+// version (for example after tuning Options, or with a different
+// opts.Algorithm to switch engines; an empty Algorithm keeps the entry's
+// current one). It returns the new snapshot retained for the caller:
+// Release it when done.
 func (s *Store) Rebuild(name string, opts *Options) (*Snapshot, error) {
 	en, err := s.lookup(name)
 	if err != nil {
@@ -139,25 +144,46 @@ func (s *Store) Rebuild(name string, opts *Options) (*Snapshot, error) {
 
 // build computes and installs one snapshot version. g == nil reuses the
 // entry's current graph (Rebuild); the read happens under buildMu so a
-// concurrent Load's replacement graph is not lost.
+// concurrent Load's replacement graph is not lost. An unknown
+// opts.Algorithm is an error (no snapshot is installed). An empty one
+// selects the entry's current algorithm on rebuilds — so a rebuild
+// sticks with the engine the graph was loaded with — but the documented
+// default engine on loads, including loads that replace an existing
+// entry.
 func (s *Store) build(en *storeEntry, name string, g *Graph, opts *Options) (*Snapshot, error) {
 	en.buildMu.Lock()
 	defer en.buildMu.Unlock()
 	if en.removed {
 		return nil, fmt.Errorf("fastbcc: graph %q not loaded", name)
 	}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	cur := en.cur.Load()
 	if g == nil {
-		cur := en.cur.Load()
 		if cur == nil {
 			return nil, fmt.Errorf("fastbcc: graph %q not loaded", name)
 		}
 		g = cur.Graph
+		if o.Algorithm == "" {
+			o.Algorithm = cur.Algorithm
+		}
 	}
+	algo, err := resolveAlgorithm(o.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	o.Algorithm = algo
 	t0 := time.Now()
-	res, idx := s.runner.BuildIndex(g, opts)
+	res, idx, err := s.runner.buildIndex(g, &o)
+	if err != nil {
+		return nil, err
+	}
 	snap := &Snapshot{
 		Name:      name,
 		Version:   en.version.Add(1),
+		Algorithm: algo,
 		Graph:     g,
 		Result:    res,
 		Index:     idx,
@@ -238,14 +264,23 @@ type StoreStats struct {
 	// reference — current versions plus superseded ones still held by
 	// in-flight readers.
 	LiveSnapshots int64
+	// ByAlgorithm counts loaded graphs by the engine of their current
+	// snapshot.
+	ByAlgorithm map[string]int
 }
 
 // Stats returns current catalog gauges.
 func (s *Store) Stats() StoreStats {
+	byAlgo := map[string]int{}
 	s.mu.RLock()
 	n := len(s.byName)
+	for _, en := range s.byName {
+		if cur := en.cur.Load(); cur != nil {
+			byAlgo[cur.Algorithm]++
+		}
+	}
 	s.mu.RUnlock()
-	return StoreStats{Graphs: n, LiveSnapshots: s.live.Load()}
+	return StoreStats{Graphs: n, LiveSnapshots: s.live.Load(), ByAlgorithm: byAlgo}
 }
 
 // Close retires every entry and releases the Store's workers. Snapshots
