@@ -1,0 +1,74 @@
+package fastbcc_test
+
+import (
+	"testing"
+
+	fastbcc "repro"
+)
+
+// The allocation-regression guard. Timing on the CI container is ±5–8%
+// noisy, but allocation counters are exact, so the hot paths' allocs/op
+// are asserted as hard upper bounds: a change that reintroduces per-round
+// buffer churn, drops an arena Put, or re-eagers the topology caches
+// fails here deterministically instead of hiding inside timing noise.
+//
+// The bounds are deliberately loose (current steady-state numbers are
+// roughly half of each bound) so scheduling jitter — pool refills,
+// sync.Pool misses — never flakes the test, while order-of-magnitude
+// regressions (the scratch-backed pipeline burned ~4,000 allocs/op
+// before the PR 5 sweep) cannot pass.
+
+// guardGraph returns the shared workload: a power-law graph big enough
+// that every parallel stage engages, small enough for the test budget.
+func guardGraph(tb testing.TB) *fastbcc.Graph {
+	tb.Helper()
+	return fastbcc.GenerateRMAT(14, 8, 0xBC)
+}
+
+func TestAllocGuardBCCScratch(t *testing.T) {
+	g := guardGraph(t)
+	sc := fastbcc.NewScratch()
+	opts := &fastbcc.Options{Seed: 7, Scratch: sc}
+	fastbcc.BCC(g, opts) // warm the arena
+	fastbcc.BCC(g, opts)
+	avg := testing.AllocsPerRun(5, func() { fastbcc.BCC(g, opts) })
+	if avg > 400 {
+		t.Fatalf("scratch-backed BCC: %.1f allocs/op, want <= 400", avg)
+	}
+}
+
+func TestAllocGuardIndexBuild(t *testing.T) {
+	g := guardGraph(t)
+	res := fastbcc.BCC(g, &fastbcc.Options{Seed: 7})
+	fastbcc.NewIndex(g, res) // one-time lazy topology precompute
+	avg := testing.AllocsPerRun(5, func() { fastbcc.NewIndex(g, res) })
+	if avg > 3000 {
+		t.Fatalf("index build: %.1f allocs/op, want <= 3000", avg)
+	}
+}
+
+func TestAllocGuardStoreHop(t *testing.T) {
+	g := guardGraph(t)
+	st := fastbcc.NewStore(0)
+	defer st.Close()
+	snap, err := st.Load("guard", g, &fastbcc.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Release()
+	avg := testing.AllocsPerRun(200, func() {
+		s, err := st.Acquire("guard")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Index.Separates(2, 0, 4) {
+			_ = s
+		}
+		s.Release()
+	})
+	// The whole serving hop is allocation-free; < 1 tolerates a stray
+	// runtime allocation landing inside the measured window.
+	if avg >= 1 {
+		t.Fatalf("store acquire→query→release: %.2f allocs/op, want 0", avg)
+	}
+}

@@ -31,6 +31,7 @@ func main() {
 	threads := flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
 	localSearch := flag.Bool("opt", false, "enable hash-bag/local-search connectivity")
 	blocks := flag.Bool("blocks", false, "print the blocks (use on small graphs)")
+	reorder := flag.Bool("reorder", false, "relabel so each connected component is a contiguous CSR range before decomposing (locality optimization; printed vertex ids are then the reordered ones)")
 	flag.Parse()
 
 	name := *algo
@@ -58,6 +59,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+	if *reorder {
+		g, _ = fastbcc.ReorderByComponent(g, *threads)
+		fmt.Println("reordered: connected components are contiguous id ranges")
+	}
 
 	res := fastbcc.BCC(g, &fastbcc.Options{
 		Algorithm:   name,

@@ -15,6 +15,7 @@
 //	bccbench -micro BENCH_N.json       # hot-path micro-benchmarks -> JSON report
 //	bccbench -micro BENCH_N.json -algo fast,seq   # engine matrix subset
 //	bccbench -qbench -scale small      # online query throughput (Store/Index serving path)
+//	bccbench -exp tab2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
@@ -36,7 +38,40 @@ func main() {
 	micro := flag.String("micro", "", "run the hot-path micro-benchmarks and write a BENCH_*.json report to this path")
 	algo := flag.String("algo", "", "comma-separated engine subset for the -micro engine matrix (default: every registered engine)")
 	qbench := flag.Bool("qbench", false, "measure online query throughput through the Store/Index serving path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file (go tool pprof)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bccbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bccbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bccbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation stats
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "bccbench: %v\n", err)
+			}
+		}()
+	}
 
 	if *qbench {
 		bench.RunQueryThroughput(bench.ParseScale(*scale), os.Stdout)

@@ -193,3 +193,98 @@ func TestServerAlgorithmSelection(t *testing.T) {
 		t.Fatalf("rebuild with unknown algo: %d", code)
 	}
 }
+
+// TestServerReorderTransparent loads the same graph with and without
+// "reorder": true and requires byte-identical query answers for every op
+// — the component reorder is a server-side locality optimization, so
+// clients must keep speaking the ids of the edge list they loaded.
+func TestServerReorderTransparent(t *testing.T) {
+	srv := testServer(t)
+
+	// A graph whose natural ids interleave two components, so the
+	// reorder genuinely permutes: even ids form a triangle-bridge-square
+	// chain, odd ids an independent cycle.
+	g := `{"n":14,"edges":[[0,2],[2,4],[4,0],[4,6],[6,8],[8,10],[10,12],[12,6],[1,3],[3,5],[5,7],[7,9],[9,11],[11,13],[13,1]],"reorder":true}`
+	plain := `{"n":14,"edges":[[0,2],[2,4],[4,0],[4,6],[6,8],[8,10],[10,12],[12,6],[1,3],[3,5],[5,7],[7,9],[9,11],[11,13],[13,1]]}`
+
+	code, body := do(t, http.MethodPut, srv.URL+"/v1/graphs/reord", g)
+	if code != http.StatusOK {
+		t.Fatalf("load reordered: %d %v", code, body)
+	}
+	if body["reordered"] != true {
+		t.Fatalf("load response lacks reordered flag: %v", body)
+	}
+	code, body = do(t, http.MethodPut, srv.URL+"/v1/graphs/orig", plain)
+	if code != http.StatusOK {
+		t.Fatalf("load original: %d %v", code, body)
+	}
+	if _, ok := body["reordered"]; ok {
+		t.Fatalf("plain load reports reordered: %v", body)
+	}
+
+	ops := []string{
+		"query/connected?u=%d&v=%d",
+		"query/biconnected?u=%d&v=%d",
+		"query/twoecc?u=%d&v=%d",
+		"query/cuts?u=%d&v=%d&list=1",
+		"query/bridges?u=%d&v=%d&list=1",
+	}
+	for u := 0; u < 14; u++ {
+		for v := 0; v < 14; v++ {
+			for _, op := range ops {
+				q := fmt.Sprintf(op, u, v)
+				codeR, r := do(t, http.MethodGet, srv.URL+"/v1/graphs/reord/"+q, "")
+				codeO, o := do(t, http.MethodGet, srv.URL+"/v1/graphs/orig/"+q, "")
+				if codeR != http.StatusOK || codeO != http.StatusOK {
+					t.Fatalf("%s: status %d vs %d", q, codeR, codeO)
+				}
+				for _, key := range []string{"result", "count", "u", "v"} {
+					if fmt.Sprint(r[key]) != fmt.Sprint(o[key]) {
+						t.Fatalf("%s: %s = %v reordered vs %v original", q, key, r[key], o[key])
+					}
+				}
+				// Enumerations come back in the client id space; compare
+				// as sets.
+				if fmt.Sprint(asSet(r["cuts"])) != fmt.Sprint(asSet(o["cuts"])) {
+					t.Fatalf("%s: cuts %v vs %v", q, r["cuts"], o["cuts"])
+				}
+				if fmt.Sprint(asSet(r["bridges"])) != fmt.Sprint(asSet(o["bridges"])) {
+					t.Fatalf("%s: bridges %v vs %v", q, r["bridges"], o["bridges"])
+				}
+			}
+			// separates with every x.
+			for x := 0; x < 14; x++ {
+				q := fmt.Sprintf("query/separates?x=%d&u=%d&v=%d", x, u, v)
+				_, r := do(t, http.MethodGet, srv.URL+"/v1/graphs/reord/"+q, "")
+				_, o := do(t, http.MethodGet, srv.URL+"/v1/graphs/orig/"+q, "")
+				if fmt.Sprint(r["result"]) != fmt.Sprint(o["result"]) {
+					t.Fatalf("%s: %v reordered vs %v original", q, r["result"], o["result"])
+				}
+			}
+		}
+	}
+
+	// Rebuild keeps the translation; stats keep reporting it.
+	code, body = do(t, http.MethodPost, srv.URL+"/v1/graphs/reord/rebuild", "")
+	if code != http.StatusOK || body["reordered"] != true {
+		t.Fatalf("rebuild lost the reorder flag: %d %v", code, body)
+	}
+	// Replacing the graph without reorder clears the translation.
+	code, body = do(t, http.MethodPut, srv.URL+"/v1/graphs/reord", plain)
+	if code != http.StatusOK {
+		t.Fatalf("replace: %d %v", code, body)
+	}
+	if _, ok := body["reordered"]; ok {
+		t.Fatalf("replacement load still reports reordered: %v", body)
+	}
+}
+
+// asSet canonicalizes a JSON list for order-insensitive comparison.
+func asSet(v any) map[string]bool {
+	out := map[string]bool{}
+	list, _ := v.([]any)
+	for _, e := range list {
+		out[fmt.Sprint(e)] = true
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 
 	fastbcc "repro"
 )
@@ -15,15 +16,36 @@ import (
 // load it by path.
 const maxBodyBytes = 64 << 20
 
+// vertexMap is the id translation installed when a graph is loaded with
+// "reorder": true. fwd maps a client (original) vertex id to the served
+// (reordered) id; inv is the inverse, applied to vertices the server
+// returns (cut/bridge enumerations). Queries and answers therefore always
+// speak the client's original ids — the reorder is a pure server-side
+// locality optimization.
+type vertexMap struct {
+	fwd, inv []int32
+}
+
 type server struct {
 	store *fastbcc.Store
 	mux   *http.ServeMux
+
+	// mu guards remaps: the per-name vertex translation of graphs loaded
+	// with "reorder". Absent name = identity. RWMutex so concurrent
+	// queries (read-only lookups) never serialize on each other. A query
+	// racing its own graph's replacement can observe a snapshot from one
+	// load and the mapping from another; remapFor rejects any mapping
+	// whose cardinality does not match the acquired snapshot, so the
+	// worst outcome of that self-inflicted race is an identity-mapped
+	// answer from the transition window — never an out-of-range id.
+	mu     sync.RWMutex
+	remaps map[string]*vertexMap
 }
 
 // newServer wires the JSON API around a Store. Exposed separately from
 // main so tests drive the exact production handler.
 func newServer(store *fastbcc.Store) http.Handler {
-	s := &server{store: store, mux: http.NewServeMux()}
+	s := &server{store: store, mux: http.NewServeMux(), remaps: map[string]*vertexMap{}}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
 	s.mux.HandleFunc("PUT /v1/graphs/{name}", s.handleLoad)
@@ -46,32 +68,66 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // graphInfo is the stats payload for one snapshot.
 type graphInfo struct {
-	Name    string  `json:"name"`
-	Version int64   `json:"version"`
-	Algo    string  `json:"algo"`
-	N       int     `json:"n"`
-	M       int     `json:"m"`
-	Blocks  int     `json:"blocks"`
-	Cuts    int     `json:"cuts"`
-	Bridges int     `json:"bridges"`
-	TwoECC  int     `json:"two_ecc"`
-	BuildMS float64 `json:"build_ms"`
-	BuiltAt string  `json:"built_at"`
+	Name      string  `json:"name"`
+	Version   int64   `json:"version"`
+	Algo      string  `json:"algo"`
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	Blocks    int     `json:"blocks"`
+	Cuts      int     `json:"cuts"`
+	Bridges   int     `json:"bridges"`
+	TwoECC    int     `json:"two_ecc"`
+	Reordered bool    `json:"reordered,omitempty"`
+	BuildMS   float64 `json:"build_ms"`
+	BuiltAt   string  `json:"built_at"`
 }
 
-func info(snap *fastbcc.Snapshot) graphInfo {
+// remap returns the vertex translation of name, or nil for identity.
+func (s *server) remap(name string) *vertexMap {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.remaps[name]
+}
+
+// remapFor returns the vertex translation to apply to a query against
+// snap, or nil for identity. A mapping whose cardinality does not match
+// the snapshot's vertex count belongs to a different load generation
+// (the client replaced the graph while querying it) and is rejected —
+// applying it could index out of range on either side of the
+// translation.
+func (s *server) remapFor(snap *fastbcc.Snapshot) *vertexMap {
+	vm := s.remap(snap.Name)
+	if vm == nil || len(vm.fwd) != snap.Graph.NumVertices() {
+		return nil
+	}
+	return vm
+}
+
+// setRemap installs (or, with nil, clears) the vertex translation of name.
+func (s *server) setRemap(name string, m *vertexMap) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m == nil {
+		delete(s.remaps, name)
+	} else {
+		s.remaps[name] = m
+	}
+}
+
+func (s *server) info(snap *fastbcc.Snapshot) graphInfo {
 	return graphInfo{
-		Name:    snap.Name,
-		Version: snap.Version,
-		Algo:    snap.Algorithm,
-		N:       snap.Graph.NumVertices(),
-		M:       snap.Graph.NumEdges(),
-		Blocks:  snap.Index.NumBlocks(),
-		Cuts:    snap.Index.NumCutVertices(),
-		Bridges: snap.Index.NumBridges(),
-		TwoECC:  snap.Index.NumTwoECC(),
-		BuildMS: float64(snap.BuildTime.Microseconds()) / 1000,
-		BuiltAt: snap.BuiltAt.UTC().Format("2006-01-02T15:04:05.000Z"),
+		Name:      snap.Name,
+		Version:   snap.Version,
+		Algo:      snap.Algorithm,
+		N:         snap.Graph.NumVertices(),
+		M:         snap.Graph.NumEdges(),
+		Blocks:    snap.Index.NumBlocks(),
+		Cuts:      snap.Index.NumCutVertices(),
+		Bridges:   snap.Index.NumBridges(),
+		TwoECC:    snap.Index.NumTwoECC(),
+		Reordered: s.remapFor(snap) != nil,
+		BuildMS:   float64(snap.BuildTime.Microseconds()) / 1000,
+		BuiltAt:   snap.BuiltAt.UTC().Format("2006-01-02T15:04:05.000Z"),
 	}
 }
 
@@ -111,7 +167,7 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue // removed between Names and Acquire
 		}
-		out = append(out, info(snap))
+		out = append(out, s.info(snap))
 		snap.Release()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
@@ -128,6 +184,11 @@ type loadRequest struct {
 	Threads     int        `json:"threads"`
 	LocalSearch bool       `json:"local_search"`
 	Source      int32      `json:"source"`
+	// Reorder relabels the graph before serving so each connected
+	// component occupies a contiguous CSR range (the paper's locality
+	// optimization). Transparent to clients: queries and answers keep
+	// using the ids of the loaded edge list.
+	Reorder bool `json:"reorder"`
 }
 
 func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
@@ -161,6 +222,16 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var vm *vertexMap
+	if req.Reorder {
+		rg, fwd := fastbcc.ReorderByComponent(g, req.Threads)
+		inv := make([]int32, len(fwd))
+		for v, nv := range fwd {
+			inv[nv] = int32(v)
+		}
+		g = rg
+		vm = &vertexMap{fwd: fwd, inv: inv}
+	}
 	opts := &fastbcc.Options{Algorithm: req.Algo, Seed: req.Seed, Threads: req.Threads, LocalSearch: req.LocalSearch, Source: req.Source}
 	snap, err := s.store.Load(name, g, opts)
 	if err != nil {
@@ -171,8 +242,11 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	// A load without reorder replacing a reordered entry clears the
+	// translation along with the graph it described.
+	s.setRemap(name, vm)
 	defer snap.Release()
-	writeJSON(w, http.StatusOK, info(snap))
+	writeJSON(w, http.StatusOK, s.info(snap))
 }
 
 func (s *server) handleRebuild(w http.ResponseWriter, r *http.Request) {
@@ -200,7 +274,7 @@ func (s *server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer snap.Release()
-	writeJSON(w, http.StatusOK, info(snap))
+	writeJSON(w, http.StatusOK, s.info(snap))
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -210,14 +284,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer snap.Release()
-	writeJSON(w, http.StatusOK, info(snap))
+	writeJSON(w, http.StatusOK, s.info(snap))
 }
 
 func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
-	if err := s.store.Remove(r.PathValue("name")); err != nil {
+	name := r.PathValue("name")
+	if err := s.store.Remove(name); err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	s.setRemap(name, nil)
 	writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
 }
 
@@ -264,6 +340,25 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	idx := snap.Index
 	n := snap.Graph.NumVertices()
 
+	// Reordered graphs: clients keep speaking original ids; fwd maps them
+	// to the served CSR and inv maps enumerated vertices back.
+	var fwd, inv []int32
+	if vm := s.remapFor(snap); vm != nil {
+		fwd, inv = vm.fwd, vm.inv
+	}
+	toServed := func(v int32) int32 {
+		if fwd != nil {
+			return fwd[v]
+		}
+		return v
+	}
+	toClient := func(v int32) int32 {
+		if inv != nil {
+			return inv[v]
+		}
+		return v
+	}
+
 	u, err := vertexParam(r, "u", n)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -274,7 +369,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The response echoes the client's ids; the index sees served ids.
 	resp := queryResponse{Graph: snap.Name, Version: snap.Version, Op: op, U: u, V: v}
+	u, v = toServed(u), toServed(v)
 	list := r.URL.Query().Get("list") != ""
 	setBool := func(b bool) { resp.Result = &b }
 	setCount := func(c int) { resp.Count = &c }
@@ -293,13 +390,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.X = &x
-		setBool(idx.Separates(x, u, v))
+		setBool(idx.Separates(toServed(x), u, v))
 	case "cuts":
 		setCount(idx.NumCutsOnPath(u, v))
 		if list {
 			cuts := idx.CutsOnPath(u, v)
 			if cuts == nil {
 				cuts = []int32{}
+			}
+			for i := range cuts {
+				cuts[i] = toClient(cuts[i])
 			}
 			resp.Cuts = cuts
 		}
@@ -309,7 +409,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			bridges := idx.BridgesOnPath(u, v)
 			resp.Bridges = make([][2]int32, len(bridges))
 			for i, b := range bridges {
-				resp.Bridges[i] = [2]int32{b.U, b.W}
+				resp.Bridges[i] = [2]int32{toClient(b.U), toClient(b.W)}
 			}
 		}
 	default:

@@ -116,6 +116,7 @@ package fastbcc
 import (
 	"fmt"
 
+	"repro/internal/conn"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gen"
@@ -262,6 +263,22 @@ func NewGraphFromEdgesScratch(n int, edges []Edge, sc *Scratch) (*Graph, error) 
 	return graph.FromEdgesScratch(n, edges, sc)
 }
 
+// ReorderByComponent relabels the graph so each connected component
+// occupies a contiguous vertex-id range — the CSR locality optimization
+// the paper applies after First-CC ("re-order the vertices in the CSR
+// format to let each CC be contiguous", Sec. 5). It computes
+// connectivity, returns the reordered graph and the permutation
+// (newID[v] is v's id in the new graph), and caps the work at threads
+// workers (0 = no cap). Decompositions and indexes built on the
+// reordered graph answer queries about newID[v] exactly as the original
+// answers about v; cmd/bccd applies the mapping transparently when a
+// graph is loaded with "reorder": true.
+func ReorderByComponent(g *Graph, threads int) (*Graph, []int32) {
+	e := parallel.Limit(threads)
+	cc := conn.Connectivity(g, conn.Options{Exec: e})
+	return graph.ReorderByComponentIn(e, g, cc.Comp)
+}
+
 // LoadGraph reads a graph from a binary file written by SaveGraph.
 func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
 
@@ -274,6 +291,13 @@ func SaveGraph(g *Graph, path string) error { return g.SaveFile(path) }
 // Algorithms() enumerates the valid ones; serving layers that accept
 // user-supplied names should go through a Store, which validates and
 // returns an error instead.
+//
+// On the default engine the Result's topology caches (ArticulationPoints,
+// BlockCutTree) are built lazily on first query, guarded by a sync.Once
+// (concurrent first queries are safe), so a one-shot decomposition that
+// never asks for them pays nothing. Results produced by a Runner, Store,
+// or explicit engine selection precompute the caches before returning —
+// the serving paths have no first-query latency cliff.
 func BCC(g *Graph, opts *Options) *Result {
 	var o Options
 	if opts != nil {

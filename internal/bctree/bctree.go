@@ -85,6 +85,11 @@ func NewIn(e *parallel.Exec, g *graph.Graph, r *core.Result) *Index {
 	if len(r.Label) != n {
 		panic("bctree: result does not match graph (vertex counts differ)")
 	}
+	// Populate the Result's lazy topology caches on this build's context
+	// (no-op when a serving constructor precomputed them already): the
+	// index shares the cached tree, and a published snapshot must never
+	// hit the lazy compute path from a query.
+	r.PrecomputeTopologyIn(e)
 	x := &Index{res: r, t: r.BlockCutTree()}
 	t := x.t
 

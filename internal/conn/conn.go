@@ -14,7 +14,6 @@
 package conn
 
 import (
-	"sort"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -97,29 +96,30 @@ func connLDD(g *graph.Graph, opt Options) *Result {
 	ufbuf := sc.GetInt32(n)
 	e.Iota(ufbuf, 0)
 	u := uf.Wrap(ufbuf)
+	// Forest edges are collected into one arena buffer through an atomic
+	// write cursor (a spanning forest has at most n-1 edges); with one
+	// worker the loops run inline, so the sequential edge order is the
+	// historical one (cluster trees first, then cross edges).
+	forest, cur := forestBuf(sc, n, opt.WantForest)
 	// Cluster parent edges connect each cluster; they are tree edges by
-	// construction, so all of them join the forest.
+	// construction (each union merges two distinct sets regardless of
+	// order), so all of them join the forest.
 	e.For(n, func(v int) {
 		if p := dec.Parent[v]; p != -1 {
 			u.Union(int32(v), p)
-		}
-	})
-	// Union cut edges (endpoints in different clusters); harvest the edges
-	// whose union merged two sets as forest edges.
-	forestCross := unionEdges(g, u, opt, func(v, w int32) bool {
-		return dec.Center[v] != dec.Center[w]
-	})
-	res := finish(e, g, u, sc)
-	if opt.WantForest {
-		// A spanning forest has exactly n - NumComp edges, so the arena
-		// buffer is sized exactly and the appends below never grow it.
-		forest := sc.GetEdges(n - res.NumComp)[:0]
-		for v := 0; v < n; v++ {
-			if p := dec.Parent[v]; p != -1 {
-				forest = append(forest, graph.Edge{U: p, W: int32(v)})
+			if forest != nil {
+				forest[cur.Add(1)-1] = graph.Edge{U: p, W: int32(v)}
 			}
 		}
-		res.Forest = append(forest, forestCross...)
+	})
+	// Union cut edges (endpoints in different clusters); the edges whose
+	// union merged two sets join the forest.
+	unionEdges(g, u, opt, func(v, w int32) bool {
+		return dec.Center[v] != dec.Center[w]
+	}, forest, cur)
+	res := finish(e, g, u, sc)
+	if opt.WantForest {
+		res.Forest = forest[:cur.Load()]
 	}
 	sc.PutInt32(ufbuf, dec.Center, dec.Parent)
 	return res
@@ -132,82 +132,56 @@ func connUF(g *graph.Graph, opt Options) *Result {
 	ufbuf := sc.GetInt32(n)
 	e.Iota(ufbuf, 0)
 	u := uf.Wrap(ufbuf)
-	forest := unionEdges(g, u, opt, nil)
+	forest, cur := forestBuf(sc, n, opt.WantForest)
+	unionEdges(g, u, opt, nil, forest, cur)
 	res := finish(e, g, u, sc)
 	if opt.WantForest {
-		res.Forest = forest
+		res.Forest = forest[:cur.Load()]
 	}
 	sc.PutInt32(ufbuf)
 	return res
 }
 
-// unionEdges unions every undirected edge passing opt.Filter (and the extra
-// predicate, when non-nil) and returns the edges whose Union succeeded —
-// a spanning forest of the processed edge set relative to the current
-// union-find state.
-//
-// Blocking is degree-aware: the *arc* array is partitioned, not the vertex
-// range, so a power-law hub with millions of neighbors is spread over many
-// blocks (claimed dynamically by the worker pool) instead of serializing
-// one vertex block. Each block locates its first vertex by binary search
-// on the offset array and then walks arcs and vertex boundaries together.
-func unionEdges(g *graph.Graph, u *uf.UF, opt Options, extra func(v, w int32) bool) []graph.Edge {
-	nArcs := g.NumArcs()
-	if nArcs == 0 {
-		return nil
+// forestBuf returns the cursor-collected forest buffer for a graph of n
+// vertices, or nil when no forest is wanted. The buffer is arena-backed;
+// its ownership passes to the caller with the Forest result.
+func forestBuf(sc *graph.Scratch, n int, want bool) ([]graph.Edge, *atomic.Int64) {
+	if !want {
+		return nil, new(atomic.Int64)
 	}
+	size := n - 1
+	if size < 0 {
+		size = 0
+	}
+	return sc.GetEdges(size), new(atomic.Int64)
+}
+
+// unionEdges unions every undirected edge passing opt.Filter (and the extra
+// predicate, when non-nil). Edges whose Union succeeded — a spanning forest
+// of the processed edge set relative to the current union-find state — are
+// written through the atomic cursor cur into forest when it is non-nil.
+// The traversal is the degree-aware blocked arc walk of
+// graph.ForArcSegments, so hubs never serialize one vertex block.
+func unionEdges(g *graph.Graph, u *uf.UF, opt Options, extra func(v, w int32) bool, forest []graph.Edge, cur *atomic.Int64) {
+	collect := opt.WantForest && forest != nil
 	const arcGrain = 4096
-	nb := (nArcs + arcGrain - 1) / arcGrain
-	outs := make([][]graph.Edge, nb)
-	collect := opt.WantForest
-	opt.Exec.ForBlock(nb, 1, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			alo, ahi := b*arcGrain, (b+1)*arcGrain
-			if ahi > nArcs {
-				ahi = nArcs
+	g.ForArcSegments(opt.Exec, arcGrain, func(v int32, adj []int32) {
+		// Tight per-vertex segment: v is fixed for the range.
+		for _, w := range adj {
+			if v >= w { // each undirected edge once; skips self-loops
+				continue
 			}
-			// First vertex whose arc range contains alo.
-			v := int32(sort.Search(int(g.N), func(x int) bool {
-				return g.Offsets[x+1] > int32(alo)
-			}))
-			var out []graph.Edge
-			a := alo
-			for a < ahi {
-				for int(g.Offsets[v+1]) <= a {
-					v++
-				}
-				vEnd := int(g.Offsets[v+1])
-				if vEnd > ahi {
-					vEnd = ahi
-				}
-				// Tight per-vertex segment: v is fixed for the range.
-				for _, w := range g.Adj[a:vEnd] {
-					if v >= w { // each undirected edge once; skips self-loops
-						continue
-					}
-					if extra != nil && !extra(v, w) {
-						continue
-					}
-					if opt.Filter != nil && !opt.Filter(v, w) {
-						continue
-					}
-					if u.Union(v, w) && collect {
-						out = append(out, graph.Edge{U: v, W: w})
-					}
-				}
-				a = vEnd
+			if extra != nil && !extra(v, w) {
+				continue
 			}
-			outs[b] = out
+			if opt.Filter != nil && !opt.Filter(v, w) {
+				continue
+			}
+			if u.Union(v, w) && collect {
+				forest[cur.Add(1)-1] = graph.Edge{U: v, W: w}
+			}
 		}
 	})
-	if !collect {
-		return nil
-	}
-	var forest []graph.Edge
-	for _, o := range outs {
-		forest = append(forest, o...)
-	}
-	return forest
 }
 
 // finish flattens the union-find into component labels.
@@ -217,17 +191,16 @@ func finish(e *parallel.Exec, g *graph.Graph, u *uf.UF, sc *graph.Scratch) *Resu
 	e.For(n, func(v int) {
 		comp[v] = u.Find(int32(v))
 	})
-	var roots atomic.Int64
-	e.ForBlock(n, parallel.DefaultGrain, func(lo, hi int) {
-		c := 0
+	roots := parallel.SumInt64In(e, n, parallel.DefaultGrain, func(lo, hi int) int64 {
+		c := int64(0)
 		for v := lo; v < hi; v++ {
 			if comp[v] == int32(v) {
 				c++
 			}
 		}
-		roots.Add(int64(c))
+		return c
 	})
-	return &Result{Comp: comp, NumComp: int(roots.Load())}
+	return &Result{Comp: comp, NumComp: int(roots)}
 }
 
 // Normalize remaps component representatives to dense ids 0..NumComp-1 and

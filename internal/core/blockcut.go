@@ -71,14 +71,14 @@ func (t *BlockCutTree) ForestEdges() []graph.Edge {
 }
 
 // BlockCutTree derives the block-cut tree from the decomposition. The
-// result is cached on the Result by the constructors (see
-// PrecomputeTopology), in which case the same tree is returned to every
-// caller and must be treated as immutable.
+// tree is computed on first use (together with ArticulationPoints) and
+// cached, guarded by a sync.Once: concurrent first calls on a shared
+// Result are safe and all return the same tree, which must be treated as
+// immutable. Serving constructors precompute the cache before publishing
+// (see PrecomputeTopology).
 func (r *Result) BlockCutTree() *BlockCutTree {
-	if t := r.bct; t != nil {
-		return t
-	}
-	return buildBlockCutTree(nil, r, r.ArticulationPoints())
+	r.precomputeTopology(nil)
+	return r.bct
 }
 
 // buildBlockCutTree is the one construction pass behind BlockCutTree:

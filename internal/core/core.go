@@ -2,20 +2,29 @@
 // the parallel biconnectivity algorithm of Dong, Wang, Gu, and Sun
 // (PPoPP 2023) — Alg. 1 of the paper.
 //
-// The four steps mirror the paper exactly:
+// The four steps mirror the paper's four phases, and the StepTimes
+// breakdown (Fig. 5) maps one-to-one onto them:
 //
-//  1. First-CC — parallel connectivity (LDD-UF-JTB) over the input graph,
-//     producing a spanning forest as a by-product.
-//  2. Rooting — the Euler tour technique roots every tree at its component
-//     representative and yields first/last tour positions and parents.
-//  3. Tagging — w1/w2 are folded over non-tree edges with atomic min/max
-//     writes, then low/high come from 1-D range min/max queries over the
-//     tour-ordered w1/w2 arrays.
-//  4. Last-CC — connectivity over the *implicit* skeleton: the input graph
-//     with fence tree edges and back edges skipped by the InSkeleton
-//     predicate (never materialized, keeping auxiliary space O(n));
-//     component heads are then read off the fence edges whose endpoints
-//     got different labels.
+//  1. First-CC (StepTimes.FirstCC) — parallel connectivity (LDD-UF-JTB)
+//     over the input graph, producing a spanning forest as a by-product.
+//  2. Rooting (StepTimes.Rooting) — the Euler tour technique roots every
+//     tree at its component representative and yields first/last tour
+//     positions and parents.
+//  3. Tagging (StepTimes.Tagging) — w1/w2 are folded over non-tree edges
+//     with atomic min/max writes, then low/high come from 1-D range
+//     min/max queries over the tour-ordered w1/w2 arrays.
+//  4. Last-CC (StepTimes.LastCC) — connectivity over the *implicit*
+//     skeleton (never materialized, keeping auxiliary space O(n)): the
+//     non-fence tree edges are streamed off the spanning forest and the
+//     cross arcs off the CSR with the fence/back interval tests inlined,
+//     all into a concurrent union-find (see lastCC). The step timer also
+//     covers the fused finalization — dense labels, component heads,
+//     block count, and the per-label size cache are produced in the same
+//     pass, so everything the Result's O(n) representation needs is
+//     inside the reported Last-CC time. (The lazily-built topology
+//     caches, ArticulationPoints and BlockCutTree, are this
+//     implementation's serving addition and are outside the paper's
+//     phases and the step breakdown.)
 //
 // The output is the paper's O(n) BCC representation: a label per non-root
 // vertex plus a component head per label. Articulation points, bridges,
@@ -30,6 +39,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +49,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/prim"
 	"repro/internal/tags"
+	"repro/internal/uf"
 )
 
 // Options configures FAST-BCC.
@@ -47,10 +58,15 @@ type Options struct {
 	Seed uint64
 	// LocalSearch enables the hash-bag/local-search connectivity
 	// optimization (the paper's "Opt" variant, Fig. 6). Default off.
+	// Applies to First-CC; Last-CC streams the skeleton into a
+	// union-find directly and has no LDD to tune.
 	LocalSearch bool
-	// Beta is the LDD rate (0 = default).
+	// Beta is the LDD rate (0 = default). First-CC only, like LocalSearch.
 	Beta float64
-	// ConnAlg selects the connectivity algorithm for both CC phases.
+	// ConnAlg selects the connectivity algorithm for the First-CC phase.
+	// (Last-CC no longer runs a general connectivity algorithm: the
+	// skeleton arcs are known from the tags and go straight into a
+	// union-find.)
 	ConnAlg conn.Algorithm
 	// Scratch, when non-nil, recycles the ~16n int32 of per-run auxiliary
 	// buffers (tags, tour, connectivity state) across BCC calls, the
@@ -102,15 +118,23 @@ type Result struct {
 	// RMQ tables, connectivity state — everything beyond the input graph).
 	AuxBytes int64
 
-	// labelCount[l] is the number of non-root vertices with label l,
-	// computed lazily on first use (IsBridge, Bridges) and cached: the
-	// per-call O(n) label scan made those queries quadratic in callers
-	// that loop over edges.
+	// labelCount[l] is the number of non-root vertices with label l.
+	// core.BCC fills it during the fused Last-CC finalization (one pass
+	// with the Head assignment); otherwise it is computed lazily, guarded
+	// by sizesOnce, on first use (IsBridge, Bridges, TwoECC): the per-call
+	// O(n) label scan made those queries quadratic in callers that loop
+	// over edges.
+	sizesOnce  sync.Once
 	labelCount []int32
 	// artPoints and bct cache ArticulationPoints and BlockCutTree, which
-	// used to be recomputed — O(n) and with maps — on every call.
-	// Populated once by the constructors (PrecomputeTopology) before the
-	// Result is published, same discipline as labelCount.
+	// used to be recomputed — O(n) and with maps — on every call. They are
+	// computed lazily on first use, guarded by topoOnce, so one-shot BCC
+	// callers that never query the topology skip the ~2n int32 of caches
+	// entirely. Serving constructors (Runner, Store, engine.FromBlocks,
+	// bfsbcc, the Index build) precompute them eagerly on their own
+	// execution context via PrecomputeTopologyIn, so published snapshots
+	// have no first-query latency cliff.
+	topoOnce  sync.Once
 	artPoints []int32
 	bct       *BlockCutTree
 }
@@ -126,35 +150,40 @@ func computeLabelSizes(r *Result) []int32 {
 	return count
 }
 
-// PrecomputeLabelSizes populates the LabelSizes cache. Constructors
-// (core.BCC, bfsbcc.BCC) call it exactly once before publishing the
-// Result; it must not be called concurrently with other accessors. The
-// cache is a plain field rather than a sync primitive so the exported
-// Result stays a plain copyable value.
-func (r *Result) PrecomputeLabelSizes() {
-	if r.labelCount == nil {
-		r.labelCount = computeLabelSizes(r)
-	}
-}
+// PrecomputeLabelSizes populates the LabelSizes cache ahead of
+// publication; constructors that do not fill the cache during their own
+// finalization (bfsbcc.BCC, engine.FromBlocks) call it once. Equivalent
+// to discarding LabelSizes().
+func (r *Result) PrecomputeLabelSizes() { r.LabelSizes() }
 
 // LabelSizes returns the per-label count of non-root member vertices
 // (label l's block has LabelSizes()[l]+1 vertices including its head).
-// For constructor-built Results the cache was populated before
-// publication, so this is a lock-free read, safe for concurrent use. A
-// caller-assembled Result without the cache gets a fresh computation per
-// call — never a cache write, so concurrent use stays race-free there
-// too, just without the caching.
+// The cache is computed on first use, guarded by a sync.Once: concurrent
+// first calls on a shared Result are safe and every caller gets the same
+// cached slice (treat it as read-only). core.BCC fills the cache during
+// finalization, so on a BCC result this is always a lock-free read.
 func (r *Result) LabelSizes() []int32 {
-	if c := r.labelCount; c != nil {
-		return c
-	}
-	return computeLabelSizes(r)
+	r.sizesOnce.Do(func() {
+		if r.labelCount == nil {
+			r.labelCount = computeLabelSizes(r)
+		}
+	})
+	return r.labelCount
 }
 
 // BCC computes the biconnected components of g with FAST-BCC.
 func BCC(g *graph.Graph, opt Options) *Result {
 	n := int(g.N)
 	sc := opt.Scratch
+	if sc == nil {
+		// Run-private arena: the pipeline's Get/Put discipline then
+		// recycles buffers within this one run (the LDD frontier buffers
+		// alone round-trip every BFS round), and the whole arena dies
+		// with the run. The Result never aliases arena memory, so this is
+		// invisible to the caller; passing a long-lived Options.Scratch
+		// still amortizes across runs.
+		sc = graph.NewScratch()
+	}
 	e := opt.Exec
 	res := &Result{}
 
@@ -182,63 +211,136 @@ func BCC(g *graph.Graph, opt Options) *Result {
 	// ---- Step 3: Tagging -------------------------------------------------
 	t0 = time.Now()
 	tg := tags.ComputeIn(e, g, rt, sc)
-	parent := tg.Parent
 	sc.PutInt32(rt.Tour)
 	res.Times.Tagging = time.Since(t0)
 
 	// ---- Step 4: Last-CC -------------------------------------------------
 	t0 = time.Now()
-	sk := conn.Connectivity(g, conn.Options{
-		Algorithm:   opt.ConnAlg,
-		Beta:        opt.Beta,
-		Seed:        opt.Seed + 0x5eed,
-		LocalSearch: opt.LocalSearch,
-		Filter:      tg.InSkeleton,
-		Scratch:     sc,
-		Exec:        e,
-	})
-	res.Label = sk.NormalizeIn(e)
-	res.NumLabels = sk.NumComp
-	sc.PutInt32(sk.Comp)
-	res.Head = make([]int32, sk.NumComp)
-	parallel.FillIn(e, res.Head, -1)
-	e.For(n, func(v int) {
-		p := parent[v]
-		if p != -1 && res.Label[v] != res.Label[p] {
-			// Fence edge leaving v's skeleton component upward: p is the
-			// component head. All writers of one label agree on the value
-			// (Thm. 4.9: the head is unique); the store is atomic to keep
-			// the concurrent same-value writes well-defined under the Go
-			// memory model.
-			atomic.StoreInt32(&res.Head[res.Label[v]], p)
-		}
-	})
-	nBCC := 0
-	for _, h := range res.Head {
-		if h != -1 {
-			nBCC++
-		}
-	}
-	res.NumBCC = nBCC
-	// The tag arrays die with the Last-CC filter; First/Last alias the
+	lastCC(e, g, tg, rt.NumTrees, sc, res)
+	// The tag arrays die with the skeleton pass; First/Last alias the
 	// Rooted arrays, so each buffer goes back exactly once.
 	sc.PutInt32(tg.Low, tg.High, rt.First, rt.Last)
-	// Populate the per-label size cache before the Result is published so
-	// IsBridge/Bridges are O(1)-per-query reads on a BCC result, and the
-	// articulation-point / block-cut-tree caches so every Result carries
-	// its query substrate (computed once, on this run's execution context).
-	res.PrecomputeLabelSizes()
 	res.Times.LastCC = time.Since(t0)
-	// Outside the step breakdown: the paper's four steps end at Last-CC;
-	// the caches are this implementation's serving addition.
-	res.precomputeTopology(e)
+	// The articulation-point / block-cut-tree caches stay lazy (sync.Once
+	// on first query); serving constructors precompute them on their own
+	// context — see PrecomputeTopology.
 
 	// Auxiliary space estimate (bytes): per-vertex tag arrays (w1, w2,
 	// low, high, first, last, parent, comp, labels, head ≈ 10n int32),
 	// tour + RMQ value arrays (≈ 3·2n), RMQ block tables (≈ 4·2n/16),
-	// connectivity state (≈ 3n), spanning forest (2n).
+	// connectivity + skeleton union-find state (≈ 3n), spanning forest
+	// (2n).
 	res.AuxBytes = int64(n) * 4 * (10 + 6 + 1 + 3 + 2)
 	return res
+}
+
+// lastCC is the skeleton-aware Last-CC step fused with finalization.
+//
+// The skeleton G' (Alg. 1 line 7) is never materialized, but unlike the
+// historical implementation it is not rediscovered by a full filtered
+// connectivity run either: LDD shift sampling, BFS rounds, and two
+// per-arc InSkeleton closure calls over all m edges are replaced by
+// streaming the two skeleton arc classes straight into a concurrent
+// union-find —
+//
+//   - non-fence tree edges read off the First-CC spanning forest (the
+//     parent array), one O(1) fence test per vertex, no adjacency scan;
+//   - cross arcs found by one pass over the CSR with the back-edge
+//     interval tests inlined (tree and back arcs are skipped in place).
+//
+// The skeleton is a subgraph of already-known structure, so the LDD's
+// theoretical span guarantee buys nothing here: the union-find depth is
+// bounded by the same argument as the cut-edge phase of First-CC.
+//
+// Finalization is fused into the same step: dense labels come from a
+// prefix sum over union-find roots, and a single parallel pass assigns
+// component heads (Thm. 4.9: the head is the unique parent across a
+// fence edge out of the component) while counting per-label members —
+// the LabelSizes cache — in place. The sequential head scan that used to
+// count blocks is gone entirely: every tree root is isolated in the
+// skeleton (all root tree edges are fences, all root non-tree arcs are
+// back arcs), so NumBCC = NumLabels − numTrees in O(1).
+func lastCC(e *parallel.Exec, g *graph.Graph, tg *tags.Tags, numTrees int, sc *graph.Scratch, res *Result) {
+	n := int(g.N)
+	parent, first, last, low, high := tg.Parent, tg.First, tg.Last, tg.Low, tg.High
+	ufbuf := sc.GetInt32(n)
+	e.Iota(ufbuf, 0)
+	u := uf.Wrap(ufbuf)
+	// Skeleton tree arcs: the tree edge (p(v), v) is in G' iff it is not
+	// a fence edge (Alg. 1 line 11, evaluated parent-side).
+	e.For(n, func(v int) {
+		if p := parent[v]; p != -1 && !(first[p] <= low[v] && last[p] >= high[v]) {
+			u.Union(int32(v), p)
+		}
+	})
+	// Skeleton cross arcs: non-tree, non-back (Alg. 1 line 13). The
+	// degree-aware blocked arc walk keeps hubs from serializing; all
+	// predicates are inlined interval tests on the segment's fixed v.
+	g.ForArcSegments(e, 4096, func(v int32, adj []int32) {
+		fv, lv := first[v], last[v]
+		for _, w := range adj {
+			if v >= w { // each undirected edge once; skips self-loops
+				continue
+			}
+			if parent[w] == v || parent[v] == w {
+				continue // (parallels a) tree edge: handled above
+			}
+			fw := first[w]
+			if fv <= fw && lv >= fw {
+				continue // back edge: v is an ancestor of w
+			}
+			if fw <= fv && last[w] >= fv {
+				continue // back edge: w is an ancestor of v
+			}
+			u.Union(v, w)
+		}
+	})
+	// Dense labels: rank the union-find roots by a prefix sum, exactly
+	// conn's Normalize but over arena buffers.
+	comp := sc.GetInt32(n)
+	isRoot := sc.GetInt32(n)
+	e.For(n, func(v int) {
+		c := u.Find(int32(v))
+		comp[v] = c
+		if c == int32(v) {
+			isRoot[v] = 1
+		} else {
+			isRoot[v] = 0
+		}
+	})
+	numLabels := int(prim.ExclusiveScanInt32In(e, isRoot))
+	// Fused finalization: one parallel pass writes the dense label,
+	// assigns the component head across fence edges, and counts label
+	// members (the LabelSizes cache). Tree roots are isolated in the
+	// skeleton, so a root is the sole writer of its label's head slot
+	// (-1: a root singleton is not a BCC); every other label's head
+	// writers agree on the unique head (Thm. 4.9) and store it
+	// atomically to keep the concurrent same-value writes well-defined
+	// under the Go memory model.
+	label := make([]int32, n) // retained by the Result: never arena-backed
+	head := make([]int32, numLabels)
+	count := make([]int32, numLabels)
+	e.ForBlock(n, parallel.DefaultGrain, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			l := isRoot[comp[v]]
+			label[v] = l
+			p := parent[v]
+			if p == -1 {
+				head[l] = -1
+				continue
+			}
+			atomic.AddInt32(&count[l], 1)
+			if comp[p] != comp[v] {
+				atomic.StoreInt32(&head[l], p)
+			}
+		}
+	})
+	sc.PutInt32(ufbuf, comp, isRoot)
+	res.Label = label
+	res.Head = head
+	res.NumLabels = numLabels
+	res.NumBCC = numLabels - numTrees
+	res.labelCount = count
 }
 
 // Blocks materializes the explicit biconnected components as sorted vertex
@@ -266,14 +368,15 @@ func (r *Result) Blocks() [][]int32 {
 
 // ArticulationPoints returns the articulation points in increasing vertex
 // order: vertices belonging to at least two blocks (Thm. 4.4: exactly the
-// BCC heads, counting the parent-side block for non-roots). For
-// constructor-built Results the answer is cached (see PrecomputeTopology)
-// and shared between callers — treat it as read-only.
+// BCC heads, counting the parent-side block for non-roots). The answer is
+// computed on first use together with the block-cut tree, guarded by a
+// sync.Once — concurrent first calls on a shared Result are safe and all
+// return the same cached slice (treat it as read-only). Serving
+// constructors precompute it (see PrecomputeTopology), making this a
+// lock-free read on their snapshots.
 func (r *Result) ArticulationPoints() []int32 {
-	if ap := r.artPoints; ap != nil {
-		return ap
-	}
-	return computeArticulationPoints(nil, r)
+	r.precomputeTopology(nil)
+	return r.artPoints
 }
 
 // computeArticulationPoints is the parallel pass behind ArticulationPoints.
@@ -303,25 +406,30 @@ func computeArticulationPoints(e *parallel.Exec, r *Result) []int32 {
 }
 
 // PrecomputeTopology populates the ArticulationPoints and BlockCutTree
-// caches. Constructors call it exactly once before publishing the Result;
-// like PrecomputeLabelSizes it must not be called concurrently with other
-// accessors, and a caller-assembled Result without the caches simply gets
-// a fresh computation per call.
+// caches. core.BCC leaves them lazy (a one-shot decomposition that never
+// queries the topology should not pay ~2n int32 for it); serving
+// constructors — Runner, Store, engine adapters, bfsbcc, the Index build
+// — call this before publishing a snapshot so queries never hit the
+// compute path. Idempotent and safe to call concurrently with the lazy
+// accessors (all paths funnel through one sync.Once).
 func (r *Result) PrecomputeTopology() { r.precomputeTopology(nil) }
 
 // PrecomputeTopologyIn is PrecomputeTopology running on the execution
 // context e (nil = the process-global default), so constructors outside
-// this package (bfsbcc, the engine adapters) keep the whole build on one
-// per-run context.
+// this package (bfsbcc, the engine adapters, bctree.NewIn) keep the whole
+// build on one per-run context. Note the context only applies when this
+// call is the one that populates the cache.
 func (r *Result) PrecomputeTopologyIn(e *parallel.Exec) { r.precomputeTopology(e) }
 
 func (r *Result) precomputeTopology(e *parallel.Exec) {
-	if r.artPoints == nil {
-		r.artPoints = computeArticulationPoints(e, r)
-	}
-	if r.bct == nil {
-		r.bct = buildBlockCutTree(e, r, r.artPoints)
-	}
+	r.topoOnce.Do(func() {
+		if r.artPoints == nil {
+			r.artPoints = computeArticulationPoints(e, r)
+		}
+		if r.bct == nil {
+			r.bct = buildBlockCutTree(e, r, r.artPoints)
+		}
+	})
 }
 
 // IsBridge reports whether the edge {u,w} of g is a bridge: its block has

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestLazyCachesConcurrentFirstCall hammers the lazily-built caches —
+// ArticulationPoints, BlockCutTree, LabelSizes — with concurrent first
+// calls on one shared Result and requires every caller to get the
+// identical cached object. Meant for the -race shard: before the
+// sync.Once guards this would be a write-write race on the cache fields.
+func TestLazyCachesConcurrentFirstCall(t *testing.T) {
+	g := gen.RMAT(12, 8, 0x77)
+	res := BCC(g, Options{Seed: 7}) // topology caches still lazy here
+
+	const workers = 16
+	aps := make([][]int32, workers)
+	bcts := make([]*BlockCutTree, workers)
+	sizes := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				aps[i] = res.ArticulationPoints()
+				bcts[i] = res.BlockCutTree()
+				sizes[i] = res.LabelSizes()
+			case 1:
+				bcts[i] = res.BlockCutTree()
+				sizes[i] = res.LabelSizes()
+				aps[i] = res.ArticulationPoints()
+			default:
+				sizes[i] = res.LabelSizes()
+				aps[i] = res.ArticulationPoints()
+				bcts[i] = res.BlockCutTree()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	wantAP, wantBCT, wantSizes := res.ArticulationPoints(), res.BlockCutTree(), res.LabelSizes()
+	if len(wantAP) == 0 {
+		t.Fatal("degenerate test graph: no articulation points")
+	}
+	for i := 0; i < workers; i++ {
+		if bcts[i] != wantBCT {
+			t.Fatalf("worker %d: got a different *BlockCutTree than the cached one", i)
+		}
+		if &aps[i][0] != &wantAP[0] || len(aps[i]) != len(wantAP) {
+			t.Fatalf("worker %d: ArticulationPoints not the cached slice", i)
+		}
+		if &sizes[i][0] != &wantSizes[0] || len(sizes[i]) != len(wantSizes) {
+			t.Fatalf("worker %d: LabelSizes not the cached slice", i)
+		}
+	}
+}
+
+// TestLazyCachesCallerAssembledResult checks the lazy accessors on a
+// Result assembled by hand (no constructor, no precompute): they must
+// compute, cache, and agree with a constructor-built Result.
+func TestLazyCachesCallerAssembledResult(t *testing.T) {
+	g := gen.Grid2D(8, 8, false)
+	built := BCC(g, Options{Seed: 3})
+	manual := &Result{
+		Label:     built.Label,
+		Head:      built.Head,
+		Parent:    built.Parent,
+		NumLabels: built.NumLabels,
+		NumBCC:    built.NumBCC,
+	}
+	if got, want := manual.BlockCutTree(), built.BlockCutTree(); got.NumBlocks != want.NumBlocks {
+		t.Fatalf("NumBlocks = %d, want %d", got.NumBlocks, want.NumBlocks)
+	}
+	if got, want := manual.ArticulationPoints(), built.ArticulationPoints(); len(got) != len(want) {
+		t.Fatalf("len(ArticulationPoints) = %d, want %d", len(got), len(want))
+	}
+	if manual.BlockCutTree() != manual.BlockCutTree() {
+		t.Fatal("BlockCutTree not cached on a caller-assembled Result")
+	}
+}

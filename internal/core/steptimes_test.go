@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// TestStepTimesCoverFinalization pins the StepTimes contract after the
+// fused-finalization rework: the four reported steps map one-to-one onto
+// the paper's phases and together cover essentially the whole
+// construction. In particular the Last-CC step must include the fused
+// finalization (heads, block count, label sizes) — if someone moves
+// finalization work outside the step timers again, the covered fraction
+// collapses and this fails. The 50% floor is far below the real value
+// (the timers miss only a few struct writes) but far above what any
+// regression that untimes real work could sustain.
+func TestStepTimesCoverFinalization(t *testing.T) {
+	g := gen.RMAT(13, 8, 0x5e)
+	start := time.Now()
+	res := BCC(g, Options{Seed: 7})
+	wall := time.Since(start)
+
+	tm := res.Times
+	if tm.FirstCC <= 0 || tm.Rooting <= 0 || tm.Tagging <= 0 || tm.LastCC <= 0 {
+		t.Fatalf("every step must report positive time, got %+v", tm)
+	}
+	if tm.Total() > wall {
+		t.Fatalf("step total %v exceeds wall time %v", tm.Total(), wall)
+	}
+	if tm.Total() < wall/2 {
+		t.Fatalf("steps cover %v of %v wall time — construction work is escaping the step timers", tm.Total(), wall)
+	}
+	// The label-size cache must have been produced inside the timed
+	// finalization: reading it now is cache-hit-only and must agree with
+	// a from-scratch recount.
+	sizes := res.LabelSizes()
+	var nonRoot int32
+	for _, c := range sizes {
+		nonRoot += c
+	}
+	var want int32
+	for v := range res.Parent {
+		if res.Parent[v] != -1 {
+			want++
+		}
+	}
+	if nonRoot != want {
+		t.Fatalf("fused label sizes sum to %d non-root vertices, want %d", nonRoot, want)
+	}
+}
+
+// TestNumBCCMatchesHeadScan checks the O(1) block count of the fused
+// finalization (NumLabels − numTrees) against the definition: labels
+// with a component head.
+func TestNumBCCMatchesHeadScan(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		seed uint64
+	}{{"rmat", 0x11}, {"grid", 0x22}} {
+		g := gen.RMAT(11, 8, tc.seed)
+		if tc.name == "grid" {
+			g = gen.Grid2D(40, 40, true)
+		}
+		res := BCC(g, Options{Seed: tc.seed})
+		withHead := 0
+		for _, h := range res.Head {
+			if h != -1 {
+				withHead++
+			}
+		}
+		if res.NumBCC != withHead {
+			t.Fatalf("%s: NumBCC = %d, but %d labels have heads", tc.name, res.NumBCC, withHead)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package crosstest
+
+import (
+	"math/rand"
+	"testing"
+
+	fastbcc "repro"
+	"repro/internal/conn"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestReorderedIndexAnswersMatch is the cross-test behind the serving
+// stack's opt-in component reorder (cmd/bccd "reorder", cmd/bcc
+// -reorder): relabeling a graph with graph.ReorderByComponent and
+// decomposing + indexing the result must answer every query exactly like
+// the original graph, modulo the permutation. This is what makes the
+// server-side translation (original ids in, original ids out) sound.
+func TestReorderedIndexAnswersMatch(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"rmat":         gen.RMAT(11, 8, 0x5ee),
+		"grid":         gen.Grid2D(30, 30, true),
+		"roadlike":     gen.RoadLike(24, 24, 0.1, 0x5ef),
+		"disconnected": disconnectedUnion(t),
+	}
+	for name, g := range graphs {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			n := g.NumVertices()
+			cc := conn.Connectivity(g, conn.Options{Seed: 9})
+			rg, newID := graph.ReorderByComponentIn(nil, g, cc.Comp)
+			if rg.NumVertices() != n || rg.NumEdges() != g.NumEdges() {
+				t.Fatalf("reorder changed the graph shape: n %d->%d m %d->%d",
+					n, rg.NumVertices(), g.NumEdges(), rg.NumEdges())
+			}
+
+			res, idx := fastbcc.BuildIndex(g, &fastbcc.Options{Seed: 4})
+			rres, ridx := fastbcc.BuildIndex(rg, &fastbcc.Options{Seed: 4})
+			if res.NumBCC != rres.NumBCC {
+				t.Fatalf("NumBCC %d != reordered %d", res.NumBCC, rres.NumBCC)
+			}
+			if got, want := len(rres.ArticulationPoints()), len(res.ArticulationPoints()); got != want {
+				t.Fatalf("articulation points %d != reordered %d", want, got)
+			}
+
+			rng := rand.New(rand.NewSource(0xd15c))
+			for i := 0; i < 500; i++ {
+				u := int32(rng.Intn(n))
+				v := int32(rng.Intn(n))
+				x := int32(rng.Intn(n))
+				ru, rv, rx := newID[u], newID[v], newID[x]
+				if got, want := ridx.Connected(ru, rv), idx.Connected(u, v); got != want {
+					t.Fatalf("Connected(%d,%d): reordered %v, original %v", u, v, got, want)
+				}
+				if got, want := ridx.Biconnected(ru, rv), idx.Biconnected(u, v); got != want {
+					t.Fatalf("Biconnected(%d,%d): reordered %v, original %v", u, v, got, want)
+				}
+				if got, want := ridx.TwoEdgeConnected(ru, rv), idx.TwoEdgeConnected(u, v); got != want {
+					t.Fatalf("TwoEdgeConnected(%d,%d): reordered %v, original %v", u, v, got, want)
+				}
+				if got, want := ridx.Separates(rx, ru, rv), idx.Separates(x, u, v); got != want {
+					t.Fatalf("Separates(%d,%d,%d): reordered %v, original %v", x, u, v, got, want)
+				}
+				if got, want := ridx.NumCutsOnPath(ru, rv), idx.NumCutsOnPath(u, v); got != want {
+					t.Fatalf("NumCutsOnPath(%d,%d): reordered %d, original %d", u, v, got, want)
+				}
+				if got, want := ridx.NumBridgesOnPath(ru, rv), idx.NumBridgesOnPath(u, v); got != want {
+					t.Fatalf("NumBridgesOnPath(%d,%d): reordered %d, original %d", u, v, got, want)
+				}
+				// Enumerations must match as sets under the permutation.
+				cuts := idx.CutsOnPath(u, v)
+				rcuts := ridx.CutsOnPath(ru, rv)
+				if len(cuts) != len(rcuts) {
+					t.Fatalf("CutsOnPath(%d,%d): %d cuts vs %d reordered", u, v, len(cuts), len(rcuts))
+				}
+				seen := map[int32]bool{}
+				for _, c := range cuts {
+					seen[newID[c]] = true
+				}
+				for _, c := range rcuts {
+					if !seen[c] {
+						t.Fatalf("CutsOnPath(%d,%d): reordered cut %d not the image of an original cut", u, v, c)
+					}
+				}
+			}
+		})
+	}
+}
+
+// disconnectedUnion glues three small graphs into one vertex space with
+// no edges between them, so the reorder actually has components to make
+// contiguous.
+func disconnectedUnion(t *testing.T) *graph.Graph {
+	t.Helper()
+	a := gen.RMAT(8, 8, 1)
+	b := gen.Grid2D(12, 12, false)
+	var edges []graph.Edge
+	off := int32(0)
+	for _, g := range []*graph.Graph{a, b, gen.Chain(60)} {
+		for _, e := range g.Edges() {
+			edges = append(edges, graph.Edge{U: e.U + off, W: e.W + off})
+		}
+		off += int32(g.NumVertices())
+	}
+	// Shuffle the ids so components are NOT contiguous before the reorder.
+	perm := rand.New(rand.NewSource(42)).Perm(int(off))
+	for i := range edges {
+		edges[i] = graph.Edge{U: int32(perm[edges[i].U]), W: int32(perm[edges[i].W])}
+	}
+	g, err := graph.FromEdges(int(off), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -36,12 +36,18 @@ type fastEngine struct {
 func (f fastEngine) Name() string { return f.name }
 func (f fastEngine) Caps() Caps   { return Caps{} }
 func (f fastEngine) Run(g *graph.Graph, opt RunOptions) (*core.Result, error) {
-	return core.BCC(g, core.Options{
+	e := opt.Context()
+	res := core.BCC(g, core.Options{
 		Seed:        opt.Seed,
 		LocalSearch: f.localSearch || opt.LocalSearch,
 		Scratch:     opt.Scratch,
-		Exec:        opt.Context(),
-	}), nil
+		Exec:        e,
+	})
+	// The Algorithm contract: registry results carry the precomputed
+	// topology caches (core.BCC itself leaves them lazy for one-shot
+	// callers).
+	res.PrecomputeTopologyIn(e)
+	return res, nil
 }
 
 // seqEngine is sequential Hopcroft–Tarjan (the paper's SEQ baseline and

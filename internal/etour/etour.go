@@ -112,8 +112,9 @@ func RootIn(e *parallel.Exec, n int, forest []graph.Edge, comp []int32, sc *grap
 			src[2*i+1], dst[2*i+1] = fe.W, fe.U
 		}
 	})
-	// Semisort arcs by source vertex.
-	perm, off := prim.CountingSortByKeyIn(e, m2, int32(n), func(i int) int32 { return src[i] })
+	// Semisort arcs by source vertex. perm and off are arena-backed and
+	// returned below with the other temporaries.
+	perm, off := prim.CountingSortByKeyArena(e, m2, int32(n), func(i int) int32 { return src[i] }, sc)
 	pos := sc.GetInt32(m2) // original arc -> sorted position
 	e.For(m2, func(j int) { pos[perm[j]] = int32(j) })
 
@@ -177,7 +178,7 @@ func RootIn(e *parallel.Exec, n int, forest []graph.Edge, comp []int32, sc *grap
 			}
 		}
 	})
-	sc.PutInt32(size, base, src, dst, pos, next, rank)
+	sc.PutInt32(size, base, src, dst, pos, next, rank, perm, off)
 	return r
 }
 
@@ -191,22 +192,20 @@ func listRank(e *parallel.Exec, next []int32, off []int32, comp []int32, src []i
 	if step < 1 {
 		step = 1
 	}
-	isSample := make([]bool, m2)
-	for j := 0; j < m2; j += step {
-		isSample[j] = true
+	// A sorted arc is a sample every step positions, and chain heads
+	// (roots' first outgoing arcs) must be samples. Both tests are O(1),
+	// so the sample set is packed straight from the predicate — no marker
+	// array.
+	isHead := func(j int32) bool {
+		v := src[perm[j]]
+		return comp[v] == v && j == off[v]
 	}
-	// Chain heads (roots' first outgoing arcs) must be samples.
+	samples := prim.PackIndicesArena(e, m2, func(j int) bool {
+		return j%step == 0 || isHead(int32(j))
+	}, sc)
 	heads := make([]int32, 0, n/step+8)
-	for v := 0; v < n; v++ {
-		if comp[v] == int32(v) && off[v] < off[v+1] {
-			isSample[off[v]] = true
-		}
-	}
-	samples := prim.PackIndicesIn(e, m2, func(j int) bool { return isSample[j] })
 	for _, s := range samples {
-		orig := perm[s]
-		v := src[orig]
-		if comp[v] == v && s == off[v] {
+		if isHead(s) {
 			heads = append(heads, s)
 		}
 	}
@@ -215,8 +214,8 @@ func listRank(e *parallel.Exec, next []int32, off []int32, comp []int32, src []i
 	sampleIdx := sc.GetInt32(m2) // sorted arc -> index in samples, -1 otherwise
 	parallel.FillIn(e, sampleIdx, -1)
 	e.For(len(samples), func(i int) { sampleIdx[samples[i]] = int32(i) })
-	nextSample := make([]int32, len(samples)) // index into samples, -1 at end
-	gap := make([]int32, len(samples))
+	nextSample := sc.GetInt32(len(samples)) // index into samples, -1 at end
+	gap := sc.GetInt32(len(samples))
 	e.ForGrain(len(samples), 1, func(i int) {
 		j := samples[i]
 		d := int32(0)
@@ -236,7 +235,7 @@ func listRank(e *parallel.Exec, next []int32, off []int32, comp []int32, src []i
 	})
 	// Phase 2: walk the sample chains sequentially (they are short),
 	// one chain per tree, assigning each sample its global rank.
-	sampleRank := make([]int32, len(samples))
+	sampleRank := sc.GetInt32(len(samples))
 	e.ForGrain(len(heads), 1, func(h int) {
 		i := sampleIdx[heads[h]]
 		r := int32(0)
@@ -260,6 +259,6 @@ func listRank(e *parallel.Exec, next []int32, off []int32, comp []int32, src []i
 			rank[j] = r
 		}
 	})
-	sc.PutInt32(sampleIdx)
+	sc.PutInt32(sampleIdx, samples, nextSample, gap, sampleRank)
 	return rank
 }

@@ -55,6 +55,52 @@ func (g *Graph) Degree(v V) int {
 	return int(g.Offsets[v+1] - g.Offsets[v])
 }
 
+// ForArcSegments walks every arc of g in parallel on e with degree-aware
+// blocking: the *arc* array is partitioned into blocks of about grain
+// arcs — not the vertex range — so a power-law hub with millions of
+// neighbors is spread over many blocks (claimed dynamically by the worker
+// pool) instead of serializing one vertex block. Each block locates its
+// first vertex by binary search on the offset array and then walks arcs
+// and vertex boundaries together, invoking seg(v, adj) for each maximal
+// run of arcs with source v inside the block (adj is the corresponding
+// sub-slice of g.Adj, so the hot per-arc loop lives in the caller with v
+// fixed — one indirect call per segment, none per arc). A vertex whose
+// arcs span blocks gets one seg call per block.
+func (g *Graph) ForArcSegments(e *parallel.Exec, grain int, seg func(v V, adj []V)) {
+	nArcs := g.NumArcs()
+	if nArcs == 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	nb := (nArcs + grain - 1) / grain
+	e.ForBlock(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			alo, ahi := b*grain, (b+1)*grain
+			if ahi > nArcs {
+				ahi = nArcs
+			}
+			// First vertex whose arc range contains alo.
+			v := V(sort.Search(int(g.N), func(x int) bool {
+				return g.Offsets[x+1] > int32(alo)
+			}))
+			a := alo
+			for a < ahi {
+				for int(g.Offsets[v+1]) <= a {
+					v++
+				}
+				vEnd := int(g.Offsets[v+1])
+				if vEnd > ahi {
+					vEnd = ahi
+				}
+				seg(v, g.Adj[a:vEnd])
+				a = vEnd
+			}
+		}
+	})
+}
+
 // FromEdges builds a symmetric CSR graph over n vertices from the given
 // undirected edge list. Both arc directions are inserted for every edge.
 // Equivalent to FromEdgesScratch with a nil arena.

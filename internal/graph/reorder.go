@@ -14,25 +14,33 @@ import (
 //
 // comp[v] must be the component representative of v. It returns the
 // reordered graph and the permutation: newID[v] is v's id in the new graph.
+// Equivalent to ReorderByComponentIn with a nil execution context.
 func ReorderByComponent(g *Graph, comp []int32) (*Graph, []int32) {
+	return ReorderByComponentIn(nil, g, comp)
+}
+
+// ReorderByComponentIn is ReorderByComponent running on the execution
+// context e (nil = the process-global default), so serving callers keep
+// the reorder on their own worker budget.
+func ReorderByComponentIn(e *parallel.Exec, g *Graph, comp []int32) (*Graph, []int32) {
 	n := int(g.N)
 	if n == 0 {
 		return &Graph{Offsets: []int32{0}}, nil
 	}
 	// Stable counting sort of vertices by representative gives the new
 	// order: components sorted by rep id, members in original order.
-	perm, _ := prim.CountingSortByKey(n, int32(n), func(i int) int32 { return comp[i] })
+	perm, _ := prim.CountingSortByKeyIn(e, n, int32(n), func(i int) int32 { return comp[i] })
 	newID := make([]int32, n)
-	parallel.For(n, func(i int) { newID[perm[i]] = int32(i) })
+	e.For(n, func(i int) { newID[perm[i]] = int32(i) })
 
 	offsets := make([]int32, n+1)
-	parallel.For(n, func(i int) {
+	e.For(n, func(i int) {
 		old := perm[i]
 		offsets[i] = g.Offsets[old+1] - g.Offsets[old]
 	})
-	prim.ExclusiveScanInt32(offsets)
+	prim.ExclusiveScanInt32In(e, offsets)
 	adj := make([]V, len(g.Adj))
-	parallel.ForBlock(n, 256, func(lo, hi int) {
+	e.ForBlock(n, 256, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			old := perm[i]
 			out := adj[offsets[i]:offsets[i+1]]
@@ -43,6 +51,6 @@ func ReorderByComponent(g *Graph, comp []int32) (*Graph, []int32) {
 		}
 	})
 	ng := &Graph{N: int32(n), Offsets: offsets, Adj: adj}
-	ng.sortAdjacency(nil)
+	ng.sortAdjacency(e)
 	return ng, newID
 }

@@ -84,6 +84,15 @@ func localThreshold(n int) int {
 func Decompose(g *graph.Graph, opt Options) *Result {
 	n := int(g.N)
 	sc := opt.Scratch
+	if sc == nil {
+		// Call-private arena: the frontier buffers round-trip every BFS
+		// round (there can be hundreds on high-diameter graphs), so even
+		// a one-shot caller wants them recycled. The returned
+		// Center/Parent stay arena-backed; ownership passes to the
+		// caller and the arena dies with the call, so nothing can ever
+		// recycle them out from under the caller.
+		sc = graph.NewScratch()
+	}
 	e := opt.Exec
 	beta := opt.Beta
 	if beta <= 0 {
@@ -107,9 +116,10 @@ func Decompose(g *graph.Graph, opt Options) *Result {
 		x := (float64(u>>11) + 1) / (1 << 53)
 		shift[v] = int32(math.Floor(-math.Log(x) / beta))
 	})
-	// Vertices grouped by activation round via counting sort.
+	// Vertices grouped by activation round via counting sort (arena-backed;
+	// returned after the round loop).
 	maxShift := prim.MaxInt32In(e, shift, 0)
-	byRound, roundOff := prim.CountingSortByKeyIn(e, n, maxShift+1, func(i int) int32 { return shift[i] })
+	byRound, roundOff := prim.CountingSortByKeyArena(e, n, maxShift+1, func(i int) int32 { return shift[i] }, sc)
 	sc.PutInt32(shift)
 
 	frontier := sc.GetInt32(n)[:0]
@@ -142,7 +152,7 @@ func Decompose(g *graph.Graph, opt Options) *Result {
 		frontier = next
 		round++
 	}
-	sc.PutInt32(frontier)
+	sc.PutInt32(frontier, byRound, roundOff)
 	res.Rounds = round
 	return res
 }
@@ -150,45 +160,34 @@ func Decompose(g *graph.Graph, opt Options) *Result {
 // expandOneHop claims the unvisited neighbors of the frontier (one BFS
 // hop). It returns the next frontier and the number of newly claimed
 // vertices (equal here, but not in local-search mode).
+//
+// The next frontier is collected into a single arena buffer through an
+// atomic write cursor: a claim already pays a CAS on Center, so the extra
+// atomic add is far cheaper than the per-block append buffers (and their
+// grow reallocations, every round) this used to burn. With one worker the
+// blocks run inline in order, so the sequential claim order — and with it
+// the whole decomposition — is unchanged.
 func expandOneHop(e *parallel.Exec, g *graph.Graph, frontier []int32, res *Result, filter func(u, w int32) bool, sc *graph.Scratch) ([]int32, int) {
-	nb := (len(frontier) + 255) / 256
-	outs := make([][]int32, nb)
-	e.ForBlock(nb, 1, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			lo, hi := b*256, (b+1)*256
-			if hi > len(frontier) {
-				hi = len(frontier)
-			}
-			var out []int32
-			for i := lo; i < hi; i++ {
-				u := frontier[i]
-				c := res.Center[u]
-				for _, w := range g.Neighbors(u) {
-					if filter != nil && !filter(u, w) {
-						continue
-					}
-					if atomic.LoadInt32(&res.Center[w]) == -1 &&
-						atomic.CompareAndSwapInt32(&res.Center[w], -1, c) {
-						res.Parent[w] = u
-						out = append(out, w)
-					}
+	next := sc.GetInt32(len(res.Center)) // claims are bounded by n
+	var cur atomic.Int64
+	e.ForBlock(len(frontier), 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := frontier[i]
+			c := res.Center[u]
+			for _, w := range g.Neighbors(u) {
+				if filter != nil && !filter(u, w) {
+					continue
+				}
+				if atomic.LoadInt32(&res.Center[w]) == -1 &&
+					atomic.CompareAndSwapInt32(&res.Center[w], -1, c) {
+					res.Parent[w] = u
+					next[cur.Add(1)-1] = w
 				}
 			}
-			outs[b] = out
 		}
 	})
-	sizes := make([]int32, nb)
-	for b := range outs {
-		sizes[b] = int32(len(outs[b]))
-	}
-	total := prim.ExclusiveScanInt32In(e, sizes)
-	next := sc.GetInt32(int(total))
-	e.ForBlock(nb, 1, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			copy(next[sizes[b]:], outs[b])
-		}
-	})
-	return next, len(next)
+	claimed := int(cur.Load())
+	return next[:claimed], claimed
 }
 
 // expandLocal lets each frontier vertex claim up to localBudget vertices by
@@ -199,71 +198,54 @@ func expandOneHop(e *parallel.Exec, g *graph.Graph, frontier []int32, res *Resul
 // The paper's version collects the next frontier in a parallel hash bag
 // (package hashbag) because its edge-parallel claiming can insert a vertex
 // twice. Here every vertex is claimed by exactly one CAS winner and only
-// its claimer can defer it, so duplicates are impossible and plain
-// per-block buffers (same technique as expandOneHop) are strictly cheaper;
-// DESIGN.md records the substitution.
+// its claimer can defer it, so duplicates are impossible and one shared
+// cursor-collected buffer (same technique as expandOneHop) is strictly
+// cheaper; DESIGN.md records the substitution. The next frontier holds
+// deferred walk vertices as well as the walk boundary, so its size is
+// bounded by claims + |frontier|.
 func expandLocal(e *parallel.Exec, g *graph.Graph, frontier []int32, res *Result, filter func(u, w int32) bool, sc *graph.Scratch) ([]int32, int) {
-	nb := (len(frontier) + 3) / 4
-	outs := make([][]int32, nb)
+	next := sc.GetInt32(len(res.Center) + len(frontier))
+	var cur atomic.Int64
 	var totalClaimed atomic.Int64
-	e.ForBlock(nb, 1, func(blo, bhi int) {
+	e.ForBlock(len(frontier), 4, func(lo, hi int) {
 		stack := make([]int32, 0, localBudget)
-		for b := blo; b < bhi; b++ {
-			lo, hi := b*4, (b+1)*4
-			if hi > len(frontier) {
-				hi = len(frontier)
-			}
-			var out []int32
-			blockClaimed := 0
-			for i := lo; i < hi; i++ {
-				u := frontier[i]
-				c := res.Center[u]
-				stack = append(stack[:0], u)
-				claimed := 0
-				for len(stack) > 0 {
-					x := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					if claimed >= localBudget {
-						// Budget exhausted: defer x to the next round.
-						out = append(out, x)
+		blockClaimed := 0
+		for i := lo; i < hi; i++ {
+			u := frontier[i]
+			c := res.Center[u]
+			stack = append(stack[:0], u)
+			claimed := 0
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if claimed >= localBudget {
+					// Budget exhausted: defer x to the next round.
+					next[cur.Add(1)-1] = x
+					continue
+				}
+				done := true
+				for _, w := range g.Neighbors(x) {
+					if filter != nil && !filter(x, w) {
 						continue
 					}
-					done := true
-					for _, w := range g.Neighbors(x) {
-						if filter != nil && !filter(x, w) {
-							continue
-						}
-						if claimed >= localBudget {
-							done = false // x may have unclaimed neighbors left
-							break
-						}
-						if atomic.LoadInt32(&res.Center[w]) == -1 &&
-							atomic.CompareAndSwapInt32(&res.Center[w], -1, c) {
-							res.Parent[w] = x
-							claimed++
-							stack = append(stack, w)
-						}
+					if claimed >= localBudget {
+						done = false // x may have unclaimed neighbors left
+						break
 					}
-					if !done {
-						out = append(out, x)
+					if atomic.LoadInt32(&res.Center[w]) == -1 &&
+						atomic.CompareAndSwapInt32(&res.Center[w], -1, c) {
+						res.Parent[w] = x
+						claimed++
+						stack = append(stack, w)
 					}
 				}
-				blockClaimed += claimed
+				if !done {
+					next[cur.Add(1)-1] = x
+				}
 			}
-			outs[b] = out
-			totalClaimed.Add(int64(blockClaimed))
+			blockClaimed += claimed
 		}
+		totalClaimed.Add(int64(blockClaimed))
 	})
-	sizes := make([]int32, nb)
-	for b := range outs {
-		sizes[b] = int32(len(outs[b]))
-	}
-	total := prim.ExclusiveScanInt32In(e, sizes)
-	next := sc.GetInt32(int(total))
-	e.ForBlock(nb, 1, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			copy(next[sizes[b]:], outs[b])
-		}
-	})
-	return next, int(totalClaimed.Load())
+	return next[:cur.Load()], int(totalClaimed.Load())
 }

@@ -498,6 +498,29 @@ func ReduceIn[T any](e *Exec, n, grain int, id T, leaf func(lo, hi int) T, merge
 	return out
 }
 
+// SumInt64In computes the sum of leaf over the blocks of [0, n) on e.
+// Because addition is commutative as well as associative, the partial
+// results are folded into one atomic accumulator instead of the per-block
+// buffer ReduceIn needs — the loop performs no allocation, which is what
+// the hot-path counting passes (connectivity root counts, finalization)
+// want from a reduce.
+func SumInt64In(e *Exec, n, grain int, leaf func(lo, hi int) int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if e.Procs() == 1 || n <= grain {
+		return leaf(0, n)
+	}
+	var acc atomic.Int64
+	e.ForBlock(n, grain, func(lo, hi int) {
+		acc.Add(leaf(lo, hi))
+	})
+	return acc.Load()
+}
+
 // FillIn sets every element of dst to v in parallel on e.
 func FillIn[T any](e *Exec, dst []T, v T) {
 	e.ForBlock(len(dst), DefaultGrain, func(lo, hi int) {

@@ -1,0 +1,36 @@
+package prim
+
+// Arena is the buffer-recycling contract the scratch-aware primitives
+// draw their temporaries from. *graph.Scratch satisfies it; prim cannot
+// import graph (graph builds on prim), so the dependency is inverted
+// through this interface. Buffers returned by GetInt32 have arbitrary
+// contents — primitives zero what they read.
+type Arena interface {
+	// GetInt32 returns an int32 buffer of length n with arbitrary contents.
+	GetInt32(n int) []int32
+	// PutInt32 returns int32 buffers to the arena.
+	PutInt32(bufs ...[]int32)
+}
+
+// arenaGet returns a length-n buffer from a (which may be nil: plain
+// allocation, already zeroed). Arena buffers are zeroed only when zero is
+// set — most callers overwrite every element anyway.
+func arenaGet(a Arena, n int, zero bool) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	b := a.GetInt32(n)
+	if zero {
+		for i := range b {
+			b[i] = 0
+		}
+	}
+	return b
+}
+
+// arenaPut returns buffers to a, dropping them when a is nil.
+func arenaPut(a Arena, bufs ...[]int32) {
+	if a != nil {
+		a.PutInt32(bufs...)
+	}
+}

@@ -159,14 +159,23 @@ func PackIndices(n int, keep func(i int) bool) []int32 {
 
 // PackIndicesIn is PackIndices running on the execution context e.
 func PackIndicesIn(e *parallel.Exec, n int, keep func(i int) bool) []int32 {
-	flags := make([]int32, n)
+	return PackIndicesArena(e, n, keep, nil)
+}
+
+// PackIndicesArena is PackIndicesIn drawing the flag temporary and the
+// returned index buffer from a (nil = plain allocation). The caller owns
+// the result; transient users return it to the arena when done, while
+// results that outlive the run should use PackIndicesIn so they never
+// alias arena memory.
+func PackIndicesArena(e *parallel.Exec, n int, keep func(i int) bool, a Arena) []int32 {
+	flags := arenaGet(a, n, true)
 	e.For(n, func(i int) {
 		if keep(i) {
 			flags[i] = 1
 		}
 	})
 	total := ExclusiveScanInt32In(e, flags)
-	out := make([]int32, total)
+	out := arenaGet(a, int(total), false)
 	e.For(n, func(i int) {
 		if i+1 < n {
 			if flags[i+1] != flags[i] {
@@ -176,6 +185,7 @@ func PackIndicesIn(e *parallel.Exec, n int, keep func(i int) bool) []int32 {
 			out[flags[i]] = int32(i)
 		}
 	})
+	arenaPut(a, flags)
 	return out
 }
 

@@ -20,7 +20,15 @@ func CountingSortByKey(n int, nBuckets int32, key func(i int) int32) (perm []int
 // CountingSortByKeyIn is CountingSortByKey running on the execution
 // context e (nil = default).
 func CountingSortByKeyIn(e *parallel.Exec, n int, nBuckets int32, key func(i int) int32) (perm []int32, offsets []int32) {
-	offsets = make([]int32, int(nBuckets)+1)
+	return CountingSortByKeyArena(e, n, nBuckets, key, nil)
+}
+
+// CountingSortByKeyArena is CountingSortByKeyIn drawing every buffer —
+// including the returned perm and offsets, whose ownership passes to the
+// caller — from a (nil = plain allocation). Callers on the hot path
+// return perm and offsets to the arena when done.
+func CountingSortByKeyArena(e *parallel.Exec, n int, nBuckets int32, key func(i int) int32, a Arena) (perm []int32, offsets []int32) {
+	offsets = arenaGet(a, int(nBuckets)+1, true)
 	counts := offsets[:nBuckets]
 	// Parallel histogram with per-block local counters merged by scan.
 	p := e.Procs()
@@ -29,21 +37,22 @@ func CountingSortByKeyIn(e *parallel.Exec, n int, nBuckets int32, key func(i int
 			counts[key(i)]++
 		}
 		ExclusiveScanInt32In(e, offsets)
-		perm = make([]int32, n)
-		cursor := make([]int32, nBuckets)
+		perm = arenaGet(a, n, false)
+		cursor := arenaGet(a, int(nBuckets), false)
 		copy(cursor, offsets[:nBuckets])
 		for i := 0; i < n; i++ {
 			k := key(i)
 			perm[cursor[k]] = int32(i)
 			cursor[k]++
 		}
+		arenaPut(a, cursor)
 		return perm, offsets
 	}
 	// Parallel path: per-block histograms, column-major scan for stability.
 	nb := 4 * p
 	blockSz := (n + nb - 1) / nb
 	nb = (n + blockSz - 1) / blockSz
-	hist := make([]int32, nb*int(nBuckets))
+	hist := arenaGet(a, nb*int(nBuckets), true)
 	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo, hi := b*blockSz, (b+1)*blockSz
@@ -76,7 +85,7 @@ func CountingSortByKeyIn(e *parallel.Exec, n int, nBuckets int32, key func(i int
 			s += c
 		}
 	})
-	perm = make([]int32, n)
+	perm = arenaGet(a, n, false)
 	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo, hi := b*blockSz, (b+1)*blockSz
@@ -91,6 +100,7 @@ func CountingSortByKeyIn(e *parallel.Exec, n int, nBuckets int32, key func(i int
 			}
 		}
 	})
+	arenaPut(a, hist)
 	return perm, offsets
 }
 

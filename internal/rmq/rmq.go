@@ -14,6 +14,7 @@ import (
 	"math/bits"
 
 	"repro/internal/parallel"
+	"repro/internal/prim"
 )
 
 // blockSize is the block length B. With B = 64 the sparse table over blocks
@@ -34,9 +35,29 @@ func NewMin(a []int32) *Min { return NewMinIn(nil, a) }
 
 // NewMinIn is NewMin building on the execution context e (nil = default).
 func NewMinIn(e *parallel.Exec, a []int32) *Min {
+	return NewMinArena(e, a, nil)
+}
+
+// NewMinArena is NewMinIn drawing the prefix/suffix/table arrays from the
+// arena ar (nil = plain allocation). An arena-built structure must be
+// released with Free once the last query has completed.
+func NewMinArena(e *parallel.Exec, a []int32, ar prim.Arena) *Min {
 	m := &Min{a: a}
-	m.build(e, lessMin)
+	m.build(e, lessMin, ar)
 	return m
+}
+
+// Free returns the structure's internal arrays to ar and invalidates the
+// structure; it must only be called on arena-built structures, with the
+// arena they were built from, after their last query.
+func (m *Min) Free(ar prim.Arena) {
+	if m.prefix == nil {
+		return
+	}
+	bufs := append(make([][]int32, 0, len(m.table)+2), m.prefix, m.suffix)
+	bufs = append(bufs, m.table...)
+	ar.PutInt32(bufs...)
+	m.a, m.prefix, m.suffix, m.table = nil, nil, nil, nil
 }
 
 // Max answers range-maximum queries over a fixed array.
@@ -49,24 +70,39 @@ func NewMax(a []int32) *Max { return NewMaxIn(nil, a) }
 
 // NewMaxIn is NewMax building on the execution context e (nil = default).
 func NewMaxIn(e *parallel.Exec, a []int32) *Max {
+	return NewMaxArena(e, a, nil)
+}
+
+// NewMaxArena is NewMaxIn drawing the internal arrays from the arena ar
+// (nil = plain allocation); release with Free after the last query.
+func NewMaxArena(e *parallel.Exec, a []int32, ar prim.Arena) *Max {
 	m := &Max{}
 	m.a = a
-	m.build(e, lessMax)
+	m.build(e, lessMax, ar)
 	return m
 }
 
 func lessMin(x, y int32) bool { return x < y }
 func lessMax(x, y int32) bool { return x > y }
 
-func (m *Min) build(e *parallel.Exec, better func(x, y int32) bool) {
+// getBuf returns a length-n buffer from ar, or a plain allocation when ar
+// is nil. Every element is overwritten by build, so no zeroing is needed.
+func getBuf(ar prim.Arena, n int) []int32 {
+	if ar == nil {
+		return make([]int32, n)
+	}
+	return ar.GetInt32(n)
+}
+
+func (m *Min) build(e *parallel.Exec, better func(x, y int32) bool, ar prim.Arena) {
 	n := len(m.a)
 	if n == 0 {
 		return
 	}
 	nb := (n + blockSize - 1) / blockSize
-	m.prefix = make([]int32, n)
-	m.suffix = make([]int32, n)
-	blockBest := make([]int32, nb)
+	m.prefix = getBuf(ar, n)
+	m.suffix = getBuf(ar, n)
+	blockBest := getBuf(ar, nb)
 	e.ForBlock(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo := b * blockSize
@@ -104,7 +140,7 @@ func (m *Min) build(e *parallel.Exec, better func(x, y int32) bool) {
 			m.table = m.table[:l]
 			break
 		}
-		cur := make([]int32, width)
+		cur := getBuf(ar, width)
 		prev := m.table[l-1]
 		half := span / 2
 		e.ForGrain(width, 2048, func(i int) {

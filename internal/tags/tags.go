@@ -66,8 +66,8 @@ func ComputeIn(e *parallel.Exec, g *graph.Graph, rt *etour.Rooted, sc *graph.Scr
 		a1[t] = w1[v]
 		a2[t] = w2[v]
 	})
-	qmin := rmq.NewMinIn(e, a1)
-	qmax := rmq.NewMaxIn(e, a2)
+	qmin := rmq.NewMinArena(e, a1, sc)
+	qmax := rmq.NewMaxArena(e, a2, sc)
 	low := sc.GetInt32(n)
 	high := sc.GetInt32(n)
 	e.For(n, func(v int) {
@@ -75,7 +75,10 @@ func ComputeIn(e *parallel.Exec, g *graph.Graph, rt *etour.Rooted, sc *graph.Scr
 		high[v] = qmax.Query(int(first[v]), int(last[v]))
 	})
 	// The RMQ structures (and their references into a1/a2) die here; the
-	// last queries above have completed, so the buffers can recirculate.
+	// last queries above have completed, so the tables and buffers can
+	// recirculate through the arena.
+	qmin.Free(sc)
+	qmax.Free(sc)
 	sc.PutInt32(w1, w2, a1, a2)
 	return &Tags{Parent: parent, First: first, Last: last, Low: low, High: high}
 }

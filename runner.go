@@ -72,7 +72,13 @@ func (r *Runner) run(g *Graph, opts *Options) (*Result, error) {
 		sc = arena
 	}
 	if o.Algorithm == "" || o.Algorithm == engine.Default {
-		return core.BCC(g, core.Options{Seed: o.Seed, LocalSearch: o.LocalSearch, Scratch: sc, Exec: ex}), nil
+		res := core.BCC(g, core.Options{Seed: o.Seed, LocalSearch: o.LocalSearch, Scratch: sc, Exec: ex})
+		// Serving contract: results handed out by a Runner (and the
+		// Store snapshots built on it) carry the topology caches
+		// precomputed on the Runner's own workers, so a published
+		// snapshot never hits the lazy compute path from a query.
+		res.PrecomputeTopologyIn(ex)
+		return res, nil
 	}
 	o.Scratch = sc
 	return runEngine(g, o, ex)
