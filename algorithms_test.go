@@ -1,6 +1,7 @@
 package fastbcc_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -97,7 +98,7 @@ func TestStorePerEntryAlgorithm(t *testing.T) {
 	st := fastbcc.NewStore(2)
 	defer st.Close()
 
-	snap, err := st.Load("g", g, &fastbcc.Options{Algorithm: "sm14"})
+	snap, err := st.Load(context.Background(), "g", g, &fastbcc.Options{Algorithm: "sm14"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestStorePerEntryAlgorithm(t *testing.T) {
 	snap.Release()
 
 	// Rebuild without an algorithm keeps the entry's engine.
-	snap, err = st.Rebuild("g", nil)
+	snap, err = st.Rebuild(context.Background(), "g", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestStorePerEntryAlgorithm(t *testing.T) {
 	snap.Release()
 
 	// Rebuild can switch engines; stats reflect the per-entry algorithm.
-	snap, err = st.Rebuild("g", &fastbcc.Options{Algorithm: "gbbs"})
+	snap, err = st.Rebuild(context.Background(), "g", &fastbcc.Options{Algorithm: "gbbs"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestStorePerEntryAlgorithm(t *testing.T) {
 	}
 
 	// Unknown algorithms error without installing a snapshot.
-	if _, err := st.Rebuild("g", &fastbcc.Options{Algorithm: "nope"}); err == nil {
+	if _, err := st.Rebuild(context.Background(), "g", &fastbcc.Options{Algorithm: "nope"}); err == nil {
 		t.Fatal("rebuild with unknown algorithm did not error")
 	}
 	snap, err = st.Acquire("g")
@@ -143,7 +144,7 @@ func TestStorePerEntryAlgorithm(t *testing.T) {
 	snap.Release()
 
 	// Default loads resolve to the canonical default name.
-	snap, err = st.Load("d", g, nil)
+	snap, err = st.Load(context.Background(), "d", g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestStorePerEntryAlgorithm(t *testing.T) {
 	// A load that replaces an entry without naming an algorithm gets the
 	// documented default, not the replaced entry's engine; and unknown
 	// names are classifiable with errors.Is.
-	snap, err = st.Load("g", g, nil)
+	snap, err = st.Load(context.Background(), "g", g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,11 +164,11 @@ func TestStorePerEntryAlgorithm(t *testing.T) {
 		t.Fatalf("replacing load algorithm = %q, want fast", snap.Algorithm)
 	}
 	snap.Release()
-	if _, err := st.Load("g", g, &fastbcc.Options{Algorithm: "nope"}); !errors.Is(err, fastbcc.ErrUnknownAlgorithm) {
+	if _, err := st.Load(context.Background(), "g", g, &fastbcc.Options{Algorithm: "nope"}); !errors.Is(err, fastbcc.ErrUnknownAlgorithm) {
 		t.Fatalf("unknown-algorithm error not classifiable: %v", err)
 	}
 	// Restore the engine under test for the query comparison below.
-	if _, err := st.Rebuild("g", &fastbcc.Options{Algorithm: "gbbs"}); err != nil {
+	if _, err := st.Rebuild(context.Background(), "g", &fastbcc.Options{Algorithm: "gbbs"}); err != nil {
 		t.Fatal(err)
 	}
 

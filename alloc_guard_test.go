@@ -1,6 +1,7 @@
 package fastbcc_test
 
 import (
+	"context"
 	"testing"
 
 	fastbcc "repro"
@@ -51,7 +52,7 @@ func TestAllocGuardStoreHop(t *testing.T) {
 	g := guardGraph(t)
 	st := fastbcc.NewStore(0)
 	defer st.Close()
-	snap, err := st.Load("guard", g, &fastbcc.Options{Seed: 7})
+	snap, err := st.Load(context.Background(), "guard", g, &fastbcc.Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

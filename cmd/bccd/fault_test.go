@@ -1,0 +1,224 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	fastbcc "repro"
+	"repro/internal/faultpoint"
+)
+
+// End-to-end fault-tolerance tests: the production handler over a Store
+// with fault-injection points armed through the /debug/faultpoints
+// endpoint — the same wiring the CI smoke test drives with curl. All of
+// them run under -race in CI.
+
+// faultServer is testServer with the debug faultpoint endpoints mounted
+// and the Store handle exposed (for deterministic in-flight polling).
+func faultServer(t *testing.T, cfg fastbcc.StoreConfig) (*httptest.Server, *fastbcc.Store) {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	store := fastbcc.NewStoreWithConfig(cfg)
+	srv := httptest.NewServer(newServer(store, true))
+	t.Cleanup(func() {
+		faultpoint.Reset()
+		srv.Close()
+		store.Close()
+	})
+	return srv, store
+}
+
+func arm(t *testing.T, srv *httptest.Server, spec string) {
+	t.Helper()
+	code, body := do(t, http.MethodPut, srv.URL+"/debug/faultpoints", `{"spec":"`+spec+`"}`)
+	if code != http.StatusOK {
+		t.Fatalf("arming %q: %d %v", spec, code, body)
+	}
+}
+
+func disarm(t *testing.T, srv *httptest.Server) {
+	t.Helper()
+	if code, body := do(t, http.MethodDelete, srv.URL+"/debug/faultpoints", ""); code != http.StatusOK {
+		t.Fatalf("reset faultpoints: %d %v", code, body)
+	}
+}
+
+// TestServerPanicServesLastGood: a rebuild whose engine panics returns
+// 500 while queries keep answering from the last-good snapshot at the
+// old version; stats and healthz report the degradation; a healthy
+// rebuild clears it and bumps the version.
+func TestServerPanicServesLastGood(t *testing.T) {
+	srv, _ := faultServer(t, fastbcc.StoreConfig{})
+
+	if code, body := do(t, http.MethodPut, srv.URL+"/v1/graphs/demo", barbell); code != http.StatusOK {
+		t.Fatalf("load: %d %v", code, body)
+	}
+
+	arm(t, srv, "build.panic-in-engine=panic")
+	code, body := do(t, http.MethodPost, srv.URL+"/v1/graphs/demo/rebuild", "")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("rebuild with panicking engine: %d %v, want 500", code, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "panicked") {
+		t.Fatalf("error body %v does not mention the panic", body)
+	}
+
+	// Queries still answer, from version 1.
+	code, body = do(t, http.MethodGet, srv.URL+"/v1/graphs/demo/query/biconnected?u=0&v=1", "")
+	if code != http.StatusOK || body["result"] != true || body["version"] != float64(1) {
+		t.Fatalf("query after failed rebuild: %d %v, want last-good v1 answer", code, body)
+	}
+
+	// The degradation is visible per graph and fleet-wide.
+	code, body = do(t, http.MethodGet, srv.URL+"/v1/graphs/demo", "")
+	if code != http.StatusOK || body["consecutive_failures"] != float64(1) || body["version"] != float64(1) {
+		t.Fatalf("stats during degradation: %d %v", code, body)
+	}
+	if _, ok := body["last_error"].(string); !ok {
+		t.Fatalf("stats %v missing last_error", body)
+	}
+	code, body = do(t, http.MethodGet, srv.URL+"/healthz", "")
+	if code != http.StatusOK || body["ok"] != false || body["degraded"] != true ||
+		body["failing_graphs"] != float64(1) || body["build_failures"] != float64(1) {
+		t.Fatalf("healthz during degradation: %d %v", code, body)
+	}
+
+	// Recovery: disarm, rebuild, and everything clears.
+	disarm(t, srv)
+	code, body = do(t, http.MethodPost, srv.URL+"/v1/graphs/demo/rebuild", "")
+	if code != http.StatusOK || body["version"] != float64(2) {
+		t.Fatalf("recovery rebuild: %d %v, want v2", code, body)
+	}
+	code, body = do(t, http.MethodGet, srv.URL+"/v1/graphs/demo", "")
+	if code != http.StatusOK || body["consecutive_failures"] != nil {
+		t.Fatalf("stats after recovery: %d %v, failure state should be gone", code, body)
+	}
+	code, body = do(t, http.MethodGet, srv.URL+"/healthz", "")
+	if code != http.StatusOK || body["ok"] != true || body["degraded"] != false {
+		t.Fatalf("healthz after recovery: %d %v", code, body)
+	}
+}
+
+// TestServerFailedInitialLoad: a graph whose first build fails answers
+// 404 to queries (nothing is served) but its stats endpoint reports the
+// failure instead of pretending the name is unknown.
+func TestServerFailedInitialLoad(t *testing.T) {
+	srv, _ := faultServer(t, fastbcc.StoreConfig{})
+
+	arm(t, srv, "build.error=error")
+	if code, body := do(t, http.MethodPut, srv.URL+"/v1/graphs/bad", barbell); code != http.StatusInternalServerError {
+		t.Fatalf("load with injected error: %d %v, want 500", code, body)
+	}
+	if code, _ := do(t, http.MethodGet, srv.URL+"/v1/graphs/bad/query/connected?u=0&v=1", ""); code != http.StatusNotFound {
+		t.Fatalf("query of never-built graph: %d, want 404", code)
+	}
+	code, body := do(t, http.MethodGet, srv.URL+"/v1/graphs/bad", "")
+	if code != http.StatusOK || body["loaded"] != false || body["consecutive_failures"] != float64(1) {
+		t.Fatalf("stats of never-built graph: %d %v", code, body)
+	}
+
+	disarm(t, srv)
+	if code, body := do(t, http.MethodPut, srv.URL+"/v1/graphs/bad", barbell); code != http.StatusOK || body["version"] != float64(1) {
+		t.Fatalf("retry load: %d %v", code, body)
+	}
+}
+
+// TestServerBuildTimeout: a build past its per-request timeout_ms comes
+// back 504 and the entry keeps serving its previous version; the
+// admission slot is freed for the next build.
+func TestServerBuildTimeout(t *testing.T) {
+	srv, _ := faultServer(t, fastbcc.StoreConfig{MaxConcurrentBuilds: 1})
+
+	if code, body := do(t, http.MethodPut, srv.URL+"/v1/graphs/demo", barbell); code != http.StatusOK {
+		t.Fatalf("load: %d %v", code, body)
+	}
+
+	arm(t, srv, "build.slow=sleep:1h")
+	code, body := do(t, http.MethodPost, srv.URL+"/v1/graphs/demo/rebuild", `{"timeout_ms":30}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("over-deadline rebuild: %d %v, want 504", code, body)
+	}
+	if code, body := do(t, http.MethodGet, srv.URL+"/v1/graphs/demo/query/connected?u=0&v=6", ""); code != http.StatusOK || body["version"] != float64(1) {
+		t.Fatalf("query after timeout: %d %v, want last-good v1", code, body)
+	}
+
+	// The 1-slot gate must be free again.
+	disarm(t, srv)
+	if code, body := do(t, http.MethodPost, srv.URL+"/v1/graphs/demo/rebuild", ""); code != http.StatusOK || body["version"] != float64(2) {
+		t.Fatalf("rebuild after timeout: %d %v (admission slot leaked?)", code, body)
+	}
+}
+
+// TestServerSaturation: with the single build slot parked, further
+// builds come back 503 + Retry-After while queries keep flowing.
+func TestServerSaturation(t *testing.T) {
+	srv, store := faultServer(t, fastbcc.StoreConfig{MaxConcurrentBuilds: 1})
+
+	if code, body := do(t, http.MethodPut, srv.URL+"/v1/graphs/served", barbell); code != http.StatusOK {
+		t.Fatalf("load: %d %v", code, body)
+	}
+
+	// Park a build: slow load with a timeout so it cleans itself up.
+	arm(t, srv, "build.slow=sleep:1h")
+	parked := make(chan int, 1)
+	go func() {
+		code, _ := do(t, http.MethodPut, srv.URL+"/v1/graphs/parked", `{"n":7,"edges":[[0,1],[1,2],[2,0],[2,3],[3,4],[4,5],[5,6],[6,3]],"timeout_ms":1500}`)
+		parked <- code
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for store.Stats().InFlightBuilds == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("parked build never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/graphs/served/rebuild", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("rebuild on full gate: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 response missing Retry-After")
+	}
+
+	// Queries are never shed.
+	for i := 0; i < 20; i++ {
+		if code, body := do(t, http.MethodGet, srv.URL+"/v1/graphs/served/query/connected?u=0&v=6", ""); code != http.StatusOK || body["result"] != true {
+			t.Fatalf("query during saturation: %d %v", code, body)
+		}
+	}
+
+	if code := <-parked; code != http.StatusGatewayTimeout {
+		t.Fatalf("parked build finished with %d, want 504", code)
+	}
+	// Gate drained: builds flow again.
+	disarm(t, srv)
+	if code, body := do(t, http.MethodPost, srv.URL+"/v1/graphs/served/rebuild", ""); code != http.StatusOK {
+		t.Fatalf("rebuild after drain: %d %v", code, body)
+	}
+}
+
+// TestServerFaultEndpointGated: without -debug-faults the endpoints do
+// not exist.
+func TestServerFaultEndpointGated(t *testing.T) {
+	srv := testServer(t) // debugFaults = false
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/debug/faultpoints", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("debug endpoint without -debug-faults: %d, want 404", resp.StatusCode)
+	}
+}

@@ -41,6 +41,35 @@
 // atomically, so queries keep being served from the previous version
 // while a new one is computed. SIGINT/SIGTERM trigger a graceful
 // shutdown: in-flight requests finish, then the store is closed.
+//
+// # Fault tolerance
+//
+// Builds are bounded and isolated; queries are never shed. A load or
+// rebuild that fails — an engine panic (captured and converted to an
+// error), a timeout, a canceled request — leaves the graph serving its
+// last-good snapshot and records per-entry failure state, visible in the
+// per-graph stats (consecutive_failures, last_error) and in /healthz
+// (ok:false + degraded:true while any graph's latest build failed, plus
+// failing_graphs / build_failures / in_flight_builds gauges). Builds
+// admitted beyond -max-builds wait up to -build-queue-wait for a slot,
+// then are shed with 503 + Retry-After; -build-timeout caps every build
+// (504 past the deadline), and a per-request "timeout_ms" can tighten it
+// further. A client that disconnects mid-build cancels it, freeing its
+// admission slot.
+//
+// Flags:
+//
+//	-addr             listen address (default :8080)
+//	-workers          worker budget shared by all rebuilds (0 = GOMAXPROCS)
+//	-graph            preload a graph as name=path (repeatable)
+//	-drain            graceful-shutdown drain timeout (default 10s)
+//	-max-builds       max concurrent builds before shedding (default 16, 0 = unbounded)
+//	-build-queue-wait how long a build may wait for a slot (default 1s)
+//	-build-timeout    cap on every build, 0 = none
+//	-faultpoints      arm fault-injection points at startup, e.g.
+//	                  "build.error=error:after=1" (testing)
+//	-debug-faults     mount /debug/faultpoints for arming faults over HTTP
+//	                  (testing)
 package main
 
 import (
@@ -56,12 +85,18 @@ import (
 	"time"
 
 	fastbcc "repro"
+	"repro/internal/faultpoint"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker budget shared by all rebuilds (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	maxBuilds := flag.Int("max-builds", 16, "max concurrent builds before shedding (0 = unbounded)")
+	queueWait := flag.Duration("build-queue-wait", time.Second, "how long a build may wait for an admission slot before 503")
+	buildTimeout := flag.Duration("build-timeout", 0, "cap on every build; past it the build is canceled (0 = none)")
+	faultSpec := flag.String("faultpoints", "", "arm fault-injection points at startup, e.g. \"build.error=error:after=1\" (testing)")
+	debugFaults := flag.Bool("debug-faults", false, "mount /debug/faultpoints for arming faults over HTTP (testing)")
 	var preload []string
 	flag.Func("graph", "preload a graph as name=path (repeatable)", func(v string) error {
 		preload = append(preload, v)
@@ -69,7 +104,19 @@ func main() {
 	})
 	flag.Parse()
 
-	store := fastbcc.NewStore(*workers)
+	if *faultSpec != "" {
+		if err := faultpoint.Set(*faultSpec); err != nil {
+			log.Fatalf("bccd: -faultpoints: %v", err)
+		}
+		log.Printf("bccd: fault points armed: %s", *faultSpec)
+	}
+
+	store := fastbcc.NewStoreWithConfig(fastbcc.StoreConfig{
+		Workers:             *workers,
+		MaxConcurrentBuilds: *maxBuilds,
+		BuildQueueWait:      *queueWait,
+		BuildTimeout:        *buildTimeout,
+	})
 	defer store.Close()
 	for _, spec := range preload {
 		name, path, ok := strings.Cut(spec, "=")
@@ -80,7 +127,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("bccd: load %s: %v", spec, err)
 		}
-		snap, err := store.Load(name, g, nil)
+		snap, err := store.Load(context.Background(), name, g, nil)
 		if err != nil {
 			log.Fatalf("bccd: load %s: %v", spec, err)
 		}
@@ -90,7 +137,17 @@ func main() {
 		snap.Release()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(store)}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(store, *debugFaults),
+		// Slow-client protection: a peer that dribbles its headers or
+		// body cannot pin a connection forever. Write timeouts are left
+		// off — load/rebuild responses legitimately take as long as the
+		// build they wait for, which -build-timeout already bounds.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -14,7 +14,7 @@ import (
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	store := fastbcc.NewStore(2)
-	srv := httptest.NewServer(newServer(store))
+	srv := httptest.NewServer(newServer(store, false))
 	t.Cleanup(func() {
 		srv.Close()
 		store.Close()

@@ -1,14 +1,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	fastbcc "repro"
+	"repro/internal/faultpoint"
 )
 
 // maxBodyBytes bounds load-request bodies; a 64 MiB JSON edge list is
@@ -43,8 +47,10 @@ type server struct {
 }
 
 // newServer wires the JSON API around a Store. Exposed separately from
-// main so tests drive the exact production handler.
-func newServer(store *fastbcc.Store) http.Handler {
+// main so tests drive the exact production handler. debugFaults
+// additionally mounts the /debug/faultpoints endpoints (arming
+// fault-injection points over HTTP — test and smoke deployments only).
+func newServer(store *fastbcc.Store, debugFaults bool) http.Handler {
 	s := &server{store: store, mux: http.NewServeMux(), remaps: map[string]*vertexMap{}}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
@@ -53,20 +59,80 @@ func newServer(store *fastbcc.Store) http.Handler {
 	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleRemove)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/rebuild", s.handleRebuild)
 	s.mux.HandleFunc("GET /v1/graphs/{name}/query/{op}", s.handleQuery)
+	if debugFaults {
+		s.mux.HandleFunc("GET /debug/faultpoints", s.handleFaultList)
+		s.mux.HandleFunc("PUT /debug/faultpoints", s.handleFaultSet)
+		s.mux.HandleFunc("DELETE /debug/faultpoints", s.handleFaultReset)
+	}
 	return s.mux
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Almost always the client hanging up mid-response; the request
+		// is already answered as far as the server is concerned, so log
+		// rather than fail.
+		log.Printf("bccd: writing response: %v", err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// graphInfo is the stats payload for one snapshot.
+// statusClientClosedRequest is the conventional (nginx) status for a
+// request whose client went away first; the canceled build released its
+// slot, but there is no one left to tell.
+const statusClientClosedRequest = 499
+
+// writeBuildError maps a failed Load/Rebuild onto the HTTP status that
+// tells the client what actually happened — and whether to retry:
+//
+//	400 bad request    unknown algorithm name (the request is wrong)
+//	404 not found      graph never loaded / removed
+//	499 (client gone)  the client canceled; the build was abandoned
+//	500 internal       engine panic or unexpected build failure; the
+//	                   entry keeps serving its last-good snapshot
+//	503 unavailable    build admission saturated (Retry-After hints when
+//	                   to come back) or the store is shutting down
+//	504 timeout        the build exceeded its deadline and was canceled
+func writeBuildError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, fastbcc.ErrUnknownAlgorithm):
+		status = http.StatusBadRequest
+	case errors.Is(err, fastbcc.ErrNotLoaded):
+		status = http.StatusNotFound
+	case errors.Is(err, fastbcc.ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, fastbcc.ErrStoreClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = statusClientClosedRequest
+	}
+	writeError(w, status, "%v", err)
+}
+
+// buildCtx derives the context bounding one build request: the request's
+// own context (a disconnected client cancels the build, freeing its
+// admission slot) tightened by the optional per-request timeout_ms.
+func buildCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	if timeoutMS > 0 {
+		return context.WithTimeout(r.Context(), time.Duration(timeoutMS)*time.Millisecond)
+	}
+	return r.Context(), func() {}
+}
+
+// graphInfo is the stats payload for one snapshot. The failure fields
+// (populated from Store.Status on the per-graph stats endpoint) are
+// nonzero only while the entry's most recent builds have been failing —
+// the snapshot described by the rest of the payload is then the
+// last-good version still being served.
 type graphInfo struct {
 	Name      string  `json:"name"`
 	Version   int64   `json:"version"`
@@ -80,6 +146,21 @@ type graphInfo struct {
 	Reordered bool    `json:"reordered,omitempty"`
 	BuildMS   float64 `json:"build_ms"`
 	BuiltAt   string  `json:"built_at"`
+
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	LastError           string `json:"last_error,omitempty"`
+	LastErrorAt         string `json:"last_error_at,omitempty"`
+}
+
+// graphStatusInfo is the stats payload for an entry with no serving
+// snapshot: it exists in the catalog but every build so far failed. The
+// failure fields say why.
+type graphStatusInfo struct {
+	Name                string `json:"name"`
+	Loaded              bool   `json:"loaded"`
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	LastError           string `json:"last_error,omitempty"`
+	LastErrorAt         string `json:"last_error_at,omitempty"`
 }
 
 // remap returns the vertex translation of name, or nil for identity.
@@ -127,7 +208,7 @@ func (s *server) info(snap *fastbcc.Snapshot) graphInfo {
 		TwoECC:    snap.Index.NumTwoECC(),
 		Reordered: s.remapFor(snap) != nil,
 		BuildMS:   float64(snap.BuildTime.Microseconds()) / 1000,
-		BuiltAt:   snap.BuiltAt.UTC().Format("2006-01-02T15:04:05.000Z"),
+		BuiltAt:   snap.BuiltAt.UTC().Format(timeFmt),
 	}
 }
 
@@ -150,12 +231,20 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Deterministic: a.Deterministic,
 		})
 	}
+	// A degraded catalog — entries whose latest build failed, still
+	// serving their last-good snapshot — stays HTTP 200 (the server is
+	// up and answering queries) but reports ok:false so health checks
+	// and operators see the failure without scraping per-graph stats.
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":             true,
-		"graphs":         st.Graphs,
-		"live_snapshots": st.LiveSnapshots,
-		"by_algorithm":   st.ByAlgorithm,
-		"algorithms":     algos,
+		"ok":               st.FailingGraphs == 0,
+		"degraded":         st.FailingGraphs > 0,
+		"graphs":           st.Graphs,
+		"live_snapshots":   st.LiveSnapshots,
+		"by_algorithm":     st.ByAlgorithm,
+		"failing_graphs":   st.FailingGraphs,
+		"build_failures":   st.BuildFailures,
+		"in_flight_builds": st.InFlightBuilds,
+		"algorithms":       algos,
 	})
 }
 
@@ -189,6 +278,10 @@ type loadRequest struct {
 	// optimization). Transparent to clients: queries and answers keep
 	// using the ids of the loaded edge list.
 	Reorder bool `json:"reorder"`
+	// TimeoutMS bounds this build; past the deadline it is cooperatively
+	// canceled (504) and the entry keeps its previous snapshot. It can
+	// only tighten the server-wide -build-timeout, never extend it.
+	TimeoutMS int `json:"timeout_ms"`
 }
 
 func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
@@ -233,13 +326,11 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		vm = &vertexMap{fwd: fwd, inv: inv}
 	}
 	opts := &fastbcc.Options{Algorithm: req.Algo, Seed: req.Seed, Threads: req.Threads, LocalSearch: req.LocalSearch, Source: req.Source}
-	snap, err := s.store.Load(name, g, opts)
+	ctx, cancel := buildCtx(r, req.TimeoutMS)
+	defer cancel()
+	snap, err := s.store.Load(ctx, name, g, opts)
 	if err != nil {
-		status := http.StatusConflict
-		if errors.Is(err, fastbcc.ErrUnknownAlgorithm) {
-			status = http.StatusBadRequest
-		}
-		writeError(w, status, "%v", err)
+		writeBuildError(w, err)
 		return
 	}
 	// A load without reorder replacing a reordered entry clears the
@@ -264,27 +355,49 @@ func (s *server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	opts := &fastbcc.Options{Algorithm: req.Algo, Seed: req.Seed, Threads: req.Threads, LocalSearch: req.LocalSearch, Source: req.Source}
-	snap, err := s.store.Rebuild(name, opts)
+	ctx, cancel := buildCtx(r, req.TimeoutMS)
+	defer cancel()
+	snap, err := s.store.Rebuild(ctx, name, opts)
 	if err != nil {
-		status := http.StatusNotFound
-		if errors.Is(err, fastbcc.ErrUnknownAlgorithm) {
-			status = http.StatusBadRequest
-		}
-		writeError(w, status, "%v", err)
+		writeBuildError(w, err)
 		return
 	}
 	defer snap.Release()
 	writeJSON(w, http.StatusOK, s.info(snap))
 }
 
+const timeFmt = "2006-01-02T15:04:05.000Z"
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap, err := s.store.Acquire(r.PathValue("name"))
+	name := r.PathValue("name")
+	snap, err := s.store.Acquire(name)
 	if err != nil {
+		// No serving snapshot — but the entry may still exist with
+		// recorded build failures (a graph whose initial build never
+		// succeeded). Report that instead of a bare 404.
+		if st, serr := s.store.Status(name); serr == nil {
+			info := graphStatusInfo{
+				Name:                name,
+				ConsecutiveFailures: st.ConsecutiveFailures,
+				LastError:           st.LastError,
+			}
+			if !st.LastErrorAt.IsZero() {
+				info.LastErrorAt = st.LastErrorAt.UTC().Format(timeFmt)
+			}
+			writeJSON(w, http.StatusOK, info)
+			return
+		}
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	defer snap.Release()
-	writeJSON(w, http.StatusOK, s.info(snap))
+	info := s.info(snap)
+	if st, serr := s.store.Status(name); serr == nil && st.ConsecutiveFailures > 0 {
+		info.ConsecutiveFailures = st.ConsecutiveFailures
+		info.LastError = st.LastError
+		info.LastErrorAt = st.LastErrorAt.UTC().Format(timeFmt)
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
@@ -418,4 +531,37 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// The /debug/faultpoints endpoints (mounted only with -debug-faults)
+// expose the fault-injection registry over HTTP, so smoke tests and
+// chaos drills can arm faults in a running server without rebuilding it:
+//
+//	GET    /debug/faultpoints   list armed points with modes and hit counts
+//	PUT    /debug/faultpoints   arm from {"spec": "build.error=error:after=1"}
+//	                            (the -faultpoints flag grammar)
+//	DELETE /debug/faultpoints   disarm everything
+
+func (s *server) handleFaultList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"points": faultpoint.List()})
+}
+
+func (s *server) handleFaultSet(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Spec string `json:"spec"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := faultpoint.Set(req.Spec); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"points": faultpoint.List()})
+}
+
+func (s *server) handleFaultReset(w http.ResponseWriter, r *http.Request) {
+	faultpoint.Reset()
+	writeJSON(w, http.StatusOK, map[string]bool{"reset": true})
 }

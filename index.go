@@ -1,6 +1,8 @@
 package fastbcc
 
 import (
+	"context"
+
 	"repro/internal/bctree"
 	"repro/internal/parallel"
 )
@@ -43,23 +45,33 @@ func BuildIndex(g *Graph, opts *Options) (*Result, *Index) {
 // Runner's worker budget (and this run's opts.Threads cap). The returned
 // Result and Index never alias pooled memory.
 func (r *Runner) BuildIndex(g *Graph, opts *Options) (*Result, *Index) {
-	res, idx, err := r.buildIndex(g, opts)
+	res, idx, err := r.buildIndex(context.Background(), g, opts)
 	if err != nil {
 		panic(err)
 	}
 	return res, idx
 }
 
-// buildIndex is the error-returning form behind Runner.BuildIndex, used
-// by the Store so bad algorithm names reach clients as errors.
-func (r *Runner) buildIndex(g *Graph, opts *Options) (*Result, *Index, error) {
+// buildIndex is the error-returning, context-bounded form behind
+// Runner.BuildIndex, used by the Store so bad algorithm names,
+// cancellation, and engine panics reach clients as errors. Both the
+// decomposition and the index build observe ctx cooperatively; a
+// canceled build is abandoned (its partial output discarded) and the
+// context's error returned.
+func (r *Runner) buildIndex(ctx context.Context, g *Graph, opts *Options) (res *Result, idx *Index, err error) {
+	defer recoverBuildPanic(&err)
 	var o Options
 	if opts != nil {
 		o = *opts
 	}
-	res, err := r.run(g, &o)
+	res, err = r.run(ctx, g, &o)
 	if err != nil {
 		return nil, nil, err
 	}
-	return res, bctree.NewIn(r.exec.Limit(o.Threads), g, res), nil
+	ex := r.exec.Limit(o.Threads).WithContext(ctx)
+	idx = bctree.NewIn(ex, g, res)
+	if err := r.buildErr(ex); err != nil {
+		return nil, nil, err
+	}
+	return res, idx, nil
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -172,7 +173,7 @@ func RunMicro(engineNames []string) (*MicroReport, error) {
 	// One full serving hop: snapshot acquire + a mixed query + release,
 	// through the Store (the path cmd/bccd sits on).
 	st := fastbcc.NewStore(0)
-	if snap, err := st.Load("bench", g, &fastbcc.Options{Seed: 7}); err == nil {
+	if snap, err := st.Load(context.Background(), "bench", g, &fastbcc.Options{Seed: 7}); err == nil {
 		snap.Release()
 	}
 	add("Store/AcquireQueryRelease/RMAT-16-8", func(b *testing.B) {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -22,7 +23,7 @@ func RunQueryThroughput(sc Scale, out io.Writer) {
 	g := gen.RMAT(scale, 8, 0xBC)
 	store := fastbcc.NewStore(0)
 	defer store.Close()
-	snap, err := store.Load("bench", g, nil)
+	snap, err := store.Load(context.Background(), "bench", g, nil)
 	if err != nil {
 		fmt.Fprintf(out, "qbench: %v\n", err)
 		return
@@ -47,7 +48,7 @@ func RunQueryThroughput(sc Scale, out io.Writer) {
 					return
 				default:
 				}
-				if s, err := store.Rebuild("bench", &fastbcc.Options{Seed: seed}); err == nil {
+				if s, err := store.Rebuild(context.Background(), "bench", &fastbcc.Options{Seed: seed}); err == nil {
 					s.Release()
 					rebuilds.Add(1)
 				}

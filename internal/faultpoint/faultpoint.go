@@ -1,0 +1,319 @@
+// Package faultpoint provides named fault-injection points for
+// deterministic robustness testing of the serving stack.
+//
+// A fault point is a named site in production code — Check(name) or
+// CheckCtx(ctx, name) — that normally does nothing: while no point is
+// armed anywhere in the process, a check is a single atomic load and an
+// immediate return, so the points can stay compiled into the serving
+// path. Tests (and bccd's debug endpoint) arm a point with a behavior:
+//
+//	faultpoint.ArmPanic(faultpoint.PanicInEngine)       // panic at the site
+//	faultpoint.ArmError(faultpoint.ErrorInBuild, 2)     // error after 2 passes
+//	faultpoint.ArmSleep(faultpoint.SlowBuild, 50*time.Millisecond)
+//	faultpoint.ArmObserve(faultpoint.CancelObserved)    // count hits only
+//	defer faultpoint.Reset()
+//
+// or textually — the form bccd's -faultpoints flag and debug endpoint
+// accept:
+//
+//	faultpoint.Set("build.panic-in-engine=panic")
+//	faultpoint.Set("build.error=error:after=2, build.slow=sleep:50ms")
+//
+// Every behavior supports an after=N guard (the first N checks pass
+// untriggered — "fail the second build", the smoke tests' idiom) and the
+// hit counter Hits(name) reports how many times an armed point was
+// reached, which is how tests assert that cancellation was actually
+// observed inside the pipeline rather than merely requested.
+//
+// The canonical points of the build pipeline are declared here so tests,
+// the Runner, and bccd agree on the names; arbitrary names work too —
+// a check on a never-armed name is the same no-op.
+package faultpoint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The named injection points wired into the engine/Runner build path.
+const (
+	// PanicInEngine panics at the top of the engine dispatch, simulating
+	// an engine bug; the Runner must convert it to an error and the
+	// Store must keep serving the last-good snapshot.
+	PanicInEngine = "build.panic-in-engine"
+	// SlowBuild sleeps at the start of a build (interruptibly — a
+	// canceled context ends the sleep early), simulating a pathological
+	// graph holding a build slot.
+	SlowBuild = "build.slow"
+	// ErrorInBuild fails the build with ErrInjected; with after=N the
+	// first N builds succeed ("error-after-N").
+	ErrorInBuild = "build.error"
+	// CancelObserved is an observation point: the Runner checks it on
+	// every path that abandons a build because its context was canceled,
+	// so a test that arms it with ArmObserve can assert — via Hits —
+	// that cancellation was cooperatively observed inside the pipeline.
+	CancelObserved = "build.cancel-observed"
+)
+
+// ErrInjected is wrapped by every error an armed point returns, so
+// callers and tests can classify injected failures with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+type mode int
+
+const (
+	modeObserve mode = iota // count hits, never trigger
+	modePanic
+	modeError
+	modeSleep
+)
+
+func (m mode) String() string {
+	switch m {
+	case modeObserve:
+		return "observe"
+	case modePanic:
+		return "panic"
+	case modeError:
+		return "error"
+	case modeSleep:
+		return "sleep"
+	}
+	return "?"
+}
+
+// config is one arming of a point; swapping the whole config on Arm
+// makes re-arming race-free against in-flight checks.
+type config struct {
+	mode  mode
+	after int64 // trigger only on hits after the first `after`
+	delay time.Duration
+	hits  atomic.Int64
+}
+
+type point struct {
+	name string
+	cfg  atomic.Pointer[config]
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+	// armed counts armed points process-wide; zero is the no-op fast
+	// path every Check takes in production.
+	armed atomic.Int32
+)
+
+// Check runs the fault point name: a no-op unless the point is armed, in
+// which case it panics, sleeps, or returns an error according to the
+// armed behavior. The un-armed fast path is one atomic load.
+func Check(name string) error { return CheckCtx(context.Background(), name) }
+
+// CheckCtx is Check with a context: an armed sleep ends early when ctx
+// is canceled (returning the context's error), which is how the
+// slow-build point cooperates with build cancellation.
+func CheckCtx(ctx context.Context, name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return slowCheck(ctx, name)
+}
+
+func slowCheck(ctx context.Context, name string) error {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	cfg := p.cfg.Load()
+	if cfg == nil {
+		return nil
+	}
+	k := cfg.hits.Add(1)
+	if k <= cfg.after {
+		return nil
+	}
+	switch cfg.mode {
+	case modePanic:
+		panic(fmt.Sprintf("faultpoint: injected panic at %q", name))
+	case modeError:
+		return fmt.Errorf("faultpoint %q: %w", name, ErrInjected)
+	case modeSleep:
+		t := time.NewTimer(cfg.delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil // modeObserve: counted, nothing else
+}
+
+// arm installs cfg (non-nil) under name, creating the point if needed;
+// re-arming an armed point swaps behaviors and restarts the hit count.
+func arm(name string, cfg *config) {
+	mu.Lock()
+	defer mu.Unlock()
+	p := points[name]
+	if p == nil {
+		p = &point{name: name}
+		points[name] = p
+	}
+	if p.cfg.Swap(cfg) == nil {
+		armed.Add(1)
+	}
+}
+
+// ArmPanic makes name panic when reached.
+func ArmPanic(name string) { arm(name, &config{mode: modePanic}) }
+
+// ArmError makes name fail with ErrInjected after the first `after`
+// checks pass (0 = fail immediately).
+func ArmError(name string, after int64) { arm(name, &config{mode: modeError, after: after}) }
+
+// ArmSleep makes name sleep for d (interruptibly under CheckCtx).
+func ArmSleep(name string, d time.Duration) { arm(name, &config{mode: modeSleep, delay: d}) }
+
+// ArmObserve arms name as a pure observation point: checks pass but are
+// counted, queryable with Hits.
+func ArmObserve(name string) { arm(name, &config{mode: modeObserve}) }
+
+// Disarm returns name to the no-op state. Unknown or already-disarmed
+// names are a no-op.
+func Disarm(name string) {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p != nil && p.cfg.Swap(nil) != nil {
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every point — the deferred cleanup of every test that
+// arms anything.
+func Reset() {
+	mu.Lock()
+	ps := make([]*point, 0, len(points))
+	for _, p := range points {
+		ps = append(ps, p)
+	}
+	mu.Unlock()
+	for _, p := range ps {
+		if p.cfg.Swap(nil) != nil {
+			armed.Add(-1)
+		}
+	}
+}
+
+// Hits reports how many times name was checked while armed (since it was
+// last armed). Zero for unarmed or unknown names.
+func Hits(name string) int64 {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	cfg := p.cfg.Load()
+	if cfg == nil {
+		return 0
+	}
+	return cfg.hits.Load()
+}
+
+// Status describes one armed point, for bccd's debug endpoint.
+type Status struct {
+	Name string `json:"name"`
+	Mode string `json:"mode"`
+	Hits int64  `json:"hits"`
+}
+
+// List returns the armed points, sorted by name.
+func List() []Status {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Status, 0, len(points))
+	for _, p := range points {
+		cfg := p.cfg.Load()
+		if cfg == nil {
+			continue
+		}
+		out = append(out, Status{Name: p.name, Mode: cfg.mode.String(), Hits: cfg.hits.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Set arms points from a comma-separated textual spec, the grammar of
+// bccd's -faultpoints flag and debug endpoint:
+//
+//	name=panic            panic when reached
+//	name=error            fail with ErrInjected
+//	name=sleep:DURATION   sleep (e.g. sleep:50ms)
+//	name=observe          count hits only
+//	name=off              disarm
+//
+// Any behavior may append :after=N to let the first N checks pass, e.g.
+// "build.error=error:after=1" fails every build after the first.
+func Set(spec string) error {
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, beh, ok := strings.Cut(item, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" || beh == "" {
+			return fmt.Errorf("faultpoint: bad spec %q (want name=behavior)", item)
+		}
+		cfg := &config{}
+		parts := strings.Split(beh, ":")
+		switch parts[0] {
+		case "off":
+			if len(parts) > 1 {
+				return fmt.Errorf("faultpoint: %q: off takes no parameters", item)
+			}
+			Disarm(name)
+			continue
+		case "panic":
+			cfg.mode = modePanic
+		case "error":
+			cfg.mode = modeError
+		case "observe":
+			cfg.mode = modeObserve
+		case "sleep":
+			cfg.mode = modeSleep
+			if len(parts) < 2 {
+				return fmt.Errorf("faultpoint: %q: sleep needs a duration (sleep:50ms)", item)
+			}
+			d, err := time.ParseDuration(parts[1])
+			if err != nil {
+				return fmt.Errorf("faultpoint: %q: bad duration: %v", item, err)
+			}
+			cfg.delay = d
+			parts = append(parts[:1], parts[2:]...)
+		default:
+			return fmt.Errorf("faultpoint: %q: unknown behavior %q", item, parts[0])
+		}
+		for _, param := range parts[1:] {
+			n, ok := strings.CutPrefix(param, "after=")
+			if !ok {
+				return fmt.Errorf("faultpoint: %q: unknown parameter %q", item, param)
+			}
+			if _, err := fmt.Sscanf(n, "%d", &cfg.after); err != nil || cfg.after < 0 {
+				return fmt.Errorf("faultpoint: %q: bad after=%q", item, n)
+			}
+		}
+		arm(name, cfg)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package faultpoint
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsNoOp(t *testing.T) {
+	defer Reset()
+	if err := Check("never.armed"); err != nil {
+		t.Fatal(err)
+	}
+	if Hits("never.armed") != 0 {
+		t.Fatal("unarmed point counted hits")
+	}
+	if got := List(); len(got) != 0 {
+		t.Fatalf("List on clean registry = %v", got)
+	}
+}
+
+func TestArmError(t *testing.T) {
+	defer Reset()
+	ArmError("p.err", 0)
+	err := Check("p.err")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	Disarm("p.err")
+	if err := Check("p.err"); err != nil {
+		t.Fatalf("disarmed point still fails: %v", err)
+	}
+}
+
+func TestAfterN(t *testing.T) {
+	defer Reset()
+	ArmError("p.after", 2)
+	for i := 0; i < 2; i++ {
+		if err := Check("p.after"); err != nil {
+			t.Fatalf("check %d should pass: %v", i+1, err)
+		}
+	}
+	if err := Check("p.after"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third check = %v, want ErrInjected", err)
+	}
+	if Hits("p.after") != 3 {
+		t.Fatalf("hits = %d, want 3", Hits("p.after"))
+	}
+}
+
+func TestArmPanic(t *testing.T) {
+	defer Reset()
+	ArmPanic("p.panic")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("armed panic point did not panic")
+		}
+	}()
+	Check("p.panic")
+}
+
+func TestSleepInterruptedByContext(t *testing.T) {
+	defer Reset()
+	ArmSleep("p.sleep", time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- CheckCtx(ctx, "p.sleep") }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("interrupted sleep = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sleep ignored the canceled context")
+	}
+}
+
+func TestSleepCompletes(t *testing.T) {
+	defer Reset()
+	ArmSleep("p.nap", time.Millisecond)
+	if err := CheckCtx(context.Background(), "p.nap"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserveCounts(t *testing.T) {
+	defer Reset()
+	ArmObserve(CancelObserved)
+	for i := 0; i < 3; i++ {
+		if err := Check(CancelObserved); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if Hits(CancelObserved) != 3 {
+		t.Fatalf("hits = %d, want 3", Hits(CancelObserved))
+	}
+}
+
+func TestSetSpec(t *testing.T) {
+	defer Reset()
+	if err := Set("a.x=panic, b.y=error:after=1,c.z=sleep:10ms,d.w=observe"); err != nil {
+		t.Fatal(err)
+	}
+	got := List()
+	if len(got) != 4 {
+		t.Fatalf("List = %v", got)
+	}
+	if err := Check("b.y"); err != nil {
+		t.Fatalf("b.y first check should pass (after=1): %v", err)
+	}
+	if err := Check("b.y"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("b.y second check = %v", err)
+	}
+	if err := Set("a.x=off"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check("a.x"); err != nil {
+		t.Fatal("a.x should be disarmed")
+	}
+
+	for _, bad := range []string{"nope", "x=", "=panic", "x=zap", "x=sleep", "x=sleep:zzz", "x=error:n=2", "x=off:now", "x=error:after=-1"} {
+		if err := Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+// TestConcurrentChecks exercises arming/disarming racing live checks
+// under -race.
+func TestConcurrentChecks(t *testing.T) {
+	defer Reset()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					Check("race.point")
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		ArmError("race.point", int64(i%3))
+		Disarm("race.point")
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,198 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWithContextBackgroundIsFree: a background (never-cancellable)
+// context must not derive a new Exec — the happy path stays the exact
+// same code the pre-cancellation loops ran.
+func TestWithContextBackgroundIsFree(t *testing.T) {
+	if e := WithContext(context.Background()); e != nil {
+		t.Fatalf("WithContext(Background) on the default context = %v, want nil", e)
+	}
+	ex := NewExec(4)
+	defer ex.Close()
+	if d := ex.WithContext(context.TODO()); d != ex {
+		t.Fatal("WithContext(TODO) must return the receiver")
+	}
+	if d := ex.WithContext(nil); d != ex {
+		t.Fatal("WithContext(nil) must return the receiver")
+	}
+}
+
+// TestForBlockCancelInline: on a 1-worker context the loop runs inline
+// but must still honor block-granularity cancellation deterministically.
+func TestForBlockCancelInline(t *testing.T) {
+	ex := NewExec(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e := ex.WithContext(ctx)
+
+	var blocks int
+	e.ForBlock(10_000, 100, func(lo, hi int) {
+		blocks++
+		if blocks == 3 {
+			cancel()
+		}
+	})
+	if blocks != 3 {
+		t.Fatalf("executed %d blocks after cancel at block 3, want exactly 3", blocks)
+	}
+	if !e.Canceled() || e.Err() == nil {
+		t.Fatal("Canceled/Err must report the cancellation")
+	}
+	// A fresh loop on the already-canceled context runs nothing.
+	ran := false
+	e.ForBlock(50, 10, func(lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("loop on canceled context must not run any block")
+	}
+}
+
+// TestForBlockCancelPooled: cancellation mid-loop on a real pool stops
+// the remaining blocks (bounded by the workers already mid-block).
+func TestForBlockCancelPooled(t *testing.T) {
+	ex := NewExec(4)
+	defer ex.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e := ex.WithContext(ctx)
+
+	var executed atomic.Int32
+	// 16 blocks (4 workers x4); cancel on the very first executed block.
+	// At most the blocks already claimed by the 4 concurrent workers can
+	// still run, so well under half of the loop executes.
+	e.ForBlock(16, 1, func(lo, hi int) {
+		if executed.Add(1) == 1 {
+			cancel()
+		}
+	})
+	if got := executed.Load(); got > 8 {
+		t.Fatalf("executed %d of 16 blocks after first-block cancel", got)
+	}
+	if err := e.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelDeadline: a deadline context reports DeadlineExceeded, the
+// error serving layers map to 504.
+func TestCancelDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	e := WithContext(ctx)
+	<-ctx.Done()
+	ran := false
+	e.ForBlock(1_000_000, 1, func(lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("expired deadline must skip the loop entirely")
+	}
+	if err := e.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Err() = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestLimitKeepsContext: worker-cap derivation must not drop the
+// cancellation context (the Runner stacks Limit over WithContext).
+func TestLimitKeepsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := WithContext(ctx).Limit(2)
+	if !e.Canceled() {
+		t.Fatal("Limit dropped the context")
+	}
+}
+
+// TestLoopPanicPropagates: a panic in a body block — typically on a pool
+// worker goroutine — must not kill the process or deadlock the join; the
+// submitter re-panics a *Panic carrying the original value.
+func TestLoopPanicPropagates(t *testing.T) {
+	ex := NewExec(4)
+	defer ex.Close()
+
+	got := catchPanic(t, func() {
+		ex.ForBlock(64, 1, func(lo, hi int) {
+			if lo == 16 {
+				panic("boom-16")
+			}
+		})
+	})
+	p, ok := got.(*Panic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *parallel.Panic", got, got)
+	}
+	if p.Value != "boom-16" {
+		t.Fatalf("Panic.Value = %v, want boom-16", p.Value)
+	}
+	if len(p.Stack) == 0 {
+		t.Fatal("Panic.Stack empty")
+	}
+
+	// The pool must remain fully serviceable after a captured panic.
+	var n atomic.Int32
+	ex.ForBlock(128, 1, func(lo, hi int) { n.Add(int32(hi - lo)) })
+	if n.Load() != 128 {
+		t.Fatalf("pool broken after panic: %d/128 iterations", n.Load())
+	}
+}
+
+// TestLoopPanicStopsRemainingBlocks: once a block panics the rest of the
+// loop is skipped, so a poisoned build stops burning workers.
+func TestLoopPanicStopsRemainingBlocks(t *testing.T) {
+	ex := NewExec(2)
+	defer ex.Close()
+	var executed atomic.Int32
+	catchPanic(t, func() {
+		ex.ForBlock(16, 1, func(lo, hi int) {
+			if executed.Add(1) == 1 {
+				panic("first block")
+			}
+		})
+	})
+	if got := executed.Load(); got > 4 {
+		t.Fatalf("executed %d of 16 blocks after first-block panic", got)
+	}
+}
+
+// TestNestedLoopPanic: a panic inside a nested parallel loop unwinds
+// through both joins to the outermost submitter.
+func TestNestedLoopPanic(t *testing.T) {
+	ex := NewExec(4)
+	defer ex.Close()
+	got := catchPanic(t, func() {
+		ex.ForBlock(8, 1, func(lo, hi int) {
+			ex.ForBlock(8, 1, func(ilo, ihi int) {
+				if lo == 2 && ilo == 2 {
+					panic("nested")
+				}
+			})
+		})
+	})
+	if got == nil {
+		t.Fatal("nested panic did not propagate")
+	}
+}
+
+// TestInlinePanicPropagates: the inline (1-worker / small-n) paths keep
+// ordinary panic semantics on the submitting goroutine.
+func TestInlinePanicPropagates(t *testing.T) {
+	ex := NewExec(1)
+	got := catchPanic(t, func() {
+		ex.ForBlock(8, 1, func(lo, hi int) { panic("inline") })
+	})
+	if got == nil {
+		t.Fatal("inline panic did not propagate")
+	}
+}
+
+func catchPanic(t *testing.T, f func()) (recovered any) {
+	t.Helper()
+	defer func() { recovered = recover() }()
+	f()
+	t.Fatal("function did not panic")
+	return nil
+}

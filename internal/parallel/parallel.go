@@ -54,6 +54,25 @@
 // SetProcs(1) stops the pool entirely; all primitives then run inline.
 // Private pools (NewExec) are fixed-size and have no generations.
 //
+// # Cancellation and panics
+//
+// Loops are cooperatively cancellable at block granularity: WithContext
+// derives a context-carrying Exec, and every loop on it checks the
+// context between blocks, skipping the remaining blocks once it is
+// canceled. The check is free on the happy path — an Exec without a
+// context (the default) performs no per-block work, and a loop that
+// finishes before cancellation behaves identically either way. A
+// canceled loop returns early with its work only partially done, so the
+// caller must treat every output as invalid and check Err after the
+// last loop of a pipeline (the serving Runner does).
+//
+// A panic in a loop body — on a pool worker or the submitter — no
+// longer crashes the process or deadlocks the join: the first panic is
+// captured, the loop's remaining blocks are skipped, and after the join
+// the submitting goroutine re-panics with a *Panic carrying the
+// original value and the panicking goroutine's stack. Serving layers
+// recover it once at the top of a build and convert it to an error.
+//
 // # Work/span accounting
 //
 // For a loop of n iterations over p workers, claiming is O(n/grain) atomic
@@ -67,7 +86,10 @@
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -122,6 +144,10 @@ type Exec struct {
 	limit int
 	// priv is the owning pool; nil means the process-global pool.
 	priv *privPool
+	// ctx, when non-nil, makes every loop on this context cooperatively
+	// cancellable at block granularity (see WithContext). nil — the
+	// default — costs nothing per block.
+	ctx context.Context
 }
 
 // NewExec returns an execution context owning a private pool of p-1 worker
@@ -153,13 +179,108 @@ func (e *Exec) Limit(k int) *Exec {
 	if k >= e.limit {
 		return e
 	}
-	return &Exec{limit: k, priv: e.priv}
+	return &Exec{limit: k, priv: e.priv, ctx: e.ctx}
 }
 
 // Limit returns a view of the default context capped at k workers per loop,
 // with no global mutation and no pool restart: Limit(k).ForBlock runs on
 // the same process-global pool as ForBlock, waking at most k-1 helpers.
 func Limit(k int) *Exec { return (*Exec)(nil).Limit(k) }
+
+// noLimit is the worker cap of a derived context that adds no cap of its
+// own; Procs() folds it with the pool's real size.
+const noLimit = 1 << 30
+
+// WithContext returns a view of e whose loops are cooperatively
+// cancellable by ctx: once ctx is done, every loop on the returned
+// context skips its remaining blocks and returns early (work already
+// running on claimed blocks completes). The derived context shares e's
+// pool and worker cap and allocates no goroutines. A nil or
+// never-cancellable ctx (context.Background, context.TODO) returns e
+// itself, so threading a background context through a hot path costs
+// nothing.
+//
+// Cancellation is cooperative and block-granular: a canceled loop
+// returns with its work partially done, so after cancellation every
+// value the loops produced is invalid. Pipelines must check Err (or the
+// ctx) after their last loop and discard the result.
+func (e *Exec) WithContext(ctx context.Context) *Exec {
+	if ctx == nil || ctx.Done() == nil {
+		return e
+	}
+	if e == nil {
+		return &Exec{limit: noLimit, ctx: ctx}
+	}
+	return &Exec{limit: e.limit, priv: e.priv, ctx: ctx}
+}
+
+// WithContext returns a view of the default context cancellable by ctx;
+// see (*Exec).WithContext.
+func WithContext(ctx context.Context) *Exec { return (*Exec)(nil).WithContext(ctx) }
+
+// Canceled reports whether e's context is done. Always false for a
+// context-free Exec (including nil).
+func (e *Exec) Canceled() bool {
+	if e == nil || e.ctx == nil {
+		return false
+	}
+	select {
+	case <-e.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the context's cancellation cause (context.Canceled or
+// context.DeadlineExceeded) once e is canceled, and nil otherwise —
+// the post-pipeline validity check the package comment's cancellation
+// section describes.
+func (e *Exec) Err() error {
+	if e == nil || e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
+// done returns the cancellation channel, nil when not cancellable.
+func (e *Exec) done() <-chan struct{} {
+	if e == nil || e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Done()
+}
+
+// canceled is the channel-level form of Canceled for the loop internals.
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Panic is the value the submitting goroutine re-panics with when a
+// parallel loop body panics: the original panic value plus the stack of
+// the goroutine (pool worker or submitter) that panicked. Capturing the
+// panic in the worker and re-raising it at the join point is what keeps
+// an engine bug from killing an unrelated pool goroutine — and with it
+// the whole serving process; the Runner recovers the re-raised value
+// once per build and converts it to an error.
+type Panic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (p *Panic) Error() string {
+	return fmt.Sprintf("panic in parallel loop: %v", p.Value)
+}
 
 // Close releases the context's private workers. Loops submitted after
 // Close run inline (sequentially). Close on the default context or on a
@@ -212,31 +333,56 @@ type task struct {
 	next    atomic.Int32
 	wg      sync.WaitGroup
 	refs    atomic.Int32
+	// done, when non-nil, is the submitting Exec's cancellation channel:
+	// once closed, remaining blocks are claimed but skipped.
+	done <-chan struct{}
+	// pv holds the first panic captured from a block body. Once set, the
+	// remaining blocks are skipped and the submitter re-panics it after
+	// the join.
+	pv atomic.Pointer[Panic]
 }
 
 var taskPool = sync.Pool{New: func() any { return new(task) }}
 
-// run claims and executes blocks until the counter is exhausted.
+// run claims and executes blocks until the counter is exhausted. After a
+// cancellation or a captured panic the remaining blocks are still
+// claimed — their wg slots must drain for the submitter's join — but
+// their bodies are skipped.
 func (t *task) run() {
 	for {
 		b := t.next.Add(1) - 1
 		if b >= t.nBlocks {
 			return
 		}
-		lo := int(b) * t.grain
-		hi := lo + t.grain
-		if hi > t.n {
-			hi = t.n
+		if t.pv.Load() == nil && !canceled(t.done) {
+			lo := int(b) * t.grain
+			hi := lo + t.grain
+			if hi > t.n {
+				hi = t.n
+			}
+			t.runBlock(lo, hi)
 		}
-		t.body(lo, hi)
 		t.wg.Done()
 	}
+}
+
+// runBlock executes one block, capturing a panic instead of letting it
+// unwind a pool worker (which would kill the process and leave the
+// submitter's join waiting forever).
+func (t *task) runBlock(lo, hi int) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.pv.CompareAndSwap(nil, &Panic{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	t.body(lo, hi)
 }
 
 // release drops one reference; the last holder recycles the descriptor.
 func (t *task) release() {
 	if t.refs.Add(-1) == 0 {
 		t.body = nil
+		t.done = nil
 		taskPool.Put(t)
 	}
 }
@@ -372,7 +518,7 @@ func (e *Exec) ForBlock(n, grain int, body func(lo, hi int)) {
 	}
 	p := e.Procs()
 	if p == 1 || n <= grain {
-		body(0, n)
+		e.runInline(n, grain, body)
 		return
 	}
 	nBlocks := (n + grain - 1) / grain
@@ -383,12 +529,12 @@ func (e *Exec) ForBlock(n, grain int, body func(lo, hi int)) {
 		nBlocks = (n + grain - 1) / grain
 	}
 	if nBlocks < 2 {
-		body(0, n)
+		e.runInline(n, grain, body)
 		return
 	}
 	pl := e.getPoolFor()
 	if pl == nil { // worker count is 1, or the context was closed: inline
-		body(0, n)
+		e.runInline(n, grain, body)
 		return
 	}
 	t := taskPool.Get().(*task)
@@ -397,6 +543,8 @@ func (e *Exec) ForBlock(n, grain int, body func(lo, hi int)) {
 	t.grain = grain
 	t.nBlocks = int32(nBlocks)
 	t.next.Store(0)
+	t.done = e.done()
+	t.pv.Store(nil)
 	t.wg.Add(nBlocks)
 	// The cap p bounds this loop's workers (submitter included) even when
 	// the underlying pool is larger — the Limit contract.
@@ -427,7 +575,44 @@ func (e *Exec) ForBlock(n, grain int, body func(lo, hi int)) {
 	}
 	t.run()
 	t.wg.Wait()
+	pv := t.pv.Load()
 	t.release()
+	if pv != nil {
+		// Re-raise the captured panic on the submitting goroutine, the
+		// model's join-point semantics; callers that must survive engine
+		// bugs recover the *Panic once at the top of the pipeline.
+		panic(pv)
+	}
+}
+
+// runInline executes the loop on the submitting goroutine. With no
+// cancellation context this is a single body call (the historical fast
+// path); with one, the range is walked block by block with a cancel
+// check between blocks, so even a 1-worker (or pool-less) loop honors
+// the block-granularity cancellation contract.
+func (e *Exec) runInline(n, grain int, body func(lo, hi int)) {
+	done := e.done()
+	if done == nil {
+		body(0, n)
+		return
+	}
+	if canceled(done) {
+		return
+	}
+	if n <= grain {
+		body(0, n)
+		return
+	}
+	for lo := 0; lo < n; lo += grain {
+		if canceled(done) {
+			return
+		}
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi)
+	}
 }
 
 // Do runs the given functions on e with fork-join semantics and waits for
@@ -445,6 +630,9 @@ func (e *Exec) Do(fns ...func()) {
 	}
 	if e.Procs() == 1 {
 		for _, f := range fns {
+			if e.Canceled() {
+				return
+			}
 			f()
 		}
 		return

@@ -1,13 +1,25 @@
 package fastbcc
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/faultpoint"
 	"repro/internal/graph"
 	"repro/internal/parallel"
 )
+
+// ErrBuildPanic is wrapped by the error a Runner or Store returns when an
+// engine panics during a build. The panic is captured — on whatever
+// goroutine it happened, pool worker or submitter — and converted to an
+// error at the top of the build, so one misbehaving engine or graph
+// never takes down a serving process; the Store keeps serving the
+// entry's last-good snapshot (cmd/bccd maps this error to HTTP 500).
+var ErrBuildPanic = errors.New("engine panicked")
 
 // Runner serves BCC decompositions concurrently with a bounded worker
 // budget and recycled scratch memory — the serving pattern the package
@@ -50,21 +62,50 @@ func NewRunner(workers int) *Runner {
 // overrides the Runner's recycled arena (for callers that manage their
 // own). The returned Result never aliases pooled memory.
 func (r *Runner) Run(g *Graph, opts *Options) *Result {
-	res, err := r.run(g, opts)
+	res, err := r.run(context.Background(), g, opts)
 	if err != nil {
 		panic(err)
 	}
 	return res
 }
 
+// RunContext is Run bounded by ctx: the build's parallel loops observe
+// cancellation cooperatively at block granularity and the abandoned run
+// returns ctx's error instead of running to completion. Unlike Run it
+// also reports unknown algorithm names and engine panics as errors
+// rather than panicking — the error-surfacing form serving layers want.
+func (r *Runner) RunContext(ctx context.Context, g *Graph, opts *Options) (*Result, error) {
+	return r.run(ctx, g, opts)
+}
+
+// recoverBuildPanic converts a panic unwinding a build into an error
+// wrapping ErrBuildPanic, assigned to *err. Deferred at the top of every
+// build path so an engine bug — wherever it fired; parallel loop bodies
+// re-raise worker panics at the join — is isolated to this one build.
+func recoverBuildPanic(err *error) {
+	if rec := recover(); rec != nil {
+		if lp, ok := rec.(*parallel.Panic); ok {
+			rec = lp.Value
+		}
+		*err = fmt.Errorf("fastbcc: %w: %v", ErrBuildPanic, rec)
+	}
+}
+
 // run is the error-returning dispatch behind Run, shared with the Store
-// (which surfaces bad algorithm names to clients instead of panicking).
-func (r *Runner) run(g *Graph, opts *Options) (*Result, error) {
+// (which surfaces bad algorithm names, cancellation, and engine panics
+// to clients instead of panicking). The four fault points of the build
+// pipeline (see internal/faultpoint) live here, ahead of the engine
+// dispatch; they are no-ops unless a test or debug endpoint arms them.
+func (r *Runner) run(ctx context.Context, g *Graph, opts *Options) (res *Result, err error) {
+	defer recoverBuildPanic(&err)
+	if err := r.admitFaults(ctx); err != nil {
+		return nil, err
+	}
 	var o Options
 	if opts != nil {
 		o = *opts
 	}
-	ex := r.exec.Limit(o.Threads)
+	ex := r.exec.Limit(o.Threads).WithContext(ctx)
 	sc := o.Scratch
 	if sc == nil {
 		arena := r.arenas.Get().(*Scratch)
@@ -78,10 +119,47 @@ func (r *Runner) run(g *Graph, opts *Options) (*Result, error) {
 		// precomputed on the Runner's own workers, so a published
 		// snapshot never hits the lazy compute path from a query.
 		res.PrecomputeTopologyIn(ex)
+		if err := r.buildErr(ex); err != nil {
+			return nil, err
+		}
 		return res, nil
 	}
 	o.Scratch = sc
-	return runEngine(g, o, ex)
+	res, err = runEngine(g, o, ex)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.buildErr(ex); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// admitFaults runs the pre-build fault points and the entry cancellation
+// check. Order matters for the harness: the slow-build sleep comes first
+// so a deadline can expire inside it, then the injected panic and error.
+func (r *Runner) admitFaults(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		faultpoint.Check(faultpoint.CancelObserved)
+		return err
+	}
+	if err := faultpoint.CheckCtx(ctx, faultpoint.SlowBuild); err != nil {
+		faultpoint.Check(faultpoint.CancelObserved)
+		return err
+	}
+	faultpoint.Check(faultpoint.PanicInEngine) // panics when armed; recovered above
+	return faultpoint.Check(faultpoint.ErrorInBuild)
+}
+
+// buildErr validates a finished pipeline stage: once the execution
+// context is canceled, every buffer the skipped loops left behind is
+// garbage, so the build is abandoned and the caller discards the result.
+func (r *Runner) buildErr(ex *parallel.Exec) error {
+	if err := ex.Err(); err != nil {
+		faultpoint.Check(faultpoint.CancelObserved)
+		return err
+	}
+	return nil
 }
 
 // Close releases the Runner's worker goroutines. Runs started after Close

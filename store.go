@@ -1,11 +1,31 @@
 package fastbcc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+)
+
+// Sentinel errors wrapped by Store methods, so serving layers can map
+// failures to the right client-facing status with errors.Is (cmd/bccd:
+// ErrNotLoaded → 404, ErrStoreClosed → 503, ErrSaturated → 503 +
+// Retry-After, ErrUnknownAlgorithm → 400, ErrBuildPanic → 500,
+// context.DeadlineExceeded → 504).
+var (
+	// ErrNotLoaded is wrapped by errors for names without a catalog
+	// entry (never loaded, or removed).
+	ErrNotLoaded = errors.New("graph not loaded")
+	// ErrStoreClosed is wrapped by errors from Load/Rebuild/Acquire on a
+	// closed Store — a shutting-down server, not a missing graph.
+	ErrStoreClosed = errors.New("store closed")
+	// ErrSaturated is wrapped by build errors when the admission gate is
+	// full and a slot did not free up within the configured queue wait.
+	// Only builds are shed; Acquire and queries are never gated.
+	ErrSaturated = errors.New("build admission queue saturated")
 )
 
 // Snapshot is one immutable version of a served graph: the graph, its
@@ -73,11 +93,36 @@ func (s *Snapshot) Release() {
 // recomputation (rebuilds of the same name serialize; different names
 // rebuild concurrently within the worker budget).
 //
+// # Fault tolerance
+//
+// The Store degrades instead of dying. A build that fails — an engine
+// panic (captured and converted to an error), an injected fault, a
+// cancellation or an expired deadline — leaves the entry's last-good
+// snapshot in place: queries keep answering from the previous version
+// while the per-entry failure state (consecutive failures, last error
+// and time; see Status and StoreStats) records the problem until a
+// successful build clears it. Builds are bounded three ways: the
+// caller's context cancels cooperatively through the whole pipeline, a
+// configured BuildTimeout caps every build, and an admission gate sheds
+// builds with ErrSaturated once MaxConcurrentBuilds are in flight and a
+// slot does not free within BuildQueueWait. The Acquire→query→Release
+// path takes none of these locks or gates — queries are never shed.
+//
 // All methods are safe for concurrent use. The zero value is not usable;
-// construct with NewStore.
+// construct with NewStore or NewStoreWithConfig.
 type Store struct {
 	runner *Runner
 	live   atomic.Int64 // snapshots with at least one outstanding reference
+
+	// Admission gate (nil sem = unbounded): build slots are acquired
+	// before any per-entry serialization so saturation is detected — and
+	// shed — up front instead of deep in a lock queue.
+	buildSem     chan struct{}
+	queueWait    time.Duration
+	buildTimeout time.Duration
+
+	inFlight   atomic.Int64 // builds currently executing on the Runner
+	buildFails atomic.Int64 // cumulative failed builds since creation
 
 	mu     sync.RWMutex
 	byName map[string]*storeEntry
@@ -85,28 +130,125 @@ type Store struct {
 }
 
 type storeEntry struct {
-	buildMu sync.Mutex // serializes (re)builds of this name
-	removed bool       // guarded by buildMu
+	// sem is a 1-slot semaphore serializing (re)builds of this name — a
+	// mutex whose Lock can be abandoned when the build's context is
+	// canceled while waiting (a plain sync.Mutex cannot).
+	sem     chan struct{}
+	removed bool // guarded by sem
 	version atomic.Int64
 	cur     atomic.Pointer[Snapshot]
+
+	// Failure state, guarded by failMu (read by Stats/Status while a
+	// build holds sem).
+	failMu    sync.Mutex
+	fails     int
+	lastErr   string
+	lastErrAt time.Time
+}
+
+func newStoreEntry() *storeEntry {
+	return &storeEntry{sem: make(chan struct{}, 1)}
+}
+
+func (en *storeEntry) lock() { en.sem <- struct{}{} }
+
+// lockCtx acquires the build lock unless ctx is done first.
+func (en *storeEntry) lockCtx(ctx context.Context) error {
+	select {
+	case en.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case en.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (en *storeEntry) unlock() { <-en.sem }
+
+func (en *storeEntry) recordFailure(err error) {
+	en.failMu.Lock()
+	en.fails++
+	en.lastErr = err.Error()
+	en.lastErrAt = time.Now()
+	en.failMu.Unlock()
+}
+
+func (en *storeEntry) clearFailure() {
+	en.failMu.Lock()
+	en.fails = 0
+	en.lastErr = ""
+	en.lastErrAt = time.Time{}
+	en.failMu.Unlock()
+}
+
+// failure returns the entry's failure state.
+func (en *storeEntry) failure() (int, string, time.Time) {
+	en.failMu.Lock()
+	defer en.failMu.Unlock()
+	return en.fails, en.lastErr, en.lastErrAt
+}
+
+// StoreConfig tunes a Store's fault-tolerance envelope; the zero value
+// of every field selects the permissive default (NewStore's behavior).
+type StoreConfig struct {
+	// Workers is the Runner worker budget shared by all builds
+	// (< 1 selects GOMAXPROCS).
+	Workers int
+	// MaxConcurrentBuilds bounds builds in flight across all names
+	// (0 = unbounded). Builds beyond the bound wait up to BuildQueueWait
+	// for a slot, then fail wrapping ErrSaturated.
+	MaxConcurrentBuilds int
+	// BuildQueueWait is how long an admitted-over-capacity build may
+	// wait for a slot before being shed (0 = shed immediately when
+	// saturated). Only meaningful with MaxConcurrentBuilds > 0.
+	BuildQueueWait time.Duration
+	// BuildTimeout caps every build (0 = none); it composes with — never
+	// extends — the caller's context deadline. An over-deadline build is
+	// cooperatively canceled, frees its admission slot, and leaves the
+	// entry serving its last-good snapshot.
+	BuildTimeout time.Duration
 }
 
 // NewStore returns a Store whose rebuilds share a Runner with workers-1
-// pool goroutines (workers < 1 selects GOMAXPROCS). Close releases them.
+// pool goroutines (workers < 1 selects GOMAXPROCS), with no admission
+// bound and no build timeout. Close releases the workers.
 func NewStore(workers int) *Store {
-	return &Store{runner: NewRunner(workers), byName: map[string]*storeEntry{}}
+	return NewStoreWithConfig(StoreConfig{Workers: workers})
+}
+
+// NewStoreWithConfig returns a Store with the given fault-tolerance
+// configuration; see StoreConfig.
+func NewStoreWithConfig(cfg StoreConfig) *Store {
+	s := &Store{
+		runner:       NewRunner(cfg.Workers),
+		byName:       map[string]*storeEntry{},
+		queueWait:    cfg.BuildQueueWait,
+		buildTimeout: cfg.BuildTimeout,
+	}
+	if cfg.MaxConcurrentBuilds > 0 {
+		s.buildSem = make(chan struct{}, cfg.MaxConcurrentBuilds)
+	}
+	return s
 }
 
 // Runner returns the Store's Runner, for callers that want to share its
 // worker budget for ad-hoc decompositions.
 func (s *Store) Runner() *Runner { return s.runner }
 
+func notLoadedErr(name string) error {
+	return fmt.Errorf("fastbcc: graph %q: %w", name, ErrNotLoaded)
+}
+
 func (s *Store) lookup(name string) (*storeEntry, error) {
 	s.mu.RLock()
 	en := s.byName[name]
 	s.mu.RUnlock()
 	if en == nil {
-		return nil, fmt.Errorf("fastbcc: graph %q not loaded", name)
+		return nil, notLoadedErr(name)
 	}
 	return en, nil
 }
@@ -114,48 +256,123 @@ func (s *Store) lookup(name string) (*storeEntry, error) {
 // Load computes the decomposition and index of g and installs it as the
 // current snapshot of name (creating or replacing the entry). It returns
 // the new snapshot retained for the caller: Release it when done.
-func (s *Store) Load(name string, g *Graph, opts *Options) (*Snapshot, error) {
+//
+// The build observes ctx cooperatively: canceling it (or exceeding its
+// deadline, or the Store's BuildTimeout) abandons the build, frees its
+// admission slot, and leaves the entry's previous snapshot — if any —
+// serving. A failed build records per-entry failure state (see Status).
+func (s *Store) Load(ctx context.Context, name string, g *Graph, opts *Options) (*Snapshot, error) {
+	en, err := s.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.build(ctx, en, name, g, opts)
+}
+
+// entry returns name's catalog entry, creating it if absent.
+func (s *Store) entry(name string) (*storeEntry, error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("fastbcc: store is closed")
+		return nil, fmt.Errorf("fastbcc: %w", ErrStoreClosed)
 	}
 	en := s.byName[name]
 	if en == nil {
-		en = &storeEntry{}
+		en = newStoreEntry()
 		s.byName[name] = en
 	}
-	s.mu.Unlock()
-	return s.build(en, name, g, opts)
+	return en, nil
 }
 
 // Rebuild recomputes the current graph of name into a new snapshot
 // version (for example after tuning Options, or with a different
 // opts.Algorithm to switch engines; an empty Algorithm keeps the entry's
 // current one). It returns the new snapshot retained for the caller:
-// Release it when done.
-func (s *Store) Rebuild(name string, opts *Options) (*Snapshot, error) {
+// Release it when done. Cancellation, timeout, admission, and failure
+// recording behave exactly as in Load.
+func (s *Store) Rebuild(ctx context.Context, name string, opts *Options) (*Snapshot, error) {
 	en, err := s.lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	return s.build(en, name, nil, opts)
+	return s.build(ctx, en, name, nil, opts)
+}
+
+// admit takes an admission slot, waiting up to queueWait when the gate
+// is full; the caller must release the slot. A nil gate admits freely.
+func (s *Store) admit(ctx context.Context) error {
+	if s.buildSem == nil {
+		return nil
+	}
+	select {
+	case s.buildSem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.queueWait <= 0 {
+		return fmt.Errorf("fastbcc: %w", ErrSaturated)
+	}
+	t := time.NewTimer(s.queueWait)
+	defer t.Stop()
+	select {
+	case s.buildSem <- struct{}{}:
+		return nil
+	case <-t.C:
+		return fmt.Errorf("fastbcc: %w (no slot freed in %v)", ErrSaturated, s.queueWait)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Store) releaseSlot() {
+	if s.buildSem != nil {
+		<-s.buildSem
+	}
 }
 
 // build computes and installs one snapshot version. g == nil reuses the
-// entry's current graph (Rebuild); the read happens under buildMu so a
-// concurrent Load's replacement graph is not lost. An unknown
-// opts.Algorithm is an error (no snapshot is installed). An empty one
-// selects the entry's current algorithm on rebuilds — so a rebuild
-// sticks with the engine the graph was loaded with — but the documented
-// default engine on loads, including loads that replace an existing
-// entry.
-func (s *Store) build(en *storeEntry, name string, g *Graph, opts *Options) (*Snapshot, error) {
-	en.buildMu.Lock()
-	defer en.buildMu.Unlock()
-	if en.removed {
-		return nil, fmt.Errorf("fastbcc: graph %q not loaded", name)
+// entry's current graph (Rebuild); the read happens under the entry's
+// build lock so a concurrent Load's replacement graph is not lost. An
+// unknown opts.Algorithm is an error (no snapshot is installed). An
+// empty one selects the entry's current algorithm on rebuilds — so a
+// rebuild sticks with the engine the graph was loaded with — but the
+// documented default engine on loads, including loads that replace an
+// existing entry.
+func (s *Store) build(ctx context.Context, en *storeEntry, name string, g *Graph, opts *Options) (*Snapshot, error) {
+	// Admission first: saturation is detected ahead of any per-entry
+	// lock queue, so a shed build never holds anything.
+	if err := s.admit(ctx); err != nil {
+		return nil, err
 	}
+	defer s.releaseSlot()
+	if s.buildTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.buildTimeout)
+		defer cancel()
+	}
+	for {
+		if err := en.lockCtx(ctx); err != nil {
+			return nil, err
+		}
+		if !en.removed {
+			break
+		}
+		// The entry retired between our lookup and taking its lock (a
+		// concurrent Remove or Close). A Rebuild of a removed name
+		// correctly fails; a Load must (re)create the entry — erroring
+		// here was the historical Load-vs-Remove race — so re-resolve
+		// the name and retry on the fresh entry.
+		en.unlock()
+		if g == nil {
+			return nil, notLoadedErr(name)
+		}
+		var err error
+		en, err = s.entry(name)
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer en.unlock()
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -163,7 +380,7 @@ func (s *Store) build(en *storeEntry, name string, g *Graph, opts *Options) (*Sn
 	cur := en.cur.Load()
 	if g == nil {
 		if cur == nil {
-			return nil, fmt.Errorf("fastbcc: graph %q not loaded", name)
+			return nil, notLoadedErr(name)
 		}
 		g = cur.Graph
 		if o.Algorithm == "" {
@@ -176,10 +393,19 @@ func (s *Store) build(en *storeEntry, name string, g *Graph, opts *Options) (*Sn
 	}
 	o.Algorithm = algo
 	t0 := time.Now()
-	res, idx, err := s.runner.buildIndex(g, &o)
+	s.inFlight.Add(1)
+	res, idx, err := s.runner.buildIndex(ctx, g, &o)
+	s.inFlight.Add(-1)
 	if err != nil {
+		// The build itself failed (panic, cancellation, deadline,
+		// injected fault, engine error): record it on the entry — the
+		// last-good snapshot, if any, keeps serving — and count it
+		// store-wide.
+		en.recordFailure(err)
+		s.buildFails.Add(1)
 		return nil, err
 	}
+	en.clearFailure()
 	snap := &Snapshot{
 		Name:      name,
 		Version:   en.version.Add(1),
@@ -201,7 +427,8 @@ func (s *Store) build(en *storeEntry, name string, g *Graph, opts *Options) (*Sn
 
 // Acquire retains and returns the current snapshot of name. The caller
 // must Release it; until then the snapshot stays valid even if a rebuild
-// supersedes it.
+// supersedes it. Acquire never blocks on builds, admission, or failure
+// handling — it is the untouched query hot path.
 func (s *Store) Acquire(name string) (*Snapshot, error) {
 	en, err := s.lookup(name)
 	if err != nil {
@@ -210,7 +437,7 @@ func (s *Store) Acquire(name string) (*Snapshot, error) {
 	for {
 		snap := en.cur.Load()
 		if snap == nil {
-			return nil, fmt.Errorf("fastbcc: graph %q not loaded", name)
+			return nil, notLoadedErr(name)
 		}
 		if snap.tryRetain() {
 			return snap, nil
@@ -228,17 +455,17 @@ func (s *Store) Remove(name string) error {
 	delete(s.byName, name)
 	s.mu.Unlock()
 	if en == nil {
-		return fmt.Errorf("fastbcc: graph %q not loaded", name)
+		return notLoadedErr(name)
 	}
 	s.retire(en)
 	return nil
 }
 
 func (s *Store) retire(en *storeEntry) {
-	en.buildMu.Lock()
+	en.lock()
 	en.removed = true
 	old := en.cur.Swap(nil)
-	en.buildMu.Unlock()
+	en.unlock()
 	if old != nil {
 		old.Release()
 	}
@@ -256,6 +483,47 @@ func (s *Store) Names() []string {
 	return out
 }
 
+// GraphStatus is the per-entry health record Status reports: the
+// serving version plus the failure state fault-tolerant rebuilds
+// maintain.
+type GraphStatus struct {
+	// Name is the catalog name.
+	Name string
+	// Loaded reports whether the entry currently serves a snapshot. An
+	// entry can exist unloaded when its initial build failed — the
+	// failure fields say why.
+	Loaded bool
+	// Version is the serving snapshot's version (0 when not Loaded).
+	Version int64
+	// Algorithm is the serving snapshot's engine ("" when not Loaded).
+	Algorithm string
+	// ConsecutiveFailures counts failed builds since the last success;
+	// 0 for a healthy entry. LastError/LastErrorAt describe the most
+	// recent failure and are cleared by the next successful build.
+	ConsecutiveFailures int
+	LastError           string
+	LastErrorAt         time.Time
+}
+
+// Status reports the health of name's entry: the serving version and
+// the failure state of recent builds. Unlike Acquire it succeeds for an
+// entry whose builds have all failed (Loaded false), which is how
+// operators see why a graph never came up.
+func (s *Store) Status(name string) (GraphStatus, error) {
+	en, err := s.lookup(name)
+	if err != nil {
+		return GraphStatus{}, err
+	}
+	st := GraphStatus{Name: name}
+	st.ConsecutiveFailures, st.LastError, st.LastErrorAt = en.failure()
+	if cur := en.cur.Load(); cur != nil {
+		st.Loaded = true
+		st.Version = cur.Version
+		st.Algorithm = cur.Algorithm
+	}
+	return st, nil
+}
+
 // StoreStats is a point-in-time gauge of the catalog.
 type StoreStats struct {
 	// Graphs is the number of loaded names.
@@ -267,25 +535,47 @@ type StoreStats struct {
 	// ByAlgorithm counts loaded graphs by the engine of their current
 	// snapshot.
 	ByAlgorithm map[string]int
+	// FailingGraphs counts entries whose most recent build failed
+	// (ConsecutiveFailures > 0); they keep serving their last-good
+	// snapshot, if any. Nonzero means the catalog is degraded.
+	FailingGraphs int
+	// BuildFailures is the cumulative count of failed builds (panics,
+	// cancellations, timeouts, engine errors) since the Store was
+	// created.
+	BuildFailures int64
+	// InFlightBuilds is the number of builds currently executing on the
+	// Runner (admitted, not yet finished).
+	InFlightBuilds int64
 }
 
 // Stats returns current catalog gauges.
 func (s *Store) Stats() StoreStats {
 	byAlgo := map[string]int{}
+	failing := 0
 	s.mu.RLock()
 	n := len(s.byName)
 	for _, en := range s.byName {
 		if cur := en.cur.Load(); cur != nil {
 			byAlgo[cur.Algorithm]++
 		}
+		if f, _, _ := en.failure(); f > 0 {
+			failing++
+		}
 	}
 	s.mu.RUnlock()
-	return StoreStats{Graphs: n, LiveSnapshots: s.live.Load(), ByAlgorithm: byAlgo}
+	return StoreStats{
+		Graphs:         n,
+		LiveSnapshots:  s.live.Load(),
+		ByAlgorithm:    byAlgo,
+		FailingGraphs:  failing,
+		BuildFailures:  s.buildFails.Load(),
+		InFlightBuilds: s.inFlight.Load(),
+	}
 }
 
 // Close retires every entry and releases the Store's workers. Snapshots
 // already acquired stay valid until released; Load/Rebuild/Acquire after
-// Close fail. Close is idempotent.
+// Close fail wrapping ErrStoreClosed. Close is idempotent.
 func (s *Store) Close() {
 	s.mu.Lock()
 	s.closed = true

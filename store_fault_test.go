@@ -1,0 +1,316 @@
+package fastbcc_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	fastbcc "repro"
+	"repro/internal/faultpoint"
+)
+
+// These tests drive the Store through the fault-injection points of the
+// build pipeline (internal/faultpoint) and assert the fault-tolerance
+// contract: a failed build never corrupts serving state, always releases
+// its admission slot, and is fully described by the entry's failure
+// state until a successful build clears it. All of them run under -race
+// in CI.
+
+// TestStorePanicIsolation: an engine panic becomes an error wrapping
+// ErrBuildPanic, the entry keeps serving the last-good snapshot at its
+// old version, the failure is visible in Status and Stats, and a
+// subsequent healthy rebuild clears it and bumps the version.
+func TestStorePanicIsolation(t *testing.T) {
+	defer faultpoint.Reset()
+	s := fastbcc.NewStore(2)
+	defer s.Close()
+	g := storeTestGraph(t)
+
+	snap, err := s.Load(context.Background(), "demo", g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := snap.Version
+	snap.Release()
+
+	faultpoint.ArmPanic(faultpoint.PanicInEngine)
+	_, err = s.Rebuild(context.Background(), "demo", nil)
+	if !errors.Is(err, fastbcc.ErrBuildPanic) {
+		t.Fatalf("rebuild with panicking engine = %v, want ErrBuildPanic", err)
+	}
+
+	// Last-good snapshot still serves, at the pre-failure version.
+	snap, err = s.Acquire("demo")
+	if err != nil {
+		t.Fatalf("Acquire after failed rebuild: %v", err)
+	}
+	if snap.Version != v1 {
+		t.Fatalf("serving version = %d, want last-good %d", snap.Version, v1)
+	}
+	if !snap.Index.Biconnected(0, 1) {
+		t.Fatal("last-good snapshot answers wrong")
+	}
+	snap.Release()
+
+	st, err := s.Status("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Loaded || st.Version != v1 {
+		t.Fatalf("Status = %+v, want Loaded v%d", st, v1)
+	}
+	if st.ConsecutiveFailures != 1 || !strings.Contains(st.LastError, "panicked") || st.LastErrorAt.IsZero() {
+		t.Fatalf("failure state = %+v, want 1 failure with panic error", st)
+	}
+	if gs := s.Stats(); gs.FailingGraphs != 1 || gs.BuildFailures != 1 {
+		t.Fatalf("Stats = %+v, want FailingGraphs=1 BuildFailures=1", gs)
+	}
+
+	// Recovery: the next healthy build clears the failure state.
+	faultpoint.Reset()
+	snap, err = s.Rebuild(context.Background(), "demo", nil)
+	if err != nil {
+		t.Fatalf("rebuild after disarm: %v", err)
+	}
+	if snap.Version != v1+1 {
+		t.Fatalf("recovered version = %d, want %d", snap.Version, v1+1)
+	}
+	snap.Release()
+	st, _ = s.Status("demo")
+	if st.ConsecutiveFailures != 0 || st.LastError != "" || !st.LastErrorAt.IsZero() {
+		t.Fatalf("failure state after recovery = %+v, want clear", st)
+	}
+	if gs := s.Stats(); gs.FailingGraphs != 0 || gs.BuildFailures != 1 {
+		t.Fatalf("Stats after recovery = %+v, want FailingGraphs=0 BuildFailures=1 (cumulative)", gs)
+	}
+}
+
+// TestStoreFailedInitialLoad: an entry whose first build fails exists in
+// the catalog unloaded — Acquire fails with ErrNotLoaded but Status
+// reports why — and a retry brings it up normally.
+func TestStoreFailedInitialLoad(t *testing.T) {
+	defer faultpoint.Reset()
+	s := fastbcc.NewStore(2)
+	defer s.Close()
+	g := storeTestGraph(t)
+
+	faultpoint.ArmError(faultpoint.ErrorInBuild, 0)
+	if _, err := s.Load(context.Background(), "demo", g, nil); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("Load with injected error = %v, want ErrInjected", err)
+	}
+	if _, err := s.Acquire("demo"); !errors.Is(err, fastbcc.ErrNotLoaded) {
+		t.Fatalf("Acquire of never-built entry = %v, want ErrNotLoaded", err)
+	}
+	st, err := s.Status("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Loaded || st.ConsecutiveFailures != 1 {
+		t.Fatalf("Status = %+v, want unloaded with 1 failure", st)
+	}
+
+	faultpoint.Reset()
+	snap, err := s.Load(context.Background(), "demo", g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Release()
+	if st, _ = s.Status("demo"); !st.Loaded || st.ConsecutiveFailures != 0 {
+		t.Fatalf("Status after retry = %+v, want loaded and clear", st)
+	}
+}
+
+// TestStoreBuildTimeout: a build past the store's BuildTimeout is
+// cooperatively canceled — the pipeline observes the cancellation (the
+// CancelObserved point fires), the error is DeadlineExceeded, and the
+// admission slot is freed so the next build proceeds.
+func TestStoreBuildTimeout(t *testing.T) {
+	defer faultpoint.Reset()
+	s := fastbcc.NewStoreWithConfig(fastbcc.StoreConfig{
+		Workers:             2,
+		MaxConcurrentBuilds: 1, // a leaked slot would wedge the store
+		BuildTimeout:        20 * time.Millisecond,
+	})
+	defer s.Close()
+	g := storeTestGraph(t)
+
+	faultpoint.ArmSleep(faultpoint.SlowBuild, time.Hour)
+	faultpoint.ArmObserve(faultpoint.CancelObserved)
+	if _, err := s.Load(context.Background(), "demo", g, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("over-deadline Load = %v, want DeadlineExceeded", err)
+	}
+	if faultpoint.Hits(faultpoint.CancelObserved) == 0 {
+		t.Fatal("cancellation was not observed inside the build pipeline")
+	}
+
+	// The slot must have been released: with the fault disarmed the next
+	// build on the 1-slot gate succeeds immediately.
+	faultpoint.Disarm(faultpoint.SlowBuild)
+	snap, err := s.Load(context.Background(), "demo", g, nil)
+	if err != nil {
+		t.Fatalf("Load after timed-out build: %v (admission slot leaked?)", err)
+	}
+	snap.Release()
+}
+
+// TestStoreCallerCancel: canceling the caller's context abandons the
+// build with context.Canceled.
+func TestStoreCallerCancel(t *testing.T) {
+	defer faultpoint.Reset()
+	s := fastbcc.NewStore(2)
+	defer s.Close()
+	g := storeTestGraph(t)
+
+	faultpoint.ArmSleep(faultpoint.SlowBuild, time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Load(ctx, "demo", g, nil)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the build reach the sleep
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled Load = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled build never returned")
+	}
+}
+
+// TestStoreSaturation: with the admission gate full and no queue wait,
+// further builds are shed with ErrSaturated — while queries against
+// already-loaded graphs keep being answered (they are never gated).
+func TestStoreSaturation(t *testing.T) {
+	defer faultpoint.Reset()
+	s := fastbcc.NewStoreWithConfig(fastbcc.StoreConfig{
+		Workers:             2,
+		MaxConcurrentBuilds: 1,
+		// BuildQueueWait 0: shed immediately when the gate is full.
+	})
+	defer s.Close()
+	g := storeTestGraph(t)
+
+	snap, err := s.Load(context.Background(), "served", g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Release()
+
+	// Park a build in the gate's only slot.
+	faultpoint.ArmSleep(faultpoint.SlowBuild, time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	slow := make(chan error, 1)
+	go func() {
+		_, err := s.Load(ctx, "slow", storeTestGraph(t), nil)
+		slow <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().InFlightBuilds == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow build never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := s.Load(context.Background(), "shed", storeTestGraph(t), nil); !errors.Is(err, fastbcc.ErrSaturated) {
+		t.Fatalf("Load on full gate = %v, want ErrSaturated", err)
+	}
+	if _, err := s.Rebuild(context.Background(), "served", nil); !errors.Is(err, fastbcc.ErrSaturated) {
+		t.Fatalf("Rebuild on full gate = %v, want ErrSaturated", err)
+	}
+
+	// Queries are never shed: the gate being full is invisible to them.
+	for i := 0; i < 100; i++ {
+		qs, err := s.Acquire("served")
+		if err != nil {
+			t.Fatalf("Acquire during saturation: %v", err)
+		}
+		if !qs.Index.Connected(0, 2) {
+			t.Fatal("query answered wrong during saturation")
+		}
+		qs.Release()
+	}
+
+	cancel()
+	if err := <-slow; !errors.Is(err, context.Canceled) {
+		t.Fatalf("parked build = %v, want context.Canceled", err)
+	}
+	// Slot released: builds are admitted again.
+	faultpoint.Reset()
+	snap, err = s.Rebuild(context.Background(), "served", nil)
+	if err != nil {
+		t.Fatalf("Rebuild after gate drained: %v", err)
+	}
+	snap.Release()
+	// The saturation failures were shed ahead of any build, so they must
+	// not have been recorded as build failures of their entries.
+	if st, _ := s.Status("served"); st.ConsecutiveFailures != 0 {
+		t.Fatalf("shed rebuild recorded a failure: %+v", st)
+	}
+}
+
+// TestStoreLoadRemoveRace: a Load racing a Remove of the same name must
+// land the load (recreating the entry), never error with "not loaded" —
+// the historical race where Load could observe the removed entry between
+// lookup and lock.
+func TestStoreLoadRemoveRace(t *testing.T) {
+	s := fastbcc.NewStore(2)
+	defer s.Close()
+	for i := 0; i < 200; i++ {
+		g := storeTestGraph(t)
+		if snap, err := s.Load(context.Background(), "demo", g, nil); err != nil {
+			t.Fatal(err)
+		} else {
+			snap.Release()
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			s.Remove("demo")
+		}()
+		var loadErr error
+		go func() {
+			defer wg.Done()
+			snap, err := s.Load(context.Background(), "demo", g, nil)
+			if err != nil {
+				loadErr = err
+				return
+			}
+			snap.Release()
+		}()
+		wg.Wait()
+		if loadErr != nil {
+			t.Fatalf("iteration %d: Load racing Remove failed: %v", i, loadErr)
+		}
+		// Whatever the interleaving, the load won an entry at some point;
+		// if Remove ran second the name is gone, if it ran first the
+		// loaded entry survives. Both are fine — only a Load error is not.
+		s.Remove("demo")
+	}
+}
+
+// TestStoreSentinels: the exported error sentinels classify every
+// Store-level failure.
+func TestStoreSentinels(t *testing.T) {
+	s := fastbcc.NewStore(2)
+	if _, err := s.Acquire("ghost"); !errors.Is(err, fastbcc.ErrNotLoaded) {
+		t.Fatalf("Acquire(ghost) = %v, want ErrNotLoaded", err)
+	}
+	if _, err := s.Rebuild(context.Background(), "ghost", nil); !errors.Is(err, fastbcc.ErrNotLoaded) {
+		t.Fatalf("Rebuild(ghost) = %v, want ErrNotLoaded", err)
+	}
+	if _, err := s.Status("ghost"); !errors.Is(err, fastbcc.ErrNotLoaded) {
+		t.Fatalf("Status(ghost) = %v, want ErrNotLoaded", err)
+	}
+	s.Close()
+	if _, err := s.Load(context.Background(), "g", storeTestGraph(t), nil); !errors.Is(err, fastbcc.ErrStoreClosed) {
+		t.Fatalf("Load after Close = %v, want ErrStoreClosed", err)
+	}
+}

@@ -1,6 +1,7 @@
 package fastbcc_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestStoreLoadAcquireRebuild(t *testing.T) {
 	defer s.Close()
 	g := storeTestGraph(t)
 
-	snap, err := s.Load("demo", g, nil)
+	snap, err := s.Load(context.Background(), "demo", g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestStoreLoadAcquireRebuild(t *testing.T) {
 	}
 
 	// Rebuild swaps in version 2; the held version-1 snapshot stays valid.
-	snap2, err := s.Rebuild("demo", &fastbcc.Options{Seed: 99})
+	snap2, err := s.Rebuild(context.Background(), "demo", &fastbcc.Options{Seed: 99})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestStoreLoadAcquireRebuild(t *testing.T) {
 	if _, err := s.Acquire("demo"); err == nil {
 		t.Fatal("acquire after remove must fail")
 	}
-	if _, err := s.Rebuild("demo", nil); err == nil {
+	if _, err := s.Rebuild(context.Background(), "demo", nil); err == nil {
 		t.Fatal("rebuild after remove must fail")
 	}
 	if st := s.Stats(); st.Graphs != 0 || st.LiveSnapshots != 0 {
@@ -93,7 +94,7 @@ func TestStoreErrors(t *testing.T) {
 	}
 	s.Close()
 	s.Close() // idempotent
-	if _, err := s.Load("demo", storeTestGraph(t), nil); err == nil {
+	if _, err := s.Load(context.Background(), "demo", storeTestGraph(t), nil); err == nil {
 		t.Fatal("load after close must fail")
 	}
 }
@@ -106,7 +107,7 @@ func TestStoreConcurrentServing(t *testing.T) {
 	s := fastbcc.NewStore(4)
 	defer s.Close()
 	g := storeTestGraph(t)
-	if snap, err := s.Load("demo", g, nil); err != nil {
+	if snap, err := s.Load(context.Background(), "demo", g, nil); err != nil {
 		t.Fatal(err)
 	} else {
 		snap.Release()
@@ -123,9 +124,9 @@ func TestStoreConcurrentServing(t *testing.T) {
 				var err error
 				var snap *fastbcc.Snapshot
 				if i%2 == 0 {
-					snap, err = s.Rebuild("demo", &fastbcc.Options{Seed: seed + uint64(i), Threads: 2})
+					snap, err = s.Rebuild(context.Background(), "demo", &fastbcc.Options{Seed: seed + uint64(i), Threads: 2})
 				} else {
-					snap, err = s.Load("demo", g, &fastbcc.Options{Seed: seed + uint64(i)})
+					snap, err = s.Load(context.Background(), "demo", g, &fastbcc.Options{Seed: seed + uint64(i)})
 				}
 				if err != nil {
 					errs <- err
