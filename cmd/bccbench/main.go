@@ -14,7 +14,10 @@
 //	bccbench -exp tab2 -graphs SQR,REC,Chn7
 //	bccbench -micro BENCH_N.json       # hot-path micro-benchmarks -> JSON report
 //	bccbench -micro BENCH_N.json -algo fast,seq   # engine matrix subset
-//	bccbench -qbench -scale small      # online query throughput (Store/Index serving path)
+//	bccbench -qbench -scale small      # serving-path query throughput: store +
+//	                                   # HTTP, scalar + batch (JSON and binary),
+//	                                   # under concurrent rebuild churn
+//	bccbench -qbench -qbatch 512 -micro BENCH_N.json  # record qbench in the report
 //	bccbench -exp tab2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -37,7 +40,8 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress output")
 	micro := flag.String("micro", "", "run the hot-path micro-benchmarks and write a BENCH_*.json report to this path")
 	algo := flag.String("algo", "", "comma-separated engine subset for the -micro engine matrix (default: every registered engine)")
-	qbench := flag.Bool("qbench", false, "measure online query throughput through the Store/Index serving path")
+	qbench := flag.Bool("qbench", false, "measure online query throughput through the serving stack (store + HTTP, scalar + batch); combine with -micro to record it in the JSON report")
+	qbatch := flag.Int("qbatch", 256, "queries per batch request in -qbench")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file (go tool pprof)")
 	flag.Parse()
@@ -73,8 +77,8 @@ func main() {
 		}()
 	}
 
-	if *qbench {
-		bench.RunQueryThroughput(bench.ParseScale(*scale), os.Stdout)
+	if *qbench && *micro == "" {
+		bench.RunQueryThroughput(bench.ParseScale(*scale), *qbatch, os.Stdout)
 		return
 	}
 
@@ -89,6 +93,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bccbench: %v\n", err)
 			os.Exit(2)
+		}
+		if *qbench {
+			rep.QBench = bench.RunQueryThroughput(bench.ParseScale(*scale), *qbatch, os.Stderr)
 		}
 		if err := rep.WriteJSON(*micro); err != nil {
 			fmt.Fprintf(os.Stderr, "bccbench: %v\n", err)

@@ -24,11 +24,21 @@
 //	                                         keeps the entry's current one
 //	DELETE /v1/graphs/{name}                 drop the graph
 //	GET    /v1/graphs/{name}/query/{op}?u=&v=[&x=][&list=1]
+//	POST   /v1/graphs/{name}/query/batch     answer N queries in one request:
+//	                                         {"queries":[{"op":"connected",
+//	                                         "u":0,"v":6},...],"timeout_ms":50}
+//	                                         or, with Content-Type
+//	                                         application/x-fastbcc-batch, a
+//	                                         binary frame (13 bytes/query,
+//	                                         4 bytes/answer; see internal/wire)
 //
 // Query ops: connected, biconnected, twoecc (2-edge-connected),
 // separates (does removing x disconnect u from v), cuts (articulation
 // points between u and v; list=1 enumerates them), bridges (bridges
-// every u-v route crosses; list=1 enumerates them).
+// every u-v route crosses; list=1 enumerates them). A batch answers all
+// its queries from one snapshot version under a single epoch
+// reservation; the response encoding follows the request's Content-Type
+// unless Accept names the other one.
 //
 // Every graph is served by the engine its snapshot was built with: the
 // paper's FAST-BCC by default, or any registered baseline (seq, gbbs,
@@ -85,6 +95,7 @@ import (
 	"time"
 
 	fastbcc "repro"
+	"repro/internal/bccdhttp"
 	"repro/internal/faultpoint"
 )
 
@@ -139,7 +150,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(store, *debugFaults),
+		Handler: bccdhttp.NewHandler(store, *debugFaults),
 		// Slow-client protection: a peer that dribbles its headers or
 		// body cannot pin a connection forever. Write timeouts are left
 		// off — load/rebuild responses legitimately take as long as the

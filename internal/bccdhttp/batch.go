@@ -1,0 +1,207 @@
+package bccdhttp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	fastbcc "repro"
+	"repro/internal/wire"
+)
+
+// POST /v1/graphs/{name}/query/batch answers N scalar queries in one
+// request: one snapshot reservation (an epoch pin on a pooled handle —
+// no shared-memory RMW), one version, N answers. Two encodings are
+// negotiated by Content-Type:
+//
+//   - application/json (default):
+//     {"queries":[{"op":"connected","u":0,"v":6},...],"timeout_ms":50}
+//     → {"graph":..,"version":..,"count":N,"answers":[1,0,...]}
+//   - application/x-fastbcc-batch: a binary wire frame (package wire);
+//     13 bytes per query, 4 per answer, zero per-query allocations.
+//
+// The response encoding follows the request's, unless an Accept header
+// names the other one (a binary request with "Accept: application/json"
+// gets a JSON answer — how the CI smoke test diffs binary batches
+// against the scalar endpoints). Answers are int32s: 0/1 for the
+// boolean ops, counts for cuts/bridges. Errors are always JSON, with
+// the scalar endpoints' status mapping plus 504 for a batch that
+// exceeds its timeout_ms (accepted in the JSON body or, for binary
+// requests, as a ?timeout_ms= query parameter).
+//
+// The whole batch answers from one snapshot version — a batch racing a
+// rebuild never mixes versions — and fails atomically: an invalid query
+// fails the batch with its index, no partial answers.
+
+// batchScratch is the pooled per-request state of the batch endpoint.
+type batchScratch struct {
+	qs  []fastbcc.Query
+	as  []fastbcc.Answer
+	buf []byte
+	h   *fastbcc.Handle
+}
+
+// jsonQuery is one query in the JSON batch encoding.
+type jsonQuery struct {
+	Op string `json:"op"`
+	U  int32  `json:"u"`
+	V  int32  `json:"v"`
+	X  int32  `json:"x"`
+}
+
+type jsonBatchRequest struct {
+	Queries   []jsonQuery `json:"queries"`
+	TimeoutMS int         `json:"timeout_ms"`
+}
+
+type jsonBatchResponse struct {
+	Graph   string           `json:"graph"`
+	Version int64            `json:"version"`
+	Count   int              `json:"count"`
+	Answers []fastbcc.Answer `json:"answers"`
+}
+
+// wantsBinary decides the response encoding: an explicit Accept for
+// either type wins, otherwise the response mirrors the request.
+func wantsBinary(r *http.Request, binaryReq bool) bool {
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, wire.ContentType):
+		return true
+	case strings.Contains(accept, "application/json"):
+		return false
+	}
+	return binaryReq
+}
+
+func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sc := s.scratch.Get().(*batchScratch)
+	defer s.scratch.Put(sc)
+
+	binaryReq := strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType)
+	timeoutMS := 0
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if binaryReq {
+		var err error
+		sc.qs, err = wire.ReadRequest(body, sc.qs)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, wire.ErrTooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, status, "%v", err)
+			return
+		}
+	} else {
+		var req jsonBatchRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		if len(req.Queries) > wire.MaxQueries {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"batch of %d queries exceeds limit %d", len(req.Queries), wire.MaxQueries)
+			return
+		}
+		timeoutMS = req.TimeoutMS
+		sc.qs = sc.qs[:0]
+		for i, jq := range req.Queries {
+			op, err := fastbcc.ParseQueryOp(jq.Op)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "query %d: %v", i, err)
+				return
+			}
+			sc.qs = append(sc.qs, fastbcc.Query{Op: op, U: jq.U, V: jq.V, X: jq.X})
+		}
+	}
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, "bad timeout_ms %q", raw)
+			return
+		}
+		timeoutMS = ms
+	}
+
+	ctx := r.Context()
+	if timeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	// One reservation for the whole batch, on the pooled epoch handle.
+	if sc.h == nil {
+		sc.h = s.store.NewHandle()
+	}
+	snap, err := sc.h.Acquire(name)
+	if err != nil {
+		status := http.StatusNotFound
+		if errors.Is(err, fastbcc.ErrStoreClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	defer sc.h.Release()
+
+	// Reordered graphs: translate client ids to served ids in place (we
+	// own the decoded slice). Scalar answers need no inverse map. The
+	// translation indexes fwd, so it bounds-checks first — the engine
+	// only validates what it executes.
+	if vm := s.remapFor(snap); vm != nil {
+		n := uint32(len(vm.fwd))
+		for i := range sc.qs {
+			q := &sc.qs[i]
+			if uint32(q.U) >= n || uint32(q.V) >= n {
+				writeError(w, http.StatusBadRequest,
+					"query %d: vertex out of range [0,%d)", i, n)
+				return
+			}
+			q.U, q.V = vm.fwd[q.U], vm.fwd[q.V]
+			if q.Op == fastbcc.OpSeparates {
+				if uint32(q.X) >= n {
+					writeError(w, http.StatusBadRequest,
+						"query %d: vertex x=%d out of range [0,%d)", i, q.X, n)
+					return
+				}
+				q.X = vm.fwd[q.X]
+			}
+		}
+	}
+
+	sc.as, err = snap.QueryBatch(ctx, sc.qs, sc.as)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "batch exceeded its deadline: %v", err)
+		case errors.Is(err, context.Canceled):
+			writeError(w, statusClientClosedRequest, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+
+	if wantsBinary(r, binaryReq) {
+		sc.buf = wire.AppendResponse(sc.buf[:0], snap.Version, sc.as)
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(len(sc.buf)))
+		if _, err := w.Write(sc.buf); err != nil {
+			log.Printf("bccd: writing batch response: %v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, jsonBatchResponse{
+		Graph:   snap.Name,
+		Version: snap.Version,
+		Count:   len(sc.as),
+		Answers: sc.as,
+	})
+}

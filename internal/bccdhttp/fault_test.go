@@ -1,6 +1,8 @@
-package main
+package bccdhttp
 
 import (
+	"bytes"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -9,6 +11,7 @@ import (
 
 	fastbcc "repro"
 	"repro/internal/faultpoint"
+	"repro/internal/wire"
 )
 
 // End-to-end fault-tolerance tests: the production handler over a Store
@@ -24,7 +27,7 @@ func faultServer(t *testing.T, cfg fastbcc.StoreConfig) (*httptest.Server, *fast
 		cfg.Workers = 2
 	}
 	store := fastbcc.NewStoreWithConfig(cfg)
-	srv := httptest.NewServer(newServer(store, true))
+	srv := httptest.NewServer(NewHandler(store, true))
 	t.Cleanup(func() {
 		faultpoint.Reset()
 		srv.Close()
@@ -220,5 +223,75 @@ func TestServerFaultEndpointGated(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("debug endpoint without -debug-faults: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerBatchServesLastGoodWhenDegraded: a batch against an entry
+// whose latest rebuild failed answers from the last-good snapshot at the
+// old version — batches degrade exactly like scalar queries.
+func TestServerBatchServesLastGoodWhenDegraded(t *testing.T) {
+	srv, _ := faultServer(t, fastbcc.StoreConfig{})
+	if code, body := do(t, http.MethodPut, srv.URL+"/v1/graphs/demo", barbell); code != http.StatusOK {
+		t.Fatalf("load: %d %v", code, body)
+	}
+
+	arm(t, srv, "build.panic-in-engine=panic")
+	if code, body := do(t, http.MethodPost, srv.URL+"/v1/graphs/demo/rebuild", ""); code != http.StatusInternalServerError {
+		t.Fatalf("rebuild with panicking engine: %d %v, want 500", code, body)
+	}
+
+	qs := []fastbcc.Query{
+		{Op: fastbcc.OpConnected, U: 0, V: 6},
+		{Op: fastbcc.OpBiconnected, U: 0, V: 6},
+		{Op: fastbcc.OpBridgesOnPath, U: 1, V: 5},
+	}
+	code, as, version := postBinaryBatch(t, srv, "demo", qs)
+	if code != http.StatusOK || version != 1 {
+		t.Fatalf("batch against degraded entry: %d v%d, want 200 from last-good v1", code, version)
+	}
+	if as[0] != 1 || as[1] != 0 || as[2] != 1 {
+		t.Fatalf("batch answers from last-good snapshot: %v", as)
+	}
+
+	disarm(t, srv)
+	if code, body := do(t, http.MethodPost, srv.URL+"/v1/graphs/demo/rebuild", ""); code != http.StatusOK {
+		t.Fatalf("recovery rebuild: %d %v", code, body)
+	}
+	if _, _, version := postBinaryBatch(t, srv, "demo", qs); version != 2 {
+		t.Fatalf("batch after recovery answers v%d, want v2", version)
+	}
+}
+
+// TestServerBatchTimeout: a batch past its timeout_ms comes back 504
+// (the query.slow point simulates a pathologically large batch), and
+// scalar queries — and batches without the fault — keep working.
+func TestServerBatchTimeout(t *testing.T) {
+	srv, _ := faultServer(t, fastbcc.StoreConfig{})
+	if code, body := do(t, http.MethodPut, srv.URL+"/v1/graphs/demo", barbell); code != http.StatusOK {
+		t.Fatalf("load: %d %v", code, body)
+	}
+
+	arm(t, srv, "query.slow=sleep:1h")
+	code, body := postBatch(t, srv, "demo", `{"queries":[{"op":"connected","u":0,"v":6}],"timeout_ms":30}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("over-deadline JSON batch: %d %v, want 504", code, body)
+	}
+	// Binary requests carry the timeout as a query parameter.
+	frame := wire.AppendRequest(nil, []fastbcc.Query{{Op: fastbcc.OpConnected, U: 0, V: 6}})
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/graphs/demo/query/batch?timeout_ms=30", bytes.NewReader(frame))
+	req.Header.Set("Content-Type", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("over-deadline binary batch: %d, want 504", resp.StatusCode)
+	}
+
+	disarm(t, srv)
+	code, body = postBatch(t, srv, "demo", `{"queries":[{"op":"connected","u":0,"v":6}],"timeout_ms":1000}`)
+	if code != http.StatusOK || fmt.Sprint(body["answers"]) != "[1]" {
+		t.Fatalf("batch after disarm: %d %v", code, body)
 	}
 }

@@ -1,4 +1,10 @@
-package main
+// Package bccdhttp implements bccd's HTTP API around a fastbcc.Store:
+// graph lifecycle (load/rebuild/remove), scalar queries, batched queries
+// with JSON/binary content negotiation, health and stats, and the
+// optional fault-injection debug endpoints. It lives outside cmd/bccd so
+// tests and benchmarks (internal/bench's qbench) can drive the exact
+// production handler in-process.
+package bccdhttp
 
 import (
 	"context"
@@ -44,14 +50,22 @@ type server struct {
 	// answer from the transition window — never an out-of-range id.
 	mu     sync.RWMutex
 	remaps map[string]*vertexMap
+
+	// scratch pools per-request batch state: the decoded query and
+	// answer slices, the response frame buffer, and an epoch Handle, so
+	// a steady stream of binary batches allocates nothing per request on
+	// the store side. A pooled Handle dropped by the GC is never Closed;
+	// that leaks only its unpinned 128-byte slot in the epoch domain,
+	// which cannot block reclamation.
+	scratch sync.Pool
 }
 
-// newServer wires the JSON API around a Store. Exposed separately from
-// main so tests drive the exact production handler. debugFaults
-// additionally mounts the /debug/faultpoints endpoints (arming
-// fault-injection points over HTTP — test and smoke deployments only).
-func newServer(store *fastbcc.Store, debugFaults bool) http.Handler {
+// NewHandler wires the HTTP API around a Store. debugFaults additionally
+// mounts the /debug/faultpoints endpoints (arming fault-injection points
+// over HTTP — test and smoke deployments only).
+func NewHandler(store *fastbcc.Store, debugFaults bool) http.Handler {
 	s := &server{store: store, mux: http.NewServeMux(), remaps: map[string]*vertexMap{}}
+	s.scratch.New = func() any { return &batchScratch{} }
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
 	s.mux.HandleFunc("PUT /v1/graphs/{name}", s.handleLoad)
@@ -59,6 +73,7 @@ func newServer(store *fastbcc.Store, debugFaults bool) http.Handler {
 	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleRemove)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/rebuild", s.handleRebuild)
 	s.mux.HandleFunc("GET /v1/graphs/{name}/query/{op}", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/query/batch", s.handleQueryBatch)
 	if debugFaults {
 		s.mux.HandleFunc("GET /debug/faultpoints", s.handleFaultList)
 		s.mux.HandleFunc("PUT /debug/faultpoints", s.handleFaultSet)

@@ -1,4 +1,4 @@
-package main
+package bccdhttp
 
 import (
 	"encoding/json"
@@ -14,7 +14,7 @@ import (
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	store := fastbcc.NewStore(2)
-	srv := httptest.NewServer(newServer(store, false))
+	srv := httptest.NewServer(NewHandler(store, false))
 	t.Cleanup(func() {
 		srv.Close()
 		store.Close()

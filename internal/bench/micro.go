@@ -37,6 +37,10 @@ type MicroReport struct {
 	Note       string        `json:"note,omitempty"`
 	Results    []MicroResult `json:"results"`
 	Baseline   []MicroResult `json:"baseline,omitempty"`
+	// QBench is the serving-path throughput section (bccbench -qbench
+	// combined with -micro): batched and scalar query modes under
+	// rebuild churn, with latency percentiles and reclamation gauges.
+	QBench *QBenchReport `json:"qbench,omitempty"`
 }
 
 // RunMicro measures the hot paths the execution substrate optimizes: CSR

@@ -1,46 +1,180 @@
 package bench
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"testing"
 	"time"
 
 	fastbcc "repro"
+	"repro/internal/bccdhttp"
 	"repro/internal/gen"
+	"repro/internal/wire"
 )
 
-// RunQueryThroughput measures online query throughput through the full
-// serving path (Store snapshot acquire → Index query → release), the
-// workload cmd/bccd puts on the subsystem: GOMAXPROCS reader goroutines
-// fire mixed queries against one snapshot while a writer rebuilds it in
-// the background, demonstrating that queries never block recomputation.
-func RunQueryThroughput(sc Scale, out io.Writer) {
+// QBenchResult is one serving-path mode's measurement: requests/s and
+// queries/s under concurrent rebuild churn, request latency percentiles
+// from the same run, and allocations per request measured churn-free
+// (allocation counters are exact; mixing the churn writer's build
+// allocations into them would make the store paths' zeros unreadable).
+type QBenchResult struct {
+	// Name identifies the mode: store/scalar (CAS-refcount Acquire per
+	// query), store/batch (epoch handle + QueryBatch), http/json-scalar
+	// (one GET per query — the pre-batch client's path), http/json-batch,
+	// http/binary-batch (the wire protocol).
+	Name string `json:"name"`
+	// Queries is the scalar queries answered during the timed run;
+	// Requests is the serving round-trips that carried them (equal for
+	// scalar modes, Queries/batch for batch modes).
+	Queries  int64 `json:"queries"`
+	Requests int64 `json:"requests"`
+	// QueriesPerSec is the headline throughput under churn.
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	// P50/P99 are request latencies (a batch request is one sample).
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	// AllocsPerRequest is measured without churn on a single goroutine.
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+}
+
+// QBenchReport is the qbench section of BENCH_*.json.
+type QBenchReport struct {
+	Graph     string  `json:"graph"`
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	Readers   int     `json:"readers"`
+	BatchSize int     `json:"batch_size"`
+	ModeSecs  float64 `json:"mode_secs"`
+	// Rebuilds is the total rebuild-churn count across all modes; every
+	// rebuild retires a snapshot into the epoch domain mid-run.
+	Rebuilds int64 `json:"rebuilds"`
+	// LiveSnapshotHighWater is the maximum of the store's live-snapshot
+	// gauge observed by a 2ms sampler across the whole run — how deep
+	// the epoch-deferred reclamation ever got behind.
+	LiveSnapshotHighWater int64 `json:"live_snapshot_high_water"`
+	// LiveSnapshotsFinal is the gauge after the run quiesced (steady
+	// state is 1: just the current snapshot).
+	LiveSnapshotsFinal int64 `json:"live_snapshots_final"`
+	// BatchSpeedup is QueriesPerSec(http/binary-batch) over
+	// QueriesPerSec(http/json-scalar): what batching + the binary codec
+	// buy an HTTP client end to end.
+	BatchSpeedup float64        `json:"batch_speedup"`
+	Results      []QBenchResult `json:"results"`
+}
+
+// RunQueryThroughput measures online query throughput through the
+// serving stack at five points — store-direct scalar and batch, and
+// HTTP scalar-JSON, batch-JSON, batch-binary through the production
+// bccd handler — each under concurrent rebuild churn, demonstrating
+// that queries never block recomputation and quantifying what the
+// epoch/batch/wire path buys. batch is the queries per batch request
+// (<= 0 selects 256).
+func RunQueryThroughput(sc Scale, batch int, out io.Writer) *QBenchReport {
+	if batch <= 0 {
+		batch = 256
+	}
 	scale := pick(sc, 14, 16, 18)
 	g := gen.RMAT(scale, 8, 0xBC)
 	store := fastbcc.NewStore(0)
 	defer store.Close()
-	snap, err := store.Load(context.Background(), "bench", g, nil)
-	if err != nil {
+	if snap, err := store.Load(context.Background(), "bench", g, nil); err != nil {
 		fmt.Fprintf(out, "qbench: %v\n", err)
-		return
+		return nil
+	} else {
+		snap.Release()
 	}
-	snap.Release()
+	srv := httptest.NewServer(bccdhttp.NewHandler(store, false))
+	defer srv.Close()
 
-	readers := runtime.GOMAXPROCS(0)
-	fmt.Fprintf(out, "# query throughput: RMAT-%d-8 n=%d m=%d, %d reader goroutines, concurrent rebuilds\n",
-		scale, g.NumVertices(), g.NumEdges(), readers)
+	readers := min(runtime.GOMAXPROCS(0), 8)
+	rep := &QBenchReport{
+		Graph:     fmt.Sprintf("RMAT-%d-8", scale),
+		N:         g.NumVertices(),
+		M:         g.NumEdges(),
+		Readers:   readers,
+		BatchSize: batch,
+		ModeSecs:  float64(pick(sc, 1, 2, 3)),
+	}
+	fmt.Fprintf(out, "# qbench: %s n=%d m=%d, %d readers, batch=%d, concurrent rebuilds\n",
+		rep.Graph, rep.N, rep.M, readers, batch)
 
-	const opsPerReader = 1 << 19
-	run := func(name string, q func(idx *fastbcc.Index, u, v, x int32) bool) {
-		stop := make(chan struct{})
-		var rebuilds atomic.Int64
+	// The shared query stream: mixed ops, fixed endpoints, so every mode
+	// answers the same workload.
+	n := int32(g.NumVertices())
+	const qn = 1 << 12
+	qs := make([]fastbcc.Query, qn)
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() int32 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int32(rng % uint64(n))
+	}
+	for i := range qs {
+		qs[i] = fastbcc.Query{Op: fastbcc.OpConnected + fastbcc.QueryOp(i%6), U: next(), V: next(), X: next()}
+	}
+	// Pre-encoded request bodies and URLs, so the client side of the
+	// HTTP modes is I/O, not encoding.
+	nChunks := qn / batch
+	binFrames := make([][]byte, nChunks)
+	jsonBodies := make([][]byte, nChunks)
+	for c := 0; c < nChunks; c++ {
+		chunk := qs[c*batch : (c+1)*batch]
+		binFrames[c] = wire.AppendRequest(nil, chunk)
+		var b bytes.Buffer
+		b.WriteString(`{"queries":[`)
+		for i, q := range chunk {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `{"op":%q,"u":%d,"v":%d,"x":%d}`, q.Op, q.U, q.V, q.X)
+		}
+		b.WriteString(`]}`)
+		jsonBodies[c] = b.Bytes()
+	}
+	scalarURLs := make([]string, qn)
+	for i, q := range qs {
+		u := fmt.Sprintf("%s/v1/graphs/bench/query/%s?u=%d&v=%d", srv.URL, q.Op, q.U, q.V)
+		if q.Op == fastbcc.OpSeparates {
+			u += fmt.Sprintf("&x=%d", q.X)
+		}
+		scalarURLs[i] = u
+	}
+
+	// Run-wide samplers: rebuild churn is started per timed mode; the
+	// live-snapshot sampler watches the entire run.
+	var highWater atomic.Int64
+	sampleStop := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleStop:
+				return
+			case <-tick.C:
+				if live := store.Stats().LiveSnapshots; live > highWater.Load() {
+					highWater.Store(live)
+				}
+			}
+		}
+	}()
+
+	churn := func(stop chan struct{}) *sync.WaitGroup {
 		var wg sync.WaitGroup
 		wg.Add(1)
-		go func() { // background writer: the serving pattern under churn
+		go func() {
 			defer wg.Done()
 			for seed := uint64(1); ; seed++ {
 				select {
@@ -50,52 +184,189 @@ func RunQueryThroughput(sc Scale, out io.Writer) {
 				}
 				if s, err := store.Rebuild(context.Background(), "bench", &fastbcc.Options{Seed: seed}); err == nil {
 					s.Release()
-					rebuilds.Add(1)
+					rep.Rebuilds++
 				}
 			}
 		}()
-		var hits atomic.Int64
-		t0 := time.Now()
-		var rg sync.WaitGroup
-		for r := 0; r < readers; r++ {
-			rg.Add(1)
-			go func(seed uint64) {
-				defer rg.Done()
-				rng := seed*0x9E3779B97F4A7C15 + 1
-				next := func(n int32) int32 {
-					rng ^= rng << 13
-					rng ^= rng >> 7
-					rng ^= rng << 17
-					return int32(rng % uint64(n))
-				}
-				n := int32(g.NumVertices())
-				h := int64(0)
-				for i := 0; i < opsPerReader; i++ {
-					snap, err := store.Acquire("bench")
-					if err != nil {
-						break
-					}
-					if q(snap.Index, next(n), next(n), next(n)) {
-						h++
-					}
-					snap.Release()
-				}
-				hits.Add(h)
-			}(uint64(r + 1))
-		}
-		rg.Wait()
-		el := time.Since(t0)
-		close(stop)
-		wg.Wait()
-		qps := float64(opsPerReader*readers) / el.Seconds()
-		fmt.Fprintf(out, "%-18s %10.2f M queries/s   (%d rebuilds behind the readers, %d hits)\n",
-			name, qps/1e6, rebuilds.Load(), hits.Load())
+		return &wg
 	}
 
-	run("connected", func(idx *fastbcc.Index, u, v, _ int32) bool { return idx.Connected(u, v) })
-	run("biconnected", func(idx *fastbcc.Index, u, v, _ int32) bool { return idx.Biconnected(u, v) })
-	run("twoecc", func(idx *fastbcc.Index, u, v, _ int32) bool { return idx.TwoEdgeConnected(u, v) })
-	run("separates", func(idx *fastbcc.Index, u, v, x int32) bool { return idx.Separates(x, u, v) })
-	run("cuts-on-path", func(idx *fastbcc.Index, u, v, _ int32) bool { return idx.NumCutsOnPath(u, v) > 0 })
-	run("bridges-on-path", func(idx *fastbcc.Index, u, v, _ int32) bool { return idx.NumBridgesOnPath(u, v) > 0 })
+	// runMode: readers goroutines each looping op(reader, i) until the
+	// deadline, with rebuild churn behind them; latencies are sampled
+	// per request. op returns the scalar queries its request answered.
+	dur := time.Duration(rep.ModeSecs * float64(time.Second))
+	runMode := func(name string, op func(r, i int) int) QBenchResult {
+		stop := make(chan struct{})
+		churnWG := churn(stop)
+		samplesPer := 1 << 16
+		lats := make([][]int64, readers)
+		for r := range lats {
+			lats[r] = make([]int64, 0, samplesPer)
+		}
+		var queries, requests atomic.Int64
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		deadline := t0.Add(dur)
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				q, reqs := int64(0), int64(0)
+				for i := r; time.Now().Before(deadline); i++ {
+					s0 := time.Now()
+					q += int64(op(r, i))
+					if len(lats[r]) < samplesPer {
+						lats[r] = append(lats[r], time.Since(s0).Nanoseconds())
+					}
+					reqs++
+				}
+				queries.Add(q)
+				requests.Add(reqs)
+			}(r)
+		}
+		wg.Wait()
+		el := time.Since(t0)
+		close(stop)
+		churnWG.Wait()
+
+		all := lats[0]
+		for _, l := range lats[1:] {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(p float64) float64 {
+			if len(all) == 0 {
+				return 0
+			}
+			return float64(all[min(int(p*float64(len(all))), len(all)-1)]) / 1e3
+		}
+		// Allocations per request, churn-free and single-threaded:
+		// counters are exact, so this is the regression-guard number.
+		allocs := testing.AllocsPerRun(50, func() { op(0, 0) })
+		res := QBenchResult{
+			Name:             name,
+			Queries:          queries.Load(),
+			Requests:         requests.Load(),
+			QueriesPerSec:    float64(queries.Load()) / el.Seconds(),
+			P50Micros:        pct(0.50),
+			P99Micros:        pct(0.99),
+			AllocsPerRequest: allocs,
+		}
+		fmt.Fprintf(out, "%-18s %10.3f M queries/s   p50 %8.1fµs  p99 %8.1fµs   %6.1f allocs/req\n",
+			name, res.QueriesPerSec/1e6, res.P50Micros, res.P99Micros, res.AllocsPerRequest)
+		rep.Results = append(rep.Results, res)
+		return res
+	}
+
+	ctx := context.Background()
+
+	// store/scalar: the pre-epoch serving hop — CAS retain, one query,
+	// CAS release — once per query.
+	runMode("store/scalar", func(r, i int) int {
+		snap, err := store.Acquire("bench")
+		if err != nil {
+			return 0
+		}
+		q := &qs[i&(qn-1)]
+		switch q.Op {
+		case fastbcc.OpConnected:
+			snap.Index.Connected(q.U, q.V)
+		case fastbcc.OpBiconnected:
+			snap.Index.Biconnected(q.U, q.V)
+		case fastbcc.OpTwoEdgeConnected:
+			snap.Index.TwoEdgeConnected(q.U, q.V)
+		case fastbcc.OpSeparates:
+			snap.Index.Separates(q.X, q.U, q.V)
+		case fastbcc.OpCutsOnPath:
+			snap.Index.NumCutsOnPath(q.U, q.V)
+		case fastbcc.OpBridgesOnPath:
+			snap.Index.NumBridgesOnPath(q.U, q.V)
+		}
+		snap.Release()
+		return 1
+	})
+
+	// store/batch: one epoch pin + batch execution per request.
+	handles := make([]*fastbcc.Handle, readers)
+	dsts := make([][]fastbcc.Answer, readers)
+	for r := range handles {
+		handles[r] = store.NewHandle()
+		dsts[r] = make([]fastbcc.Answer, 0, batch)
+	}
+	defer func() {
+		for _, h := range handles {
+			h.Close()
+		}
+	}()
+	runMode("store/batch", func(r, i int) int {
+		c := i % nChunks
+		out, _, err := store.QueryBatch(ctx, handles[r], "bench", qs[c*batch:(c+1)*batch], dsts[r])
+		if err != nil {
+			return 0
+		}
+		dsts[r] = out
+		return batch
+	})
+
+	// The HTTP modes drive the production handler end to end.
+	clients := make([]*http.Client, readers)
+	for r := range clients {
+		clients[r] = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+	}
+	defer func() {
+		for _, c := range clients {
+			c.CloseIdleConnections()
+		}
+	}()
+	discard := make([]byte, 1<<12)
+	drain := func(resp *http.Response) {
+		for {
+			if _, err := resp.Body.Read(discard); err != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+	}
+	jsonScalar := runMode("http/json-scalar", func(r, i int) int {
+		resp, err := clients[r].Get(scalarURLs[i&(qn-1)])
+		if err != nil {
+			return 0
+		}
+		drain(resp)
+		return 1
+	})
+	batchURL := srv.URL + "/v1/graphs/bench/query/batch"
+	runMode("http/json-batch", func(r, i int) int {
+		resp, err := clients[r].Post(batchURL, "application/json", bytes.NewReader(jsonBodies[i%nChunks]))
+		if err != nil {
+			return 0
+		}
+		drain(resp)
+		return batch
+	})
+	binDsts := make([][]fastbcc.Answer, readers)
+	binBatch := runMode("http/binary-batch", func(r, i int) int {
+		resp, err := clients[r].Post(batchURL, wire.ContentType, bytes.NewReader(binFrames[i%nChunks]))
+		if err != nil {
+			return 0
+		}
+		defer resp.Body.Close()
+		as, _, err := wire.ReadResponse(resp.Body, binDsts[r])
+		if err != nil {
+			return 0
+		}
+		binDsts[r] = as
+		return batch
+	})
+
+	close(sampleStop)
+	sampleWG.Wait()
+	rep.LiveSnapshotHighWater = highWater.Load()
+	rep.LiveSnapshotsFinal = store.Stats().LiveSnapshots
+	if jsonScalar.QueriesPerSec > 0 {
+		rep.BatchSpeedup = binBatch.QueriesPerSec / jsonScalar.QueriesPerSec
+	}
+	fmt.Fprintf(out, "# binary batch vs scalar JSON: %.1fx queries/s; %d rebuilds behind the readers; live snapshots peak %d, final %d\n",
+		rep.BatchSpeedup, rep.Rebuilds, rep.LiveSnapshotHighWater, rep.LiveSnapshotsFinal)
+	return rep
 }

@@ -1,0 +1,212 @@
+// Package epoch implements epoch-based reclamation (EBR/QSBR-style) for
+// immutable objects published through atomic pointers — the Go analog of
+// the reservation schemes PPoPP'25 "Publish on Ping" benchmarks against
+// hazard pointers: readers publish into private slots, writers only scan
+// on reclaim.
+//
+// The problem it solves in this repository: the Store used to retain a
+// shared refcount on every Acquire, so "millions of users" worth of
+// readers all CAS the same cacheline per query hop. With an epoch
+// Domain, each reader owns a cacheline-padded slot and a hop is two
+// uncontended atomic stores (pin, unpin):
+//
+//	h := dom.NewHandle()          // once per goroutine / connection
+//	h.Pin()                       // publish: slot ← global epoch
+//	p := published.Load()         // any pointer read after Pin is safe
+//	... read p freely ...
+//	h.Unpin()                     // slot ← 0; p must not be used after
+//
+// Writers replace the published pointer first (Swap), then hand the old
+// object to Retire, which stamps it with the current global epoch,
+// advances the epoch, and reclaims: a retired object is freed only once
+// every pinned slot carries an epoch strictly greater than its stamp.
+// Readers pinned at or before the stamp may still hold the object and
+// block its reclamation; readers pinned after the stamp read the global
+// epoch after the writer advanced it, which is after the writer
+// unpublished the object, so their subsequent pointer loads cannot
+// observe it.
+//
+// The scan cost lives entirely on the reclaim path (one load per slot,
+// under the Domain mutex); the reader fast path never takes a lock,
+// never allocates, and never writes shared memory.
+//
+// A Handle is not safe for concurrent use — it is the per-goroutine
+// (or per-connection) reservation slot. The Domain is safe for
+// concurrent use by any number of handles, retirers, and reclaimers.
+package epoch
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// slot is one reader's published reservation: 0 when the reader is
+// quiescent, otherwise the global epoch observed at Pin. Each slot is
+// padded out to 128 bytes (a cacheline pair, covering the adjacent-line
+// prefetcher) so concurrent readers' pins never false-share.
+type slot struct {
+	epoch atomic.Uint64
+	_     [120]byte
+}
+
+// retiree is one unpublished object awaiting reclamation.
+type retiree struct {
+	stamp uint64 // global epoch observed after the object was unpublished
+	free  func()
+}
+
+// Domain is one reclamation scope: a set of reader slots, a global
+// epoch, and the retired list. All methods are safe for concurrent use.
+// The zero value is not usable; construct with NewDomain.
+type Domain struct {
+	global atomic.Uint64
+	nret   atomic.Int64 // len(retired), readable without mu
+
+	mu      sync.Mutex
+	slots   []*slot // every slot ever created (grow-only; scanned on reclaim)
+	free    []*slot // closed handles' slots, recycled by NewHandle
+	retired []retiree
+}
+
+// NewDomain returns an empty reclamation domain. The global epoch starts
+// at 1 so a pinned slot is always distinguishable from a quiescent one
+// (epoch 0).
+func NewDomain() *Domain {
+	d := &Domain{}
+	d.global.Store(1)
+	return d
+}
+
+// Handle is one reader's registration in a Domain. Acquire one per
+// goroutine (or pool them per connection) and reuse it: creation takes
+// the Domain lock, but Pin/Unpin afterwards are single uncontended
+// atomic stores. A Handle must not be used concurrently.
+type Handle struct {
+	d     *Domain
+	s     *slot
+	depth int // nested Pin count; the slot publishes the outermost epoch
+}
+
+// NewHandle registers a reader slot, reusing one returned by a previous
+// Handle.Close when available.
+func (d *Domain) NewHandle() *Handle {
+	d.mu.Lock()
+	var s *slot
+	if n := len(d.free); n > 0 {
+		s = d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+	} else {
+		s = new(slot)
+		d.slots = append(d.slots, s)
+	}
+	d.mu.Unlock()
+	return &Handle{d: d, s: s}
+}
+
+// Pin publishes the current global epoch into the handle's slot. Every
+// pointer loaded after Pin returns is protected until the matching
+// Unpin: it cannot be reclaimed even if the writer unpublishes it.
+// Pins nest; the slot keeps the outermost (oldest, and therefore most
+// conservative) epoch until the last Unpin.
+func (h *Handle) Pin() {
+	if h.depth == 0 {
+		h.s.epoch.Store(h.d.global.Load())
+	}
+	h.depth++
+}
+
+// Unpin ends the protection started by the matching Pin. Objects read
+// under the pin must not be used after the outermost Unpin returns.
+func (h *Handle) Unpin() {
+	if h.depth <= 0 {
+		panic("epoch: Unpin without matching Pin")
+	}
+	h.depth--
+	if h.depth == 0 {
+		h.s.epoch.Store(0)
+	}
+}
+
+// Pinned reports whether the handle currently publishes a reservation.
+func (h *Handle) Pinned() bool { return h.depth > 0 }
+
+// Close unpins (if pinned) and returns the slot to the Domain for
+// reuse. The Handle must not be used afterwards. Close is idempotent.
+func (h *Handle) Close() {
+	if h.s == nil {
+		return
+	}
+	h.s.epoch.Store(0)
+	h.depth = 0
+	h.d.mu.Lock()
+	h.d.free = append(h.d.free, h.s)
+	h.d.mu.Unlock()
+	h.s = nil
+}
+
+// Retire schedules free to run once no pinned reader can still hold the
+// object. The caller must have already unpublished the object (swapped
+// it out of every shared pointer) before calling Retire — the stamp is
+// only a correct upper bound on the pins that may hold the object if no
+// new reader can reach it. Retire advances the global epoch and then
+// attempts an immediate Reclaim, so steady rebuild churn reclaims its
+// own garbage; free runs outside the Domain lock and must not call back
+// into the Domain.
+func (d *Domain) Retire(free func()) {
+	d.mu.Lock()
+	// The stamp is read after the caller's unpublish: any reader that
+	// could have loaded the object pinned before the unpublish, with an
+	// epoch observed earlier still — monotonicity makes every such pin
+	// ≤ stamp, and Reclaim frees only below the minimum pinned epoch.
+	d.retired = append(d.retired, retiree{stamp: d.global.Load(), free: free})
+	d.nret.Store(int64(len(d.retired)))
+	d.mu.Unlock()
+	// Advance so future pins observe a strictly larger epoch than the
+	// stamp: once current pins drain, the object becomes reclaimable.
+	d.global.Add(1)
+	d.Reclaim()
+}
+
+// Reclaim scans the reader slots and frees every retired object whose
+// stamp is strictly below the minimum pinned epoch, returning how many
+// were freed. It is called automatically by Retire; callers that want
+// retired objects to drain without further writes (a gauge read, a
+// shutdown path) can invoke it directly.
+func (d *Domain) Reclaim() int {
+	d.mu.Lock()
+	if len(d.retired) == 0 {
+		d.mu.Unlock()
+		return 0
+	}
+	min := uint64(math.MaxUint64)
+	for _, s := range d.slots {
+		if e := s.epoch.Load(); e != 0 && e < min {
+			min = e
+		}
+	}
+	var ready []func()
+	kept := d.retired[:0]
+	for _, r := range d.retired {
+		if r.stamp < min {
+			ready = append(ready, r.free)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	for i := len(kept); i < len(d.retired); i++ {
+		d.retired[i] = retiree{} // let the GC take the freed closures
+	}
+	d.retired = kept
+	d.nret.Store(int64(len(kept)))
+	d.mu.Unlock()
+	for _, f := range ready {
+		f()
+	}
+	return len(ready)
+}
+
+// Retired reports how many retired objects await reclamation — the
+// domain's garbage gauge. It does not take the Domain lock.
+func (d *Domain) Retired() int { return int(d.nret.Load()) }

@@ -59,6 +59,10 @@ const (
 	// so a test that arms it with ArmObserve can assert — via Hits —
 	// that cancellation was cooperatively observed inside the pipeline.
 	CancelObserved = "build.cancel-observed"
+	// SlowQuery sleeps at the start of a batch query execution
+	// (interruptibly), simulating a pathologically large batch so tests
+	// can prove batch requests respect their deadline.
+	SlowQuery = "query.slow"
 )
 
 // ErrInjected is wrapped by every error an armed point returns, so

@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// The race detector's instrumentation adds allocations the exact
+// allocs-per-op assertions would misattribute to the codec; the alloc
+// contract is checked by the non-race CI test step.
+const raceEnabled = true

@@ -1,0 +1,191 @@
+// Package wire implements the compact binary batch-query protocol bccd
+// speaks alongside JSON — the codec behind Content-Type negotiation on
+// POST /v1/graphs/{name}/query/batch.
+//
+// JSON costs ~60 bytes and two allocations per query; a wire record is
+// 13 bytes and a whole batch decodes into two preallocated slices. The
+// framing is little-endian and length-prefixed so a reader can bound
+// every allocation before it happens:
+//
+//	request  = u32 frameLen | "bcq1" | u32 count | count × record
+//	record   = u8 op | i32 u | i32 v | i32 x          (13 bytes)
+//	response = u32 frameLen | "bca1" | i64 version | u32 count | count × i32
+//
+// frameLen counts the bytes after the length prefix itself. count is
+// bounded by MaxQueries and cross-checked against frameLen before any
+// slice is sized from it, so a hostile 4 GiB length prefix or a
+// count/length mismatch fails fast with a small, fixed read — the same
+// discipline as the graph loader's ReadBinary.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	fastbcc "repro"
+)
+
+// ContentType is the MIME type negotiated for binary batch frames.
+const ContentType = "application/x-fastbcc-batch"
+
+// MaxQueries bounds the queries in one request frame (2^20 ≈ 1M — a
+// 13 MiB frame — far above any sane batch, far below an allocation
+// attack).
+const MaxQueries = 1 << 20
+
+// Frame magics: "bcq1" opens a request, "bca1" an answer.
+var (
+	reqMagic  = [4]byte{'b', 'c', 'q', '1'}
+	respMagic = [4]byte{'b', 'c', 'a', '1'}
+)
+
+const (
+	recordSize     = 13               // u8 op + 3 × i32
+	reqHeaderSize  = 4 + 4            // magic + count
+	respHeaderSize = 4 + 8 + 4       // magic + version + count
+	// readChunk caps how much a frame read trusts the declared length
+	// per allocation step: a lying prefix costs at most one chunk.
+	readChunk = 1 << 16
+)
+
+// ErrTooLarge is wrapped by decode errors for frames whose declared
+// query count exceeds MaxQueries.
+var ErrTooLarge = errors.New("batch exceeds query limit")
+
+// ErrMalformed is wrapped by every structural decode error: bad magic,
+// truncated frame, count/length mismatch, trailing bytes.
+var ErrMalformed = errors.New("malformed batch frame")
+
+// AppendRequest appends a request frame carrying qs to dst and returns
+// the extended slice. Callers stream the result straight into the
+// request body; a reused dst makes encoding allocation-free.
+func AppendRequest(dst []byte, qs []fastbcc.Query) []byte {
+	frameLen := reqHeaderSize + len(qs)*recordSize
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameLen))
+	dst = append(dst, reqMagic[:]...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(qs)))
+	for i := range qs {
+		q := &qs[i]
+		dst = append(dst, byte(q.Op))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(q.U))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(q.V))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(q.X))
+	}
+	return dst
+}
+
+// ReadRequest decodes one request frame from r, appending the queries
+// to dst[:0] (pass a recycled slice to decode without allocating; nil
+// allocates). Ops are not validated here — the query engine rejects
+// unknown ops per query index, which gives better errors than the
+// frame layer could.
+func ReadRequest(r io.Reader, dst []fastbcc.Query) ([]fastbcc.Query, error) {
+	body, err := readFrame(r, reqMagic, reqHeaderSize)
+	if err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint32(body[4:8])
+	if count > MaxQueries {
+		return nil, fmt.Errorf("wire: %w: %d > %d", ErrTooLarge, count, MaxQueries)
+	}
+	records := body[reqHeaderSize:]
+	if len(records) != int(count)*recordSize {
+		return nil, fmt.Errorf("wire: %w: %d records declared, %d bytes of payload",
+			ErrMalformed, count, len(records))
+	}
+	dst = dst[:0]
+	if cap(dst) < int(count) {
+		dst = make([]fastbcc.Query, 0, count)
+	}
+	for i := 0; i < int(count); i++ {
+		rec := records[i*recordSize:]
+		dst = append(dst, fastbcc.Query{
+			Op: fastbcc.QueryOp(rec[0]),
+			U:  int32(binary.LittleEndian.Uint32(rec[1:5])),
+			V:  int32(binary.LittleEndian.Uint32(rec[5:9])),
+			X:  int32(binary.LittleEndian.Uint32(rec[9:13])),
+		})
+	}
+	return dst, nil
+}
+
+// AppendResponse appends a response frame to dst: the snapshot version
+// the batch was answered from, then one i32 per answer.
+func AppendResponse(dst []byte, version int64, as []fastbcc.Answer) []byte {
+	frameLen := respHeaderSize + len(as)*4
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameLen))
+	dst = append(dst, respMagic[:]...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(version))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(as)))
+	for _, a := range as {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(a))
+	}
+	return dst
+}
+
+// ReadResponse decodes one response frame from r, appending the answers
+// to dst[:0] (recycle dst to avoid allocation). It returns the snapshot
+// version alongside the answers.
+func ReadResponse(r io.Reader, dst []fastbcc.Answer) ([]fastbcc.Answer, int64, error) {
+	body, err := readFrame(r, respMagic, respHeaderSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	version := int64(binary.LittleEndian.Uint64(body[4:12]))
+	count := binary.LittleEndian.Uint32(body[12:16])
+	if count > MaxQueries {
+		return nil, 0, fmt.Errorf("wire: %w: %d > %d", ErrTooLarge, count, MaxQueries)
+	}
+	payload := body[respHeaderSize:]
+	if len(payload) != int(count)*4 {
+		return nil, 0, fmt.Errorf("wire: %w: %d answers declared, %d bytes of payload",
+			ErrMalformed, count, len(payload))
+	}
+	dst = dst[:0]
+	if cap(dst) < int(count) {
+		dst = make([]fastbcc.Answer, 0, count)
+	}
+	for i := 0; i < int(count); i++ {
+		dst = append(dst, fastbcc.Answer(binary.LittleEndian.Uint32(payload[i*4:])))
+	}
+	return dst, version, nil
+}
+
+// maxFrameLen is the largest frame either side legitimately produces:
+// a MaxQueries request (responses are strictly smaller).
+const maxFrameLen = reqHeaderSize + MaxQueries*recordSize
+
+// readFrame reads one length-prefixed frame and validates its magic and
+// minimum size. The declared length is bounded before any allocation,
+// and the body is read in chunks so a prefix lying about a huge frame
+// over a trickle connection costs at most one chunk of memory.
+func readFrame(r io.Reader, magic [4]byte, minLen int) ([]byte, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		return nil, fmt.Errorf("wire: %w: reading length prefix: %v", ErrMalformed, err)
+	}
+	frameLen := int(binary.LittleEndian.Uint32(pfx[:]))
+	if frameLen > maxFrameLen {
+		return nil, fmt.Errorf("wire: %w: frame of %d bytes exceeds limit %d",
+			ErrTooLarge, frameLen, maxFrameLen)
+	}
+	if frameLen < minLen {
+		return nil, fmt.Errorf("wire: %w: frame of %d bytes shorter than header (%d)",
+			ErrMalformed, frameLen, minLen)
+	}
+	body := make([]byte, 0, min(frameLen, readChunk))
+	for len(body) < frameLen {
+		n := min(frameLen-len(body), readChunk)
+		body = append(body, make([]byte, n)...)
+		if _, err := io.ReadFull(r, body[len(body)-n:]); err != nil {
+			return nil, fmt.Errorf("wire: %w: frame truncated at %d of %d bytes",
+				ErrMalformed, len(body)-n, frameLen)
+		}
+	}
+	if [4]byte(body[:4]) != magic {
+		return nil, fmt.Errorf("wire: %w: bad magic %q", ErrMalformed, body[:4])
+	}
+	return body, nil
+}

@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+
+	fastbcc "repro"
+)
+
+func randQueries(rng *rand.Rand, n int) []fastbcc.Query {
+	qs := make([]fastbcc.Query, n)
+	for i := range qs {
+		qs[i] = fastbcc.Query{
+			Op: fastbcc.QueryOp(rng.Intn(8)), // includes invalid ops: the frame layer passes them through
+			U:  rng.Int31() - rng.Int31(),
+			V:  rng.Int31() - rng.Int31(),
+			X:  rng.Int31() - rng.Int31(),
+		}
+	}
+	return qs
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 3, 256, 10000} {
+		qs := randQueries(rng, n)
+		frame := AppendRequest(nil, qs)
+		got, err := ReadRequest(bytes.NewReader(frame), nil)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if len(got) != len(qs) {
+			t.Fatalf("n=%d: got %d queries", n, len(got))
+		}
+		for i := range qs {
+			if got[i] != qs[i] {
+				t.Fatalf("n=%d: query %d: got %+v, want %+v", n, i, got[i], qs[i])
+			}
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	as := []fastbcc.Answer{0, 1, -5, 1 << 20}
+	frame := AppendResponse(nil, 42, as)
+	got, version, err := ReadResponse(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 42 {
+		t.Fatalf("version = %d, want 42", version)
+	}
+	if len(got) != len(as) {
+		t.Fatalf("got %d answers, want %d", len(got), len(as))
+	}
+	for i := range as {
+		if got[i] != as[i] {
+			t.Fatalf("answer %d: got %d, want %d", i, got[i], as[i])
+		}
+	}
+}
+
+// TestDecodeReusesBuffers: decoding into recycled slices must not
+// allocate per element (the serving loop's contract).
+func TestDecodeReusesBuffers(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates the alloc count")
+	}
+	qs := randQueries(rand.New(rand.NewSource(1)), 512)
+	frame := AppendRequest(nil, qs)
+	dst := make([]fastbcc.Query, 0, 512)
+	rd := bytes.NewReader(frame)
+	avg := testing.AllocsPerRun(50, func() {
+		rd.Reset(frame)
+		var err error
+		dst, err = ReadRequest(rd, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One allocation remains: the frame body buffer readFrame builds.
+	if avg > 2 {
+		t.Fatalf("ReadRequest with recycled dst allocates %.1f/op", avg)
+	}
+}
+
+func TestTruncatedFrames(t *testing.T) {
+	frame := AppendRequest(nil, randQueries(rand.New(rand.NewSource(2)), 16))
+	for cut := 0; cut < len(frame); cut += 7 {
+		_, err := ReadRequest(bytes.NewReader(frame[:cut]), nil)
+		if err == nil {
+			t.Fatalf("truncation at %d of %d bytes decoded successfully", cut, len(frame))
+		}
+	}
+}
+
+func TestOversizedLengthPrefix(t *testing.T) {
+	// A frame declaring ~4 GiB must be rejected from the prefix alone,
+	// before any allocation sized by it.
+	frame := binary.LittleEndian.AppendUint32(nil, 0xFFFFFFF0)
+	frame = append(frame, reqMagic[:]...)
+	_, err := ReadRequest(bytes.NewReader(frame), nil)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("4 GiB prefix: got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestTooManyQueries(t *testing.T) {
+	// Valid frame length, count field over MaxQueries.
+	body := append([]byte{}, reqMagic[:]...)
+	body = binary.LittleEndian.AppendUint32(body, MaxQueries+1)
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
+	frame = append(frame, body...)
+	_, err := ReadRequest(bytes.NewReader(frame), nil)
+	if err == nil {
+		t.Fatal("count > MaxQueries decoded successfully")
+	}
+}
+
+func TestCountLengthMismatch(t *testing.T) {
+	// Declares 3 queries but carries bytes for 2.
+	body := append([]byte{}, reqMagic[:]...)
+	body = binary.LittleEndian.AppendUint32(body, 3)
+	body = append(body, make([]byte, 2*recordSize)...)
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
+	frame = append(frame, body...)
+	_, err := ReadRequest(bytes.NewReader(frame), nil)
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("count/length mismatch: got %v, want ErrMalformed", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	frame := AppendResponse(nil, 1, []fastbcc.Answer{1})
+	// A response frame is not a request frame.
+	_, err := ReadRequest(bytes.NewReader(frame), nil)
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("response magic on request decode: got %v, want ErrMalformed", err)
+	}
+}
+
+// FuzzWireDecode throws arbitrary bytes at both decoders (they must
+// never panic or over-allocate) and round-trips any input that decodes
+// as a request.
+func FuzzWireDecode(f *testing.F) {
+	f.Add(AppendRequest(nil, []fastbcc.Query{{Op: fastbcc.OpConnected, U: 0, V: 6}}))
+	f.Add(AppendResponse(nil, 3, []fastbcc.Answer{1, 0, 7}))
+	f.Add([]byte{})
+	f.Add(binary.LittleEndian.AppendUint32(nil, 0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if qs, err := ReadRequest(bytes.NewReader(data), nil); err == nil {
+			frame := AppendRequest(nil, qs)
+			again, err := ReadRequest(bytes.NewReader(frame), nil)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded frame failed: %v", err)
+			}
+			if len(again) != len(qs) {
+				t.Fatalf("round trip changed count: %d -> %d", len(qs), len(again))
+			}
+			for i := range qs {
+				if again[i] != qs[i] {
+					t.Fatalf("round trip changed query %d", i)
+				}
+			}
+		}
+		if as, version, err := ReadResponse(bytes.NewReader(data), nil); err == nil {
+			frame := AppendResponse(nil, version, as)
+			again, v2, err := ReadResponse(bytes.NewReader(frame), nil)
+			if err != nil || v2 != version || len(again) != len(as) {
+				t.Fatalf("response round trip diverged: %v", err)
+			}
+		}
+	})
+}

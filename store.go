@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/epoch"
 )
 
 // Sentinel errors wrapped by Store methods, so serving layers can map
@@ -29,11 +31,24 @@ var (
 )
 
 // Snapshot is one immutable version of a served graph: the graph, its
-// decomposition, and the query index, published together. Snapshots are
-// ref-counted: Store.Acquire retains one and the caller must Release it
-// when done. A snapshot stays fully usable after being superseded by a
-// rebuild — queries in flight never observe a half-swapped state and
-// never block recomputation.
+// decomposition, and the query index, published together. A snapshot
+// stays fully usable after being superseded by a rebuild — queries in
+// flight never observe a half-swapped state and never block
+// recomputation.
+//
+// Two reader disciplines protect a snapshot's lifetime:
+//
+//   - Epoch pins (the fast path): a Handle pinned across Store.Acquire
+//     on the handle, or a Store.QueryBatch call, protects the snapshot
+//     with two uncontended stores on the handle's private slot; the
+//     snapshot must not be used after the handle's Release.
+//   - Refcounts (the compatible fallback): handle-less Store.Acquire
+//     CAS-retains the snapshot's shared refcount and the caller must
+//     Snapshot.Release it — the pre-epoch contract, kept for callers
+//     that hold snapshots across goroutines or for unbounded time.
+//
+// A superseded snapshot is retired into the Store's epoch domain and
+// reclaimed only when no pin and no refcount can still reach it.
 type Snapshot struct {
 	// Name and Version identify the snapshot: Version increases by one
 	// per (re)build of Name.
@@ -113,6 +128,21 @@ func (s *Snapshot) Release() {
 type Store struct {
 	runner *Runner
 	live   atomic.Int64 // snapshots with at least one outstanding reference
+
+	// epochs is the snapshot-reclamation domain: superseded snapshots
+	// are retired into it instead of dropping the store's reference
+	// immediately, so epoch-pinned readers (Handle/QueryBatch) never
+	// race a release. Rebuilds advance the epoch and scan on reclaim;
+	// Stats also reclaims, so the live gauge is self-healing even when
+	// no further rebuilds arrive.
+	epochs *epoch.Domain
+	// catalogGen counts catalog shape changes (entry created, removed,
+	// store closed). Handles cache their name→entry resolution against
+	// it so the query fast path skips the catalog RWMutex entirely.
+	catalogGen atomic.Uint64
+
+	batches      atomic.Int64 // QueryBatch calls served
+	batchQueries atomic.Int64 // scalar queries served through batches
 
 	// Admission gate (nil sem = unbounded): build slots are acquired
 	// before any per-entry serialization so saturation is detected — and
@@ -225,6 +255,7 @@ func NewStore(workers int) *Store {
 func NewStoreWithConfig(cfg StoreConfig) *Store {
 	s := &Store{
 		runner:       NewRunner(cfg.Workers),
+		epochs:       epoch.NewDomain(),
 		byName:       map[string]*storeEntry{},
 		queueWait:    cfg.BuildQueueWait,
 		buildTimeout: cfg.BuildTimeout,
@@ -280,6 +311,7 @@ func (s *Store) entry(name string) (*storeEntry, error) {
 	if en == nil {
 		en = newStoreEntry()
 		s.byName[name] = en
+		s.catalogGen.Add(1)
 	}
 	return en, nil
 }
@@ -420,7 +452,12 @@ func (s *Store) build(ctx context.Context, en *storeEntry, name string, g *Graph
 	snap.refs.Store(2) // the store's reference + the returned handle
 	s.live.Add(1)
 	if old := en.cur.Swap(snap); old != nil {
-		old.Release()
+		// The old version is unpublished (the swap) but epoch-pinned
+		// readers may still be inside it: retire it into the domain,
+		// which drops the store's reference only once every pin that
+		// could hold it has drained. Refcount holders are unaffected —
+		// the deferred Release just removes the store's share.
+		s.epochs.Retire(old.Release)
 	}
 	return snap, nil
 }
@@ -452,7 +489,10 @@ func (s *Store) Acquire(name string) (*Snapshot, error) {
 func (s *Store) Remove(name string) error {
 	s.mu.Lock()
 	en := s.byName[name]
-	delete(s.byName, name)
+	if en != nil {
+		delete(s.byName, name)
+		s.catalogGen.Add(1)
+	}
 	s.mu.Unlock()
 	if en == nil {
 		return notLoadedErr(name)
@@ -467,7 +507,7 @@ func (s *Store) retire(en *storeEntry) {
 	old := en.cur.Swap(nil)
 	en.unlock()
 	if old != nil {
-		old.Release()
+		s.epochs.Retire(old.Release)
 	}
 }
 
@@ -530,8 +570,16 @@ type StoreStats struct {
 	Graphs int
 	// LiveSnapshots counts snapshots with at least one outstanding
 	// reference — current versions plus superseded ones still held by
-	// in-flight readers.
+	// in-flight readers or awaiting epoch reclamation.
 	LiveSnapshots int64
+	// RetiredSnapshots counts superseded snapshots retired into the
+	// epoch domain and not yet reclaimed. Steady nonzero growth means a
+	// reader is holding a pin (or a handle leaked while pinned).
+	RetiredSnapshots int
+	// Batches and BatchQueries count QueryBatch calls and the scalar
+	// queries they carried since the Store was created.
+	Batches      int64
+	BatchQueries int64
 	// ByAlgorithm counts loaded graphs by the engine of their current
 	// snapshot.
 	ByAlgorithm map[string]int
@@ -548,8 +596,11 @@ type StoreStats struct {
 	InFlightBuilds int64
 }
 
-// Stats returns current catalog gauges.
+// Stats returns current catalog gauges. Reading stats also runs an
+// epoch reclamation scan, so the live/retired gauges report what is
+// actually reachable, not garbage merely awaiting the next rebuild.
 func (s *Store) Stats() StoreStats {
+	s.epochs.Reclaim()
 	byAlgo := map[string]int{}
 	failing := 0
 	s.mu.RLock()
@@ -564,12 +615,15 @@ func (s *Store) Stats() StoreStats {
 	}
 	s.mu.RUnlock()
 	return StoreStats{
-		Graphs:         n,
-		LiveSnapshots:  s.live.Load(),
-		ByAlgorithm:    byAlgo,
-		FailingGraphs:  failing,
-		BuildFailures:  s.buildFails.Load(),
-		InFlightBuilds: s.inFlight.Load(),
+		Graphs:           n,
+		LiveSnapshots:    s.live.Load(),
+		RetiredSnapshots: s.epochs.Retired(),
+		Batches:          s.batches.Load(),
+		BatchQueries:     s.batchQueries.Load(),
+		ByAlgorithm:      byAlgo,
+		FailingGraphs:    failing,
+		BuildFailures:    s.buildFails.Load(),
+		InFlightBuilds:   s.inFlight.Load(),
 	}
 }
 
@@ -584,9 +638,14 @@ func (s *Store) Close() {
 		entries = append(entries, en)
 	}
 	s.byName = map[string]*storeEntry{}
+	s.catalogGen.Add(1)
 	s.mu.Unlock()
 	for _, en := range entries {
 		s.retire(en)
 	}
+	// Snapshots still pinned by open handles survive this scan; a later
+	// Stats (or the handles' own Release path via rebuild churn) drains
+	// them once the pins go quiescent.
+	s.epochs.Reclaim()
 	s.runner.Close()
 }
