@@ -52,6 +52,11 @@ func TestAllocGuardStoreHop(t *testing.T) {
 	g := guardGraph(t)
 	st := fastbcc.NewStore(0)
 	defer st.Close()
+	// Metrics are on by default, so this guard proves the *instrumented*
+	// refcount hop stays allocation-free.
+	if st.Metrics() == nil {
+		t.Fatal("guard store is not instrumented")
+	}
 	snap, err := st.Load(context.Background(), "guard", g, &fastbcc.Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -106,6 +111,11 @@ func TestAllocGuardQueryBatch(t *testing.T) {
 	g := guardGraph(t)
 	st := fastbcc.NewStore(0)
 	defer st.Close()
+	// Metrics are on by default: the batch guard covers the recordBatch
+	// flush (clock reads, histogram observe, per-op counter adds) too.
+	if st.Metrics() == nil {
+		t.Fatal("guard store is not instrumented")
+	}
 	snap, err := st.Load(context.Background(), "guard", g, &fastbcc.Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)

@@ -31,6 +31,16 @@
 //	                                         application/x-fastbcc-batch, a
 //	                                         binary frame (13 bytes/query,
 //	                                         4 bytes/answer; see internal/wire)
+//	GET    /v1/graphs/{name}/trace           recent build attempts, newest
+//	                                         first: version, outcome, error,
+//	                                         duration, and the per-phase
+//	                                         breakdown of each build
+//	GET    /metrics                          Prometheus text exposition:
+//	                                         request/query latency histograms,
+//	                                         acquire disciplines, build
+//	                                         outcomes and phase timings, epoch
+//	                                         reclamation gauges (no external
+//	                                         scrape library needed)
 //
 // Query ops: connected, biconnected, twoecc (2-edge-connected),
 // separates (does removing x disconnect u from v), cuts (articulation
@@ -67,6 +77,20 @@
 // further. A client that disconnects mid-build cancels it, freeing its
 // admission slot.
 //
+// # Observability
+//
+// GET /metrics exposes the whole serving stack in the Prometheus text
+// format with no external dependency (internal/obs): per-endpoint
+// request latency histograms and response counters, per-op scalar query
+// latency, batch volume and byte counters by codec, acquire-discipline
+// counters (epoch pins vs refcount CAS), build outcomes with per-phase
+// duration histograms matching the paper's four pipeline phases, and
+// epoch-domain live/retired/reclaimed snapshot gauges. Logs are leveled
+// structured key=value lines on stderr (-log-level selects the floor;
+// -slow-query-ms additionally logs batches over the threshold). The
+// pprof surface is mounted under /debug/pprof/ only with -debug-pprof,
+// the same explicit gating as -debug-faults.
+//
 // Flags:
 //
 //	-addr             listen address (default :8080)
@@ -76,17 +100,19 @@
 //	-max-builds       max concurrent builds before shedding (default 16, 0 = unbounded)
 //	-build-queue-wait how long a build may wait for a slot (default 1s)
 //	-build-timeout    cap on every build, 0 = none
+//	-log-level        log floor: debug, info, warn, or error (default info)
+//	-slow-query-ms    warn-log batch requests slower than this (0 = off)
 //	-faultpoints      arm fault-injection points at startup, e.g.
 //	                  "build.error=error:after=1" (testing)
 //	-debug-faults     mount /debug/faultpoints for arming faults over HTTP
 //	                  (testing)
+//	-debug-pprof      mount net/http/pprof under /debug/pprof/
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -97,6 +123,7 @@ import (
 	fastbcc "repro"
 	"repro/internal/bccdhttp"
 	"repro/internal/faultpoint"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -106,8 +133,11 @@ func main() {
 	maxBuilds := flag.Int("max-builds", 16, "max concurrent builds before shedding (0 = unbounded)")
 	queueWait := flag.Duration("build-queue-wait", time.Second, "how long a build may wait for an admission slot before 503")
 	buildTimeout := flag.Duration("build-timeout", 0, "cap on every build; past it the build is canceled (0 = none)")
+	logLevel := flag.String("log-level", "info", "log floor: debug, info, warn, or error")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "warn-log batch requests slower than this many milliseconds (0 = off)")
 	faultSpec := flag.String("faultpoints", "", "arm fault-injection points at startup, e.g. \"build.error=error:after=1\" (testing)")
 	debugFaults := flag.Bool("debug-faults", false, "mount /debug/faultpoints for arming faults over HTTP (testing)")
+	debugPprof := flag.Bool("debug-pprof", false, "mount net/http/pprof under /debug/pprof/")
 	var preload []string
 	flag.Func("graph", "preload a graph as name=path (repeatable)", func(v string) error {
 		preload = append(preload, v)
@@ -115,11 +145,22 @@ func main() {
 	})
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bccd: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	fatal := func(msg string, fields ...any) {
+		logger.Error(msg, fields...)
+		os.Exit(1)
+	}
+
 	if *faultSpec != "" {
 		if err := faultpoint.Set(*faultSpec); err != nil {
-			log.Fatalf("bccd: -faultpoints: %v", err)
+			fatal("bad -faultpoints", "spec", *faultSpec, "err", err)
 		}
-		log.Printf("bccd: fault points armed: %s", *faultSpec)
+		logger.Info("fault points armed", "spec", *faultSpec)
 	}
 
 	store := fastbcc.NewStoreWithConfig(fastbcc.StoreConfig{
@@ -132,25 +173,30 @@ func main() {
 	for _, spec := range preload {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
-			log.Fatalf("bccd: -graph %q: want name=path", spec)
+			fatal("bad -graph: want name=path", "spec", spec)
 		}
 		g, err := fastbcc.LoadGraph(path)
 		if err != nil {
-			log.Fatalf("bccd: load %s: %v", spec, err)
+			fatal("loading graph", "spec", spec, "err", err)
 		}
 		snap, err := store.Load(context.Background(), name, g, nil)
 		if err != nil {
-			log.Fatalf("bccd: load %s: %v", spec, err)
+			fatal("building graph", "spec", spec, "err", err)
 		}
-		log.Printf("bccd: loaded %q v%d: n=%d m=%d blocks=%d (%.1fms)",
-			name, snap.Version, g.NumVertices(), g.NumEdges(),
-			snap.Result.NumBCC, float64(snap.BuildTime.Microseconds())/1000)
+		logger.Info("graph preloaded", "graph", name, "version", snap.Version,
+			"n", g.NumVertices(), "m", g.NumEdges(),
+			"blocks", snap.Result.NumBCC, "took", snap.BuildTime)
 		snap.Release()
 	}
 
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: bccdhttp.NewHandler(store, *debugFaults),
+		Addr: *addr,
+		Handler: bccdhttp.NewHandler(store, bccdhttp.Config{
+			DebugFaults: *debugFaults,
+			DebugPprof:  *debugPprof,
+			Logger:      logger,
+			SlowQuery:   time.Duration(*slowQueryMS) * time.Millisecond,
+		}),
 		// Slow-client protection: a peer that dribbles its headers or
 		// body cannot pin a connection forever. Write timeouts are left
 		// off — load/rebuild responses legitimately take as long as the
@@ -164,20 +210,19 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("bccd: serving on %s", *addr)
+		logger.Info("serving", "addr", *addr)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
 	case err := <-errc:
-		log.Fatalf("bccd: %v", err)
+		fatal("server failed", "err", err)
 	case <-ctx.Done():
 	}
-	log.Printf("bccd: shutting down (drain %s)", *drain)
+	logger.Info("shutting down", "drain", *drain)
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
-		fmt.Fprintf(os.Stderr, "bccd: shutdown: %v\n", err)
-		os.Exit(1)
+		fatal("shutdown", "err", err)
 	}
-	log.Printf("bccd: drained cleanly")
+	logger.Info("drained cleanly")
 }

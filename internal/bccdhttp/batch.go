@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -86,7 +85,25 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 
 	binaryReq := strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType)
 	timeoutMS := 0
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	// Per-codec byte accounting: the body reader counts what the decoder
+	// consumed; the response side counts the encoded frame (binary) or
+	// the bytes the instrumented writer saw (JSON).
+	reqCodec, respCodec := "json", "json"
+	if binaryReq {
+		reqCodec = "binary"
+	}
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, maxBodyBytes)}
+	rec, _ := w.(*statusRecorder)
+	var respStart int64
+	if rec != nil {
+		respStart = rec.bytes
+	}
+	defer func() {
+		s.metrics.reqBytes[reqCodec].Add(body.n)
+		if rec != nil {
+			s.metrics.resBytes[respCodec].Add(rec.bytes - respStart)
+		}
+	}()
 	if binaryReq {
 		var err error
 		sc.qs, err = wire.ReadRequest(body, sc.qs)
@@ -95,17 +112,17 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(err, wire.ErrTooLarge) {
 				status = http.StatusRequestEntityTooLarge
 			}
-			writeError(w, status, "%v", err)
+			s.writeError(w, status, "%v", err)
 			return
 		}
 	} else {
 		var req jsonBatchRequest
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
 		if len(req.Queries) > wire.MaxQueries {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			s.writeError(w, http.StatusRequestEntityTooLarge,
 				"batch of %d queries exceeds limit %d", len(req.Queries), wire.MaxQueries)
 			return
 		}
@@ -114,7 +131,7 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		for i, jq := range req.Queries {
 			op, err := fastbcc.ParseQueryOp(jq.Op)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, "query %d: %v", i, err)
+				s.writeError(w, http.StatusBadRequest, "query %d: %v", i, err)
 				return
 			}
 			sc.qs = append(sc.qs, fastbcc.Query{Op: op, U: jq.U, V: jq.V, X: jq.X})
@@ -123,7 +140,7 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
 		ms, err := strconv.Atoi(raw)
 		if err != nil || ms < 0 {
-			writeError(w, http.StatusBadRequest, "bad timeout_ms %q", raw)
+			s.writeError(w, http.StatusBadRequest, "bad timeout_ms %q", raw)
 			return
 		}
 		timeoutMS = ms
@@ -146,7 +163,7 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, fastbcc.ErrStoreClosed) {
 			status = http.StatusServiceUnavailable
 		}
-		writeError(w, status, "%v", err)
+		s.writeError(w, status, "%v", err)
 		return
 	}
 	defer sc.h.Release()
@@ -160,14 +177,14 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		for i := range sc.qs {
 			q := &sc.qs[i]
 			if uint32(q.U) >= n || uint32(q.V) >= n {
-				writeError(w, http.StatusBadRequest,
+				s.writeError(w, http.StatusBadRequest,
 					"query %d: vertex out of range [0,%d)", i, n)
 				return
 			}
 			q.U, q.V = vm.fwd[q.U], vm.fwd[q.V]
 			if q.Op == fastbcc.OpSeparates {
 				if uint32(q.X) >= n {
-					writeError(w, http.StatusBadRequest,
+					s.writeError(w, http.StatusBadRequest,
 						"query %d: vertex x=%d out of range [0,%d)", i, q.X, n)
 					return
 				}
@@ -176,29 +193,36 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	q0 := time.Now()
 	sc.as, err = snap.QueryBatch(ctx, sc.qs, sc.as)
+	if took := time.Since(q0); s.slowQuery > 0 && took >= s.slowQuery {
+		s.metrics.slow.Inc()
+		s.log.Warn("slow batch", "graph", name, "version", snap.Version,
+			"queries", len(sc.qs), "took", took)
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "batch exceeded its deadline: %v", err)
+			s.writeError(w, http.StatusGatewayTimeout, "batch exceeded its deadline: %v", err)
 		case errors.Is(err, context.Canceled):
-			writeError(w, statusClientClosedRequest, "%v", err)
+			s.writeError(w, statusClientClosedRequest, "%v", err)
 		default:
-			writeError(w, http.StatusBadRequest, "%v", err)
+			s.writeError(w, http.StatusBadRequest, "%v", err)
 		}
 		return
 	}
 
 	if wantsBinary(r, binaryReq) {
+		respCodec = "binary"
 		sc.buf = wire.AppendResponse(sc.buf[:0], snap.Version, sc.as)
 		w.Header().Set("Content-Type", wire.ContentType)
 		w.Header().Set("Content-Length", strconv.Itoa(len(sc.buf)))
 		if _, err := w.Write(sc.buf); err != nil {
-			log.Printf("bccd: writing batch response: %v", err)
+			s.log.Warn("writing batch response", "graph", name, "err", err)
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, jsonBatchResponse{
+	s.writeJSON(w, http.StatusOK, jsonBatchResponse{
 		Graph:   snap.Name,
 		Version: snap.Version,
 		Count:   len(sc.as),

@@ -27,7 +27,7 @@ func faultServer(t *testing.T, cfg fastbcc.StoreConfig) (*httptest.Server, *fast
 		cfg.Workers = 2
 	}
 	store := fastbcc.NewStoreWithConfig(cfg)
-	srv := httptest.NewServer(NewHandler(store, true))
+	srv := httptest.NewServer(NewHandler(store, Config{DebugFaults: true}))
 	t.Cleanup(func() {
 		faultpoint.Reset()
 		srv.Close()

@@ -11,14 +11,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
 
 	fastbcc "repro"
 	"repro/internal/faultpoint"
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds load-request bodies; a 64 MiB JSON edge list is
@@ -40,6 +41,12 @@ type server struct {
 	store *fastbcc.Store
 	mux   *http.ServeMux
 
+	// log receives the handler's structured request logs; a nil *Logger
+	// discards, so no call site guards. metrics is always non-nil.
+	log       *obs.Logger
+	metrics   *httpMetrics
+	slowQuery time.Duration
+
 	// mu guards remaps: the per-name vertex translation of graphs loaded
 	// with "reorder". Absent name = identity. RWMutex so concurrent
 	// queries (read-only lookups) never serialize on each other. A query
@@ -60,41 +67,79 @@ type server struct {
 	scratch sync.Pool
 }
 
-// NewHandler wires the HTTP API around a Store. debugFaults additionally
-// mounts the /debug/faultpoints endpoints (arming fault-injection points
-// over HTTP — test and smoke deployments only).
-func NewHandler(store *fastbcc.Store, debugFaults bool) http.Handler {
-	s := &server{store: store, mux: http.NewServeMux(), remaps: map[string]*vertexMap{}}
+// Config tunes a handler beyond its Store: debug surfaces, logging, and
+// the slow-query threshold. The zero value is the production default —
+// no debug endpoints, silent logger, no slow-query log.
+type Config struct {
+	// DebugFaults mounts the /debug/faultpoints endpoints (arming
+	// fault-injection points over HTTP — test and smoke deployments only).
+	DebugFaults bool
+	// DebugPprof mounts net/http/pprof under /debug/pprof/ — the
+	// profiling surface stays off unless explicitly gated on, same
+	// discipline as DebugFaults.
+	DebugPprof bool
+	// Logger receives the handler's structured request logs (nil
+	// discards).
+	Logger *obs.Logger
+	// SlowQuery is the batch-duration threshold above which a batch
+	// request is logged at warn level and counted (0 disables).
+	SlowQuery time.Duration
+}
+
+// NewHandler wires the HTTP API around a Store; see Config for the
+// debug and observability knobs. Every handler exposes its metrics on
+// GET /metrics (Prometheus text): its own per-endpoint request series
+// merged with the Store's serving/build/reclamation series.
+func NewHandler(store *fastbcc.Store, cfg Config) http.Handler {
+	s := &server{
+		store:     store,
+		mux:       http.NewServeMux(),
+		remaps:    map[string]*vertexMap{},
+		log:       cfg.Logger,
+		metrics:   newHTTPMetrics(),
+		slowQuery: cfg.SlowQuery,
+	}
 	s.scratch.New = func() any { return &batchScratch{} }
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
-	s.mux.HandleFunc("PUT /v1/graphs/{name}", s.handleLoad)
-	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleStats)
-	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleRemove)
-	s.mux.HandleFunc("POST /v1/graphs/{name}/rebuild", s.handleRebuild)
-	s.mux.HandleFunc("GET /v1/graphs/{name}/query/{op}", s.handleQuery)
-	s.mux.HandleFunc("POST /v1/graphs/{name}/query/batch", s.handleQueryBatch)
-	if debugFaults {
+	s.handle("GET /healthz", "healthz", s.handleHealth)
+	s.handle("GET /v1/graphs", "list", s.handleList)
+	s.handle("PUT /v1/graphs/{name}", "load", s.handleLoad)
+	s.handle("GET /v1/graphs/{name}", "stats", s.handleStats)
+	s.handle("DELETE /v1/graphs/{name}", "remove", s.handleRemove)
+	s.handle("POST /v1/graphs/{name}/rebuild", "rebuild", s.handleRebuild)
+	s.handle("GET /v1/graphs/{name}/query/{op}", "query", s.handleQuery)
+	s.handle("POST /v1/graphs/{name}/query/batch", "batch", s.handleQueryBatch)
+	s.handle("GET /v1/graphs/{name}/trace", "trace", s.handleTrace)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.DebugFaults {
 		s.mux.HandleFunc("GET /debug/faultpoints", s.handleFaultList)
 		s.mux.HandleFunc("PUT /debug/faultpoints", s.handleFaultSet)
 		s.mux.HandleFunc("DELETE /debug/faultpoints", s.handleFaultReset)
 	}
+	if cfg.DebugPprof {
+		// Mounted explicitly on this mux (the pprof import's DefaultServeMux
+		// registration is unused), so an ungated server serves 404 here.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s.mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Almost always the client hanging up mid-response; the request
 		// is already answered as far as the server is concerned, so log
 		// rather than fail.
-		log.Printf("bccd: writing response: %v", err)
+		s.log.Warn("writing response", "err", err)
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+func (s *server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 // statusClientClosedRequest is the conventional (nginx) status for a
@@ -113,7 +158,7 @@ const statusClientClosedRequest = 499
 //	503 unavailable    build admission saturated (Retry-After hints when
 //	                   to come back) or the store is shutting down
 //	504 timeout        the build exceeded its deadline and was canceled
-func writeBuildError(w http.ResponseWriter, err error) {
+func (s *server) writeBuildError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, fastbcc.ErrUnknownAlgorithm):
@@ -130,7 +175,7 @@ func writeBuildError(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.Canceled):
 		status = statusClientClosedRequest
 	}
-	writeError(w, status, "%v", err)
+	s.writeError(w, status, "%v", err)
 }
 
 // buildCtx derives the context bounding one build request: the request's
@@ -161,6 +206,9 @@ type graphInfo struct {
 	Reordered bool    `json:"reordered,omitempty"`
 	BuildMS   float64 `json:"build_ms"`
 	BuiltAt   string  `json:"built_at"`
+	// Phases breaks BuildMS down into the paper's four pipeline phases
+	// (first_cc, rooting, tagging, last_cc) for the serving snapshot.
+	Phases *phasesMS `json:"last_build_phases_ms,omitempty"`
 
 	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
 	LastError           string `json:"last_error,omitempty"`
@@ -211,7 +259,13 @@ func (s *server) setRemap(name string, m *vertexMap) {
 }
 
 func (s *server) info(snap *fastbcc.Snapshot) graphInfo {
+	var phases *phasesMS
+	if snap.Result != nil {
+		p := toPhasesMS(snap.Result.Times)
+		phases = &p
+	}
 	return graphInfo{
+		Phases:    phases,
 		Name:      snap.Name,
 		Version:   snap.Version,
 		Algo:      snap.Algorithm,
@@ -250,7 +304,7 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// serving their last-good snapshot — stays HTTP 200 (the server is
 	// up and answering queries) but reports ok:false so health checks
 	// and operators see the failure without scraping per-graph stats.
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"ok":               st.FailingGraphs == 0,
 		"degraded":         st.FailingGraphs > 0,
 		"graphs":           st.Graphs,
@@ -274,7 +328,7 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 		out = append(out, s.info(snap))
 		snap.Release()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
+	s.writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
 }
 
 // loadRequest loads a graph from an inline edge list or a binary file
@@ -304,19 +358,19 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	var req loadRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	var g *fastbcc.Graph
 	var err error
 	switch {
 	case req.Path != "" && req.Edges != nil:
-		writeError(w, http.StatusBadRequest, "give either edges or path, not both")
+		s.writeError(w, http.StatusBadRequest, "give either edges or path, not both")
 		return
 	case req.Path != "":
 		g, err = fastbcc.LoadGraph(req.Path)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "load %q: %v", req.Path, err)
+			s.writeError(w, http.StatusBadRequest, "load %q: %v", req.Path, err)
 			return
 		}
 	default:
@@ -326,7 +380,7 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		}
 		g, err = fastbcc.NewGraphFromEdges(req.N, edges)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad graph: %v", err)
+			s.writeError(w, http.StatusBadRequest, "bad graph: %v", err)
 			return
 		}
 	}
@@ -345,14 +399,18 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	snap, err := s.store.Load(ctx, name, g, opts)
 	if err != nil {
-		writeBuildError(w, err)
+		s.log.Warn("load failed", "graph", name, "err", err)
+		s.writeBuildError(w, err)
 		return
 	}
 	// A load without reorder replacing a reordered entry clears the
 	// translation along with the graph it described.
 	s.setRemap(name, vm)
 	defer snap.Release()
-	writeJSON(w, http.StatusOK, s.info(snap))
+	s.log.Info("graph loaded", "graph", name, "version", snap.Version,
+		"algo", snap.Algorithm, "n", snap.Graph.NumVertices(), "m", snap.Graph.NumEdges(),
+		"took", snap.BuildTime)
+	s.writeJSON(w, http.StatusOK, s.info(snap))
 }
 
 func (s *server) handleRebuild(w http.ResponseWriter, r *http.Request) {
@@ -360,11 +418,11 @@ func (s *server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	var req loadRequest // only the option fields apply
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
 		if req.N != 0 || req.Edges != nil || req.Path != "" {
-			writeError(w, http.StatusBadRequest,
+			s.writeError(w, http.StatusBadRequest,
 				"rebuild recomputes the existing graph; to replace it, PUT the graph instead")
 			return
 		}
@@ -374,11 +432,14 @@ func (s *server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	snap, err := s.store.Rebuild(ctx, name, opts)
 	if err != nil {
-		writeBuildError(w, err)
+		s.log.Warn("rebuild failed", "graph", name, "err", err)
+		s.writeBuildError(w, err)
 		return
 	}
 	defer snap.Release()
-	writeJSON(w, http.StatusOK, s.info(snap))
+	s.log.Info("graph rebuilt", "graph", name, "version", snap.Version,
+		"algo", snap.Algorithm, "took", snap.BuildTime)
+	s.writeJSON(w, http.StatusOK, s.info(snap))
 }
 
 const timeFmt = "2006-01-02T15:04:05.000Z"
@@ -399,10 +460,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			if !st.LastErrorAt.IsZero() {
 				info.LastErrorAt = st.LastErrorAt.UTC().Format(timeFmt)
 			}
-			writeJSON(w, http.StatusOK, info)
+			s.writeJSON(w, http.StatusOK, info)
 			return
 		}
-		writeError(w, http.StatusNotFound, "%v", err)
+		s.writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	defer snap.Release()
@@ -412,17 +473,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		info.LastError = st.LastError
 		info.LastErrorAt = st.LastErrorAt.UTC().Format(timeFmt)
 	}
-	writeJSON(w, http.StatusOK, info)
+	s.writeJSON(w, http.StatusOK, info)
 }
 
 func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := s.store.Remove(name); err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		s.writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	s.log.Info("graph removed", "graph", name)
 	s.setRemap(name, nil)
-	writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
+	s.writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
 }
 
 // queryResponse answers one query; Count/Cuts/Bridges appear only for
@@ -458,10 +520,11 @@ func vertexParam(r *http.Request, key string, n int) (int32, error) {
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	name, op := r.PathValue("name"), r.PathValue("op")
 	snap, err := s.store.Acquire(name)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		s.writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	defer snap.Release()
@@ -489,12 +552,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	u, err := vertexParam(r, "u", n)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	v, err := vertexParam(r, "v", n)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// The response echoes the client's ids; the index sees served ids.
@@ -514,7 +577,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "separates":
 		x, err := vertexParam(r, "x", n)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			s.writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		resp.X = &x
@@ -541,11 +604,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	default:
-		writeError(w, http.StatusNotFound,
+		s.writeError(w, http.StatusNotFound,
 			"unknown op %q (want connected|biconnected|twoecc|separates|cuts|bridges)", op)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	// Answered queries record into the per-op latency histogram (bad
+	// requests and unknown ops only count toward the endpoint series).
+	if h := s.metrics.queryDur[op]; h != nil {
+		h.Observe(time.Since(t0))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // The /debug/faultpoints endpoints (mounted only with -debug-faults)
@@ -558,7 +626,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 //	DELETE /debug/faultpoints   disarm everything
 
 func (s *server) handleFaultList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"points": faultpoint.List()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"points": faultpoint.List()})
 }
 
 func (s *server) handleFaultSet(w http.ResponseWriter, r *http.Request) {
@@ -566,17 +634,17 @@ func (s *server) handleFaultSet(w http.ResponseWriter, r *http.Request) {
 		Spec string `json:"spec"`
 	}
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if err := faultpoint.Set(req.Spec); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"points": faultpoint.List()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"points": faultpoint.List()})
 }
 
 func (s *server) handleFaultReset(w http.ResponseWriter, r *http.Request) {
 	faultpoint.Reset()
-	writeJSON(w, http.StatusOK, map[string]bool{"reset": true})
+	s.writeJSON(w, http.StatusOK, map[string]bool{"reset": true})
 }

@@ -14,7 +14,7 @@ import (
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	store := fastbcc.NewStore(2)
-	srv := httptest.NewServer(NewHandler(store, false))
+	srv := httptest.NewServer(NewHandler(store, Config{}))
 	t.Cleanup(func() {
 		srv.Close()
 		store.Close()

@@ -62,6 +62,7 @@ type retiree struct {
 type Domain struct {
 	global atomic.Uint64
 	nret   atomic.Int64 // len(retired), readable without mu
+	nfreed atomic.Int64 // objects reclaimed over the domain's lifetime
 
 	mu      sync.Mutex
 	slots   []*slot // every slot ever created (grow-only; scanned on reclaim)
@@ -204,8 +205,14 @@ func (d *Domain) Reclaim() int {
 	for _, f := range ready {
 		f()
 	}
+	d.nfreed.Add(int64(len(ready)))
 	return len(ready)
 }
+
+// Reclaimed reports how many retired objects have been freed over the
+// domain's lifetime — the monotone companion to the Retired gauge. It
+// does not take the Domain lock.
+func (d *Domain) Reclaimed() int64 { return d.nfreed.Load() }
 
 // Retired reports how many retired objects await reclamation — the
 // domain's garbage gauge. It does not take the Domain lock.

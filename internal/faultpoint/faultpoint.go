@@ -234,6 +234,11 @@ func Hits(name string) int64 {
 	return cfg.hits.Load()
 }
 
+// Armed reports how many fault points are currently armed process-wide —
+// the gauge bccd exposes so a fleet scrape catches an injection harness
+// left running. One atomic load.
+func Armed() int { return int(armed.Load()) }
+
 // Status describes one armed point, for bccd's debug endpoint.
 type Status struct {
 	Name string `json:"name"`

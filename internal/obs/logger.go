@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity. Messages below the logger's level are
+// discarded before any formatting work happens.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's name as it appears in output and flags.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// ParseLevel parses a level name ("debug", "info", "warn", "error") —
+// the grammar of bccd's -log-level flag.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// loggerCore is the state shared by a Logger and everything derived from
+// it with With: one writer, one mutex serializing lines, one level.
+type loggerCore struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min atomic.Int32
+	// now is the clock, swappable by tests for deterministic output.
+	now func() time.Time
+}
+
+// Logger writes leveled, structured key=value lines:
+//
+//	ts=2026-08-07T10:11:12.345Z level=info msg="graph loaded" graph=road version=3
+//
+// Fields are given as key, value pairs (slog-style); With returns a
+// derived logger carrying pre-rendered fields, sharing the parent's
+// writer and level. A nil *Logger discards everything, so optional
+// loggers need no guards at call sites. All methods are safe for
+// concurrent use.
+type Logger struct {
+	core   *loggerCore
+	fields string // pre-rendered " k=v" block from With
+}
+
+// NewLogger returns a logger writing to w at the given minimum level.
+func NewLogger(w io.Writer, min Level) *Logger {
+	c := &loggerCore{w: w, now: time.Now}
+	c.min.Store(int32(min))
+	return &Logger{core: c}
+}
+
+// SetLevel changes the minimum level, effective immediately for every
+// logger sharing this core (including With-derived ones).
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.core.min.Store(int32(min))
+	}
+}
+
+// Enabled reports whether a message at lvl would be written — for
+// callers that want to skip expensive argument construction.
+func (l *Logger) Enabled(lvl Level) bool {
+	return l != nil && lvl >= Level(l.core.min.Load())
+}
+
+// With returns a logger that appends the given key, value pairs to every
+// line it writes. The fields render once, here, not per line.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || len(kv) == 0 {
+		return l
+	}
+	var b strings.Builder
+	appendFields(&b, kv)
+	return &Logger{core: l.core, fields: l.fields + b.String()}
+}
+
+// Debug logs at LevelDebug with optional key, value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lvl Level, msg string, kv []any) {
+	if !l.Enabled(lvl) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.core.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(lvl.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteIfNeeded(msg))
+	b.WriteString(l.fields)
+	appendFields(&b, kv)
+	b.WriteByte('\n')
+	l.core.mu.Lock()
+	io.WriteString(l.core.w, b.String())
+	l.core.mu.Unlock()
+}
+
+// appendFields renders key, value pairs as " k=v" runs. A trailing
+// unpaired key renders with an empty value rather than being dropped —
+// a visible bug beats a silent one.
+func appendFields(b *strings.Builder, kv []any) {
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte(' ')
+		if k, ok := kv[i].(string); ok {
+			b.WriteString(k)
+		} else {
+			b.WriteString(fmt.Sprint(kv[i]))
+		}
+		b.WriteByte('=')
+		if i+1 < len(kv) {
+			b.WriteString(formatValue(kv[i+1]))
+		}
+	}
+}
+
+func formatValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return quoteIfNeeded(x)
+	case error:
+		return quoteIfNeeded(x.Error())
+	case time.Duration:
+		return x.String()
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	}
+	return quoteIfNeeded(fmt.Sprint(v))
+}
+
+// quoteIfNeeded quotes values that would break the key=value grammar;
+// bare words stay bare so the output is grep-friendly.
+func quoteIfNeeded(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '"' || c == '=' || c < 0x20 || c == 0x7f {
+			return strconv.Quote(s)
+		}
+	}
+	if s == "" {
+		return `""`
+	}
+	return s
+}

@@ -1,0 +1,248 @@
+// Package obs is the repository's dependency-free observability core:
+// monotonic counters, gauges, lock-free log-bucketed latency histograms,
+// a span primitive for phase tracing, a metric registry rendered by the
+// sibling package promtext (Prometheus text exposition), and a leveled
+// structured logger.
+//
+// The design constraint is the same one the serving stack lives under:
+// the instrumented scalar and batched query paths must stay zero
+// allocations per operation, so every record primitive here is
+// allocation-free and cheap enough to sit on a nanosecond-scale hot path
+// (a histogram observation is two uncontended atomic adds, ~10–20ns; a
+// counter add is one). Like internal/epoch's reader slots, the mutable
+// cells are sharded and padded out to 128 bytes so concurrent recorders
+// never false-share a cacheline; merging across shards happens only at
+// scrape time, which is the pop_setbench discipline — measurement cost
+// lives on the (rare) observer, not the (hot) observed.
+//
+// Histograms bucket by powers of two over nanoseconds: an observation of
+// d nanoseconds lands in bucket bits.Len64(d), i.e. bucket b spans
+// [2^(b-1), 2^b). 64 finite buckets cover 1ns through ~292 years, which
+// is every latency this repository can produce, with no configuration
+// and a branch-free bucket computation.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// numShards is the recorder shard count, a power of two. Shards exist to
+// keep concurrent recorders off each other's cachelines; eight covers
+// the container fleet's core counts without bloating scrape-time merges.
+const numShards = 8
+
+// shardIdx picks a recorder's shard from the address of its stack frame:
+// distinct goroutines run on distinct stacks, so hashing a frame address
+// spreads concurrent recorders across shards with zero per-goroutine
+// state and zero allocations. The value is only a placement hint — any
+// index is correct, collisions merely share a cacheline — so a goroutine
+// whose stack moves simply starts using another shard.
+func shardIdx() int {
+	var x byte
+	a := uintptr(unsafe.Pointer(&x))
+	return int((uint64(a>>4) * 0x9E3779B97F4A7C15) >> 61)
+}
+
+// cell is one shard of a Counter: a 128-byte-padded atomic so recorders
+// on different shards never false-share (the padding covers the
+// adjacent-line prefetcher, like internal/epoch's reader slots).
+type cell struct {
+	n atomic.Int64
+	_ [120]byte
+}
+
+// Counter is a monotonic counter, sharded so concurrent Add calls on
+// different goroutines do not contend. The zero value is ready to use;
+// register it with a Registry to expose it. All methods are safe for
+// concurrent use and allocation-free.
+type Counter struct {
+	cells [numShards]cell
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.cells[shardIdx()].n.Add(1) }
+
+// Add adds n, which must be non-negative (counters are monotone; the
+// scrape-side merge does not defend against negative deltas).
+func (c *Counter) Add(n int64) { c.cells[shardIdx()].n.Add(n) }
+
+// Value returns the current total across shards. Concurrent readers see
+// monotonically non-decreasing values that converge to the exact total
+// once recorders quiesce.
+func (c *Counter) Value() int64 {
+	var t int64
+	for i := range c.cells {
+		t += c.cells[i].n.Load()
+	}
+	return t
+}
+
+// BankSlots is the slot count of a CounterBank.
+const BankSlots = 8
+
+// bankShard is one shard of a CounterBank: eight counters on a single
+// 64-byte line, padded to 128 like cell.
+type bankShard struct {
+	v [BankSlots]atomic.Int64
+	_ [64]byte
+}
+
+// CounterBank is up to eight monotonic counters that are flushed
+// together: one shard pick, then one atomic add per non-zero slot, all
+// landing on a single cacheline. It exists for hot paths that update a
+// small family of related counters per event — a batch flushing six
+// per-op volumes through six separate Counters would pay six shard
+// hashes and dirty six cachelines; through a bank it pays one and one.
+// The zero value is ready to use; expose each slot with
+// Registry.CounterFunc over Value.
+type CounterBank struct {
+	shards [numShards]bankShard
+}
+
+// Flush adds each non-negative vals[i] to slot i. Zero slots cost one
+// register test each.
+func (b *CounterBank) Flush(vals *[BankSlots]int64) {
+	sh := &b.shards[shardIdx()]
+	for i, v := range vals {
+		if v != 0 {
+			sh.v[i].Add(v)
+		}
+	}
+}
+
+// Value returns slot i's total across shards, with the same monotone
+// convergence as Counter.Value.
+func (b *CounterBank) Value(i int) int64 {
+	var t int64
+	for s := range b.shards {
+		t += b.shards[s].v[i].Load()
+	}
+	return t
+}
+
+// Gauge is a settable instantaneous value. The zero value is ready to
+// use; all methods are safe for concurrent use and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// NumBuckets is the number of histogram buckets: 64 finite power-of-two
+// buckets over nanoseconds plus one overflow (+Inf) bucket at index 64.
+const NumBuckets = 65
+
+// histShard is one shard of a Histogram, padded to a multiple of 128
+// bytes so shards never share a cacheline pair.
+type histShard struct {
+	sum     atomic.Int64 // nanoseconds
+	buckets [NumBuckets]atomic.Uint64
+	_       [112]byte
+}
+
+// Histogram is a lock-free latency histogram with power-of-two buckets
+// over nanoseconds, sharded like Counter. Observations are two atomic
+// adds on a private shard; the merge across shards happens only in
+// Snapshot (scrape time). The zero value is ready to use; all methods
+// are safe for concurrent use and allocation-free.
+type Histogram struct {
+	shards [numShards]histShard
+}
+
+// Observe records one duration. Negative durations (clock steps) record
+// as zero rather than corrupting a bucket index.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+
+// ObserveNs records one duration given in nanoseconds.
+func (h *Histogram) ObserveNs(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	s := &h.shards[shardIdx()]
+	s.buckets[bits.Len64(uint64(ns))].Add(1)
+	s.sum.Add(ns)
+}
+
+// HistSnapshot is a merged point-in-time view of a Histogram.
+type HistSnapshot struct {
+	// Buckets[b] counts observations in [2^(b-1), 2^b) ns; Buckets[64]
+	// is the overflow bucket (>= 2^63 ns).
+	Buckets [NumBuckets]uint64
+	// Count is the total number of observations (the sum of Buckets).
+	Count uint64
+	// SumNs is the sum of all observed durations in nanoseconds.
+	SumNs int64
+}
+
+// Snapshot merges the shards into one view. Concurrent with recorders it
+// is a consistent-enough read for monitoring: counts are monotone across
+// successive snapshots and exact once recorders quiesce (an in-flight
+// observation may be counted in a bucket before its sum lands, or vice
+// versa, for the duration of that observation only).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.shards {
+		sh := &h.shards[i]
+		s.SumNs += sh.sum.Load()
+		for b := range sh.buckets {
+			n := sh.buckets[b].Load()
+			s.Buckets[b] += n
+			s.Count += n
+		}
+	}
+	return s
+}
+
+// BucketUpper returns bucket b's inclusive upper bound in seconds:
+// 2^b nanoseconds for the finite buckets (every integer duration in the
+// bucket is strictly below it), +Inf for the overflow bucket.
+func BucketUpper(b int) float64 {
+	if b >= NumBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<uint(b)) / 1e9
+}
+
+// Span measures one operation into an optional Histogram — the
+// phase-tracing primitive. A Span is a value (no allocation):
+//
+//	sp := obs.StartSpan(buildHist)
+//	... do the work ...
+//	d := sp.End() // records into buildHist and returns the duration
+//
+// A nil histogram makes End a pure stopwatch, which is how callers time
+// phases they record elsewhere (e.g. the build trace ring buffer).
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// StartSpan starts a span recording into h (nil = stopwatch only).
+func StartSpan(h *Histogram) Span { return Span{h: h, t0: time.Now()} }
+
+// End stops the span, records the elapsed time into the histogram (if
+// any), and returns it.
+func (s Span) End() time.Duration {
+	d := time.Since(s.t0)
+	if s.h != nil {
+		s.h.Observe(d)
+	}
+	return d
+}

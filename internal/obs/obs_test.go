@@ -1,0 +1,398 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCounterExact(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+// TestCounterConcurrentMonotone drives concurrent recorders against a
+// concurrent scraper: every scraped value must be monotonically
+// non-decreasing and never exceed what has been handed to Add, and the
+// final total must be exact — the contract that makes /metrics counters
+// trustworthy mid-traffic.
+func TestCounterConcurrentMonotone(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 5000
+	)
+	var c Counter
+	var handed atomic.Int64 // incremented BEFORE the Add it describes
+	stop := make(chan struct{})
+	var scrapeErr atomic.Value
+	var scraperWG sync.WaitGroup
+	scraperWG.Add(1)
+	go func() {
+		defer scraperWG.Done()
+		last := int64(0)
+		for {
+			v := c.Value()
+			if v < last {
+				scrapeErr.Store("counter went backwards")
+				return
+			}
+			last = v
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				handed.Add(1)
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scraperWG.Wait()
+	if e := scrapeErr.Load(); e != nil {
+		t.Fatal(e)
+	}
+	if got := c.Value(); got != writers*perW {
+		t.Fatalf("final Value = %d, want %d", got, writers*perW)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// 1ns → bucket 1 ([1,2)), 1000ns → bucket 10 ([512,1024)),
+	// 0 → bucket 0, negative clamps to 0.
+	h.ObserveNs(0)
+	h.ObserveNs(-5)
+	h.ObserveNs(1)
+	h.ObserveNs(1000)
+	h.Observe(time.Microsecond) // 1000ns again
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	if s.SumNs != 2001 {
+		t.Fatalf("SumNs = %d, want 2001", s.SumNs)
+	}
+	want := map[int]uint64{0: 2, 1: 1, 10: 2}
+	for b, n := range s.Buckets {
+		if n != want[b] {
+			t.Fatalf("bucket %d = %d, want %d", b, n, want[b])
+		}
+	}
+}
+
+func TestHistogramConcurrentExact(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 4000
+	)
+	var h Histogram
+	stop := make(chan struct{})
+	var scrapeErr atomic.Value
+	var scraperWG sync.WaitGroup
+	scraperWG.Add(1)
+	go func() {
+		defer scraperWG.Done()
+		last := uint64(0)
+		for {
+			s := h.Snapshot()
+			if s.Count < last {
+				scrapeErr.Store("histogram count went backwards")
+				return
+			}
+			last = s.Count
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.ObserveNs(int64(1) << uint(w%16)) // bucket w%16 + 1
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scraperWG.Wait()
+	if e := scrapeErr.Load(); e != nil {
+		t.Fatal(e)
+	}
+	s := h.Snapshot()
+	if s.Count != writers*perW {
+		t.Fatalf("Count = %d, want %d", s.Count, writers*perW)
+	}
+	var bucketTotal uint64
+	for _, n := range s.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestBucketUpper(t *testing.T) {
+	if got := BucketUpper(0); got != 1e-9 {
+		t.Fatalf("BucketUpper(0) = %g, want 1e-09", got)
+	}
+	if got := BucketUpper(10); got != 1024e-9 {
+		t.Fatalf("BucketUpper(10) = %g, want 1.024e-06", got)
+	}
+	if !math.IsInf(BucketUpper(NumBuckets-1), 1) {
+		t.Fatal("overflow bucket upper bound should be +Inf")
+	}
+}
+
+// TestRecordAllocFree pins the hot-path contract: recording into any
+// primitive allocates nothing, so instrumented query paths keep their
+// 0 allocs/op guarantee.
+func TestCounterBankExact(t *testing.T) {
+	var b CounterBank
+	b.Flush(&[BankSlots]int64{0, 3, 0, 7, 0, 0, 0, 1})
+	b.Flush(&[BankSlots]int64{0, 2, 0, 0, 0, 0, 0, 0})
+	want := [BankSlots]int64{0, 5, 0, 7, 0, 0, 0, 1}
+	for i, w := range want {
+		if got := b.Value(i); got != w {
+			t.Fatalf("slot %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestCounterBankConcurrent(t *testing.T) {
+	var b CounterBank
+	const writers, rounds = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				b.Flush(&[BankSlots]int64{1, 0, 2, 0, 0, 0, 0, 1})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var last int64
+		for i := 0; i < 2000; i++ {
+			v := b.Value(0)
+			if v < last {
+				t.Errorf("slot 0 went backwards: %d then %d", last, v)
+				return
+			}
+			last = v
+		}
+	}()
+	wg.Wait()
+	<-done
+	for slot, want := range map[int]int64{0: writers * rounds, 2: 2 * writers * rounds, 7: writers * rounds, 1: 0} {
+		if got := b.Value(slot); got != want {
+			t.Fatalf("slot %d = %d, want %d", slot, got, want)
+		}
+	}
+}
+
+func TestRecordAllocFree(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	var b CounterBank
+	vals := [BankSlots]int64{1, 0, 2, 0, 0, 0, 0, 1}
+	if avg := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Add(-1)
+		h.ObserveNs(12345)
+		b.Flush(&vals)
+	}); avg != 0 {
+		t.Fatalf("record path: %.2f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		sp := StartSpan(&h)
+		sp.End()
+	}); avg != 0 {
+		t.Fatalf("span: %.2f allocs/op, want 0", avg)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	var h Histogram
+	sp := StartSpan(&h)
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d < time.Millisecond {
+		t.Fatalf("span measured %v, want >= 1ms", d)
+	}
+	s := h.Snapshot()
+	if s.Count != 1 || s.SumNs < int64(time.Millisecond) {
+		t.Fatalf("histogram after span: count=%d sum=%dns", s.Count, s.SumNs)
+	}
+	// Nil-histogram span is a pure stopwatch.
+	if d := StartSpan(nil).End(); d < 0 {
+		t.Fatalf("stopwatch span returned %v", d)
+	}
+}
+
+func TestRegistryGather(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("zz_total", "Z.", "op", "a")
+	r.Counter("zz_total", "Z.", "op", "b").Add(2)
+	c.Add(1)
+	r.Gauge("aa_gauge", "A.").Set(-3)
+	r.GaugeFunc("ff_gauge", "F.", func() float64 { return 1.5 })
+	r.CounterFunc("cf_total", "CF.", func() int64 { return 9 })
+	r.Histogram("hh_seconds", "H.").ObserveNs(1)
+
+	fams := r.Gather()
+	if len(fams) != 5 {
+		t.Fatalf("got %d families, want 5", len(fams))
+	}
+	// Sorted by name: aa_gauge, cf_total, ff_gauge, hh_seconds, zz_total.
+	if fams[0].Name != "aa_gauge" || fams[4].Name != "zz_total" {
+		t.Fatalf("family order wrong: %s ... %s", fams[0].Name, fams[4].Name)
+	}
+	zz := fams[4]
+	if len(zz.Series) != 2 || zz.Series[0].Labels != `op="a"` || zz.Series[0].Value != 1 {
+		t.Fatalf("zz series: %+v", zz.Series)
+	}
+	if fams[3].Series[0].Hist == nil || fams[3].Series[0].Hist.Count != 1 {
+		t.Fatalf("histogram series: %+v", fams[3].Series[0])
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	mustPanic("duplicate series", func() { r.Counter("x_total", "X.") })
+	mustPanic("type mismatch", func() { r.Gauge("x_total", "X.") })
+	mustPanic("odd labels", func() { r.Counter("y_total", "Y.", "op") })
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := labelString([]string{"k", `a"b\c` + "\n"})
+	want := `k="a\"b\\c\n"`
+	if got != want {
+		t.Fatalf("labelString = %s, want %s", got, want)
+	}
+}
+
+func TestLoggerLevelsAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.core.now = func() time.Time { return time.Date(2026, 8, 7, 1, 2, 3, 4e6, time.UTC) }
+	l.Debug("hidden")
+	l.Info("graph loaded", "graph", "road net", "version", 3, "took", 1500*time.Millisecond)
+	got := buf.String()
+	want := `ts=2026-08-07T01:02:03.004Z level=info msg="graph loaded" graph="road net" version=3 took=1.5s` + "\n"
+	if got != want {
+		t.Fatalf("line:\n got %q\nwant %q", got, want)
+	}
+
+	buf.Reset()
+	l.SetLevel(LevelError)
+	l.Warn("still hidden")
+	l.Error("boom", "err", strings.Repeat("x", 3))
+	if !strings.Contains(buf.String(), "level=error msg=boom err=xxx") {
+		t.Fatalf("error line: %q", buf.String())
+	}
+	if strings.Contains(buf.String(), "still hidden") {
+		t.Fatal("warn leaked past error level")
+	}
+}
+
+func TestLoggerWithAndNil(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug)
+	l.core.now = func() time.Time { return time.Unix(0, 0).UTC() }
+	rl := l.With("graph", "g1", "op", "connected")
+	rl.Info("q")
+	if !strings.Contains(buf.String(), "msg=q graph=g1 op=connected") {
+		t.Fatalf("with-fields line: %q", buf.String())
+	}
+	// Derived loggers share the parent's level.
+	l.SetLevel(LevelError)
+	if rl.Enabled(LevelInfo) {
+		t.Fatal("derived logger ignored SetLevel on parent")
+	}
+	// A nil logger is safe everywhere.
+	var nilL *Logger
+	nilL.Info("ignored", "k", "v")
+	nilL.With("a", 1).Error("ignored")
+	if nilL.Enabled(LevelError) {
+		t.Fatal("nil logger claims enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "Warn": LevelWarn,
+		"warning": LevelWarn, " error ": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Info("line", "worker", i, "j", j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 8*200 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*200)
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "ts=") || !strings.Contains(ln, "level=info") {
+			t.Fatalf("mangled line: %q", ln)
+		}
+	}
+}

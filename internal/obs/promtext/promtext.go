@@ -1,0 +1,132 @@
+// Package promtext renders obs registries in the Prometheus text
+// exposition format (version 0.0.4), hand-rolled so the serving stack's
+// /metrics endpoint needs no external dependency:
+//
+//	# HELP name help text
+//	# TYPE name counter
+//	name{label="v"} 12
+//
+// Histograms render as cumulative _bucket series with le upper bounds in
+// seconds (the power-of-two nanosecond buckets of obs.Histogram), plus
+// _sum and _count. Empty buckets are elided — cumulative counts stay
+// correct at every emitted boundary and scrapers accept sparse bucket
+// sets — so a histogram costs output proportional to the latencies it
+// actually saw, not its 64-bucket range.
+package promtext
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// ContentType is the exposition content type /metrics should answer with.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Write renders the registries' metrics to w, families merged across
+// registries and sorted by name, series sorted by label block. It
+// returns the first write error.
+func Write(w io.Writer, regs ...*obs.Registry) error {
+	byName := map[string]*obs.FamilySnapshot{}
+	var names []string
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		for _, f := range r.Gather() {
+			f := f
+			if cur := byName[f.Name]; cur != nil {
+				cur.Series = append(cur.Series, f.Series...)
+				sort.Slice(cur.Series, func(i, j int) bool { return cur.Series[i].Labels < cur.Series[j].Labels })
+				continue
+			}
+			byName[f.Name] = &f
+			names = append(names, f.Name)
+		}
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		writeFamily(bw, byName[name])
+	}
+	return bw.Flush()
+}
+
+func writeFamily(w *bufio.Writer, f *obs.FamilySnapshot) {
+	if f.Help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.Name)
+		w.WriteByte(' ')
+		w.WriteString(f.Help)
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.Name)
+	w.WriteByte(' ')
+	w.WriteString(f.Type)
+	w.WriteByte('\n')
+	for _, s := range f.Series {
+		if s.Hist != nil {
+			writeHistogram(w, f.Name, s.Labels, s.Hist)
+			continue
+		}
+		w.WriteString(f.Name)
+		if s.Labels != "" {
+			w.WriteByte('{')
+			w.WriteString(s.Labels)
+			w.WriteByte('}')
+		}
+		w.WriteByte(' ')
+		w.WriteString(formatValue(s.Value, s.IsInt))
+		w.WriteByte('\n')
+	}
+}
+
+func writeHistogram(w *bufio.Writer, name, labels string, h *obs.HistSnapshot) {
+	var cum uint64
+	for b, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if upper := obs.BucketUpper(b); !math.IsInf(upper, 1) {
+			writeSample(w, name+"_bucket", labels, `le="`+formatFloat(upper)+`"`, strconv.FormatUint(cum, 10))
+		}
+	}
+	writeSample(w, name+"_bucket", labels, `le="+Inf"`, strconv.FormatUint(h.Count, 10))
+	writeSample(w, name+"_sum", labels, "", formatFloat(float64(h.SumNs)/1e9))
+	writeSample(w, name+"_count", labels, "", strconv.FormatUint(h.Count, 10))
+}
+
+// writeSample writes one sample line, merging the series labels with an
+// optional extra label (the histogram le).
+func writeSample(w *bufio.Writer, name, labels, extra, value string) {
+	w.WriteString(name)
+	if labels != "" || extra != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		if labels != "" && extra != "" {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func formatValue(v float64, isInt bool) string {
+	if isInt {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return formatFloat(v)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,113 @@
+package promtext
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestWriteGolden pins the exact exposition text for a registry covering
+// every metric kind: counters with and without labels, int and float
+// gauges, func-backed series, and a histogram with elided empty buckets.
+func TestWriteGolden(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("app_requests_total", "Requests served.", "endpoint", "query").Add(3)
+	r.Counter("app_requests_total", "Requests served.", "endpoint", "batch").Add(1)
+	r.CounterFunc("app_builds_total", "Builds run.", func() int64 { return 7 })
+	r.Gauge("app_in_flight", "In-flight requests.").Set(2)
+	r.GaugeFunc("app_load", "Load average.", func() float64 { return 0.5 })
+	h := r.Histogram("app_latency_seconds", "Request latency.")
+	h.ObserveNs(1)    // bucket 1, le=2e-09
+	h.ObserveNs(1)    // bucket 1
+	h.ObserveNs(900)  // bucket 10, le=1.024e-06
+	h.ObserveNs(3000) // bucket 12, le=4.096e-06
+
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP app_builds_total Builds run.",
+		"# TYPE app_builds_total counter",
+		"app_builds_total 7",
+		"# HELP app_in_flight In-flight requests.",
+		"# TYPE app_in_flight gauge",
+		"app_in_flight 2",
+		"# HELP app_latency_seconds Request latency.",
+		"# TYPE app_latency_seconds histogram",
+		`app_latency_seconds_bucket{le="2e-09"} 2`,
+		`app_latency_seconds_bucket{le="1.024e-06"} 3`,
+		`app_latency_seconds_bucket{le="4.096e-06"} 4`,
+		`app_latency_seconds_bucket{le="+Inf"} 4`,
+		"app_latency_seconds_sum 3.902e-06",
+		"app_latency_seconds_count 4",
+		"# HELP app_load Load average.",
+		"# TYPE app_load gauge",
+		"app_load 0.5",
+		"# HELP app_requests_total Requests served.",
+		"# TYPE app_requests_total counter",
+		`app_requests_total{endpoint="batch"} 1`,
+		`app_requests_total{endpoint="query"} 3`,
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteMergesRegistries checks that families from multiple
+// registries interleave into one sorted stream — the /metrics endpoint
+// merges the store registry with the HTTP registry.
+func TestWriteMergesRegistries(t *testing.T) {
+	a := obs.NewRegistry()
+	a.Counter("zz_total", "Z.").Add(1)
+	a.Counter("mm_total", "M.", "src", "a").Add(2)
+	b := obs.NewRegistry()
+	b.Counter("aa_total", "A.").Add(3)
+	b.Counter("mm_total", "M.", "src", "b").Add(4)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, a, nil, b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP aa_total A.",
+		"# TYPE aa_total counter",
+		"aa_total 3",
+		"# HELP mm_total M.",
+		"# TYPE mm_total counter",
+		`mm_total{src="a"} 2`,
+		`mm_total{src="b"} 4`,
+		"# HELP zz_total Z.",
+		"# TYPE zz_total counter",
+		"zz_total 1",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("merge mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramLabelsCombineWithLe checks series labels merge with the
+// le label inside one brace block.
+func TestHistogramLabelsCombineWithLe(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Histogram("d_seconds", "D.", "op", "connected").ObserveNs(1)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`d_seconds_bucket{op="connected",le="2e-09"} 1`,
+		`d_seconds_bucket{op="connected",le="+Inf"} 1`,
+		`d_seconds_sum{op="connected"} 1e-09`,
+		`d_seconds_count{op="connected"} 1`,
+	} {
+		if !strings.Contains(buf.String(), want+"\n") {
+			t.Fatalf("missing line %q in:\n%s", want, buf.String())
+		}
+	}
+}

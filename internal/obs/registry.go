@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Metric types, matching the Prometheus exposition TYPE keywords.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// series is one labeled sample set within a family. Exactly one of the
+// value fields is set, matching the family's type.
+type series struct {
+	labels    string // rendered `k="v",k2="v2"` block, "" for none
+	counter   *Counter
+	gauge     *Gauge
+	counterFn func() int64
+	gaugeFn   func() float64
+	hist      *Histogram
+}
+
+// family groups every series registered under one metric name; name,
+// help, and type are shared (re-registering a name with a different type
+// or help is a programmer error and panics).
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry is a set of named metrics rendered together at scrape time
+// (see promtext). Registration takes a lock and may allocate; the
+// returned Counter/Gauge/Histogram pointers are then recorded into
+// lock- and allocation-free. Metrics are identified by name plus an
+// optional fixed label set given as key, value pairs:
+//
+//	reg := obs.NewRegistry()
+//	hits := reg.Counter("requests_total", "Requests served.", "endpoint", "query")
+//	lat := reg.Histogram("request_duration_seconds", "Request latency.")
+//
+// All methods are safe for concurrent use. The zero value is not usable;
+// construct with NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: map[string]*family{}} }
+
+// labelString renders key, value pairs into a deterministic label block.
+func labelString(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q (want key, value pairs)", kv))
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		v := kv[i+1]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// register adds one series, creating or extending its family. Duplicate
+// (name, labels) pairs and type mismatches panic: both are wiring bugs a
+// test hits on its first scrape, not runtime conditions.
+func (r *Registry) register(name, help, typ string, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.fams[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	for _, old := range f.series {
+		if old.labels == s.labels {
+			panic(fmt.Sprintf("obs: duplicate series %s{%s}", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	c := &Counter{}
+	r.register(name, help, TypeCounter, &series{labels: labelString(labels), counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for exposing totals an existing atomic already maintains
+// without double-counting.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...string) {
+	r.register(name, help, TypeCounter, &series{labels: labelString(labels), counterFn: fn})
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, TypeGauge, &series{labels: labelString(labels), gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time. fn may take locks (it runs on the scraper, never on a recording
+// hot path) but must not call back into the registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, TypeGauge, &series{labels: labelString(labels), gaugeFn: fn})
+}
+
+// Histogram registers and returns a histogram.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	h := &Histogram{}
+	r.register(name, help, TypeHistogram, &series{labels: labelString(labels), hist: h})
+	return h
+}
+
+// SeriesSnapshot is one series' scrape-time view.
+type SeriesSnapshot struct {
+	// Labels is the rendered label block without braces ("" for none).
+	Labels string
+	// Value is the sample for counter/gauge series; IsInt reports whether
+	// it is an exact integer (rendered without a decimal point).
+	Value float64
+	IsInt bool
+	// Hist is set for histogram series instead of Value.
+	Hist *HistSnapshot
+}
+
+// FamilySnapshot is one metric family's scrape-time view.
+type FamilySnapshot struct {
+	Name, Help, Type string
+	Series           []SeriesSnapshot
+}
+
+// Gather snapshots every registered metric, families sorted by name and
+// series by label block — the deterministic order the text exposition
+// renders in.
+func (r *Registry) Gather() []FamilySnapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ}
+		ss := append([]*series(nil), f.series...)
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		for _, s := range ss {
+			snap := SeriesSnapshot{Labels: s.labels}
+			switch {
+			case s.counter != nil:
+				snap.Value, snap.IsInt = float64(s.counter.Value()), true
+			case s.counterFn != nil:
+				snap.Value, snap.IsInt = float64(s.counterFn()), true
+			case s.gauge != nil:
+				snap.Value, snap.IsInt = float64(s.gauge.Value()), true
+			case s.gaugeFn != nil:
+				snap.Value = s.gaugeFn()
+			case s.hist != nil:
+				h := s.hist.Snapshot()
+				snap.Hist = &h
+			}
+			fs.Series = append(fs.Series, snap)
+		}
+		out = append(out, fs)
+	}
+	return out
+}

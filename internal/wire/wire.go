@@ -42,9 +42,9 @@ var (
 )
 
 const (
-	recordSize     = 13               // u8 op + 3 × i32
-	reqHeaderSize  = 4 + 4            // magic + count
-	respHeaderSize = 4 + 8 + 4       // magic + version + count
+	recordSize     = 13        // u8 op + 3 × i32
+	reqHeaderSize  = 4 + 4     // magic + count
+	respHeaderSize = 4 + 8 + 4 // magic + version + count
 	// readChunk caps how much a frame read trusts the declared length
 	// per allocation step: a lying prefix costs at most one chunk.
 	readChunk = 1 << 16

@@ -160,6 +160,20 @@ func (h *Handle) entry(name string) (*storeEntry, error) {
 // Acquires nest (each needs its own Release), and the reservation
 // covers every snapshot acquired under it.
 func (h *Handle) Acquire(name string) (*Snapshot, error) {
+	snap, err := h.acquire(name)
+	if err == nil {
+		if m := h.store.metrics.Load(); m != nil {
+			m.acquiresEpoch.Inc()
+		}
+	}
+	return snap, err
+}
+
+// acquire is Acquire without the metric touch: Store.QueryBatch counts
+// its pin through the batch's counter-bank flush (opCounts slot 0)
+// instead of a separate sharded counter, so the batch fast path dirties
+// one metrics cacheline, not two.
+func (h *Handle) acquire(name string) (*Snapshot, error) {
 	en, err := h.entry(name)
 	if err != nil {
 		return nil, err
@@ -203,6 +217,13 @@ const parallelBatchMin = 1 << 15
 // query fails the whole batch with an error naming its index — no
 // partial answers.
 func (sn *Snapshot) QueryBatch(ctx context.Context, qs []Query, dst []Answer) ([]Answer, error) {
+	return sn.queryBatch(ctx, qs, dst, false)
+}
+
+// queryBatch is QueryBatch plus the epochPin flag: true when the caller
+// is Store.QueryBatch and its handle pin should be counted through the
+// batch flush (see opCounts).
+func (sn *Snapshot) queryBatch(ctx context.Context, qs []Query, dst []Answer, epochPin bool) ([]Answer, error) {
 	if err := faultpoint.CheckCtx(ctx, faultpoint.SlowQuery); err != nil {
 		return nil, err
 	}
@@ -217,9 +238,25 @@ func (sn *Snapshot) QueryBatch(ctx context.Context, qs []Query, dst []Answer) ([
 	idx := sn.Index
 	n := int32(sn.Graph.NumVertices())
 
+	var m *storeMetrics
+	if sn.store != nil {
+		m = sn.store.metrics.Load()
+	}
+	var counts opCounts
+	if m != nil && epochPin {
+		counts[pinSlot] = 1
+	}
+
 	if len(qs) >= parallelBatchMin {
 		if err := sn.queryParallel(ctx, idx, n, qs, answers); err != nil {
 			return nil, err
+		}
+		if m != nil {
+			// Large batches count in a separate pass: its cost amortizes
+			// over >=32K queries, and the workers stay untouched.
+			for i := range qs {
+				counts[qs[i].Op&7]++
+			}
 		}
 	} else {
 		for i := range qs {
@@ -233,9 +270,23 @@ func (sn *Snapshot) QueryBatch(ctx context.Context, qs []Query, dst []Answer) ([
 				return nil, queryErr(i, &qs[i], n)
 			}
 			answers[i] = a
+			// Per-op tally, unconditional: one stack add overlapped with
+			// the query work (a predictable metrics-enabled? branch here
+			// would cost as much as the add), masked so the validated op
+			// indexes without a bounds check.
+			counts[qs[i].Op&7]++
 		}
 	}
-	if sn.store != nil {
+	// Stats accounting: with metrics on, the batch call rides the same
+	// bank flush as the per-op tallies and the epoch pin — one flush
+	// instead of two plain atomic adds, so the instrumented path costs
+	// roughly what the bare one does. With metrics off (or paused), the
+	// plain counters take over; Stats and fastbcc_batches_total sum
+	// both sources, so totals stay exact across SetMetricsEnabled flips.
+	if m != nil {
+		counts[batchSlot] = 1
+		m.recordBatch(&counts)
+	} else if sn.store != nil {
 		sn.store.batches.Add(1)
 		sn.store.batchQueries.Add(int64(len(qs)))
 	}
@@ -350,12 +401,12 @@ func (s *Store) QueryBatch(ctx context.Context, h *Handle, name string, qs []Que
 		if h.store != s {
 			return nil, 0, errors.New("fastbcc: QueryBatch: handle belongs to a different Store")
 		}
-		snap, err := h.Acquire(name)
+		snap, err := h.acquire(name)
 		if err != nil {
 			return nil, 0, err
 		}
 		defer h.Release()
-		out, err := snap.QueryBatch(ctx, qs, dst)
+		out, err := snap.queryBatch(ctx, qs, dst, true)
 		return out, snap.Version, err
 	}
 	snap, err := s.Acquire(name)

@@ -43,6 +43,9 @@ type Runner struct {
 	// a single arena, so concurrent runs never contend on a freelist
 	// mutex and a burst of k runs settles at k pooled arenas.
 	arenas sync.Pool
+	// metrics counts runs/errors/panics when the Runner is owned by a
+	// metrics-enabled Store; nil (and unrecorded) otherwise.
+	metrics *runnerMetrics
 }
 
 // NewRunner returns a Runner with workers-1 shared pool goroutines, so a
@@ -97,6 +100,20 @@ func recoverBuildPanic(err *error) {
 // pipeline (see internal/faultpoint) live here, ahead of the engine
 // dispatch; they are no-ops unless a test or debug endpoint arms them.
 func (r *Runner) run(ctx context.Context, g *Graph, opts *Options) (res *Result, err error) {
+	if m := r.metrics; m != nil {
+		m.runs.Inc()
+		// Registered before recoverBuildPanic so it runs after it (LIFO):
+		// by then a panic has been converted to an ErrBuildPanic-wrapped
+		// error and is classifiable.
+		defer func() {
+			if err != nil {
+				m.errs.Inc()
+				if errors.Is(err, ErrBuildPanic) {
+					m.panics.Inc()
+				}
+			}
+		}()
+	}
 	defer recoverBuildPanic(&err)
 	if err := r.admitFaults(ctx); err != nil {
 		return nil, err

@@ -154,6 +154,14 @@ type Store struct {
 	inFlight   atomic.Int64 // builds currently executing on the Runner
 	buildFails atomic.Int64 // cumulative failed builds since creation
 
+	// metrics is the observability surface the hot paths record into;
+	// every record site guards on the load being non-nil. It is nil with
+	// DisableMetrics, and SetMetricsEnabled flips it between nil and
+	// metricsAll — the built surface, which survives pauses so the
+	// registry keeps serving scrapes. See Store.Metrics.
+	metrics    atomic.Pointer[storeMetrics]
+	metricsAll *storeMetrics
+
 	mu     sync.RWMutex
 	byName map[string]*storeEntry
 	closed bool
@@ -174,6 +182,9 @@ type storeEntry struct {
 	fails     int
 	lastErr   string
 	lastErrAt time.Time
+
+	// traces retains the entry's recent build attempts (see Store.Trace).
+	traces traceRing
 }
 
 func newStoreEntry() *storeEntry {
@@ -241,6 +252,13 @@ type StoreConfig struct {
 	// cooperatively canceled, frees its admission slot, and leaves the
 	// entry serving its last-good snapshot.
 	BuildTimeout time.Duration
+	// DisableMetrics skips creating the Store's metric registry
+	// (Store.Metrics returns nil). The default — metrics on — costs one
+	// sharded atomic add per serving hop and a constant handful of
+	// operations per batch and per build; Store.SetMetricsEnabled pauses
+	// exactly that cost at run time (and is how cmd/bccbench -qbench
+	// measures it).
+	DisableMetrics bool
 }
 
 // NewStore returns a Store whose rebuilds share a Runner with workers-1
@@ -262,6 +280,11 @@ func NewStoreWithConfig(cfg StoreConfig) *Store {
 	}
 	if cfg.MaxConcurrentBuilds > 0 {
 		s.buildSem = make(chan struct{}, cfg.MaxConcurrentBuilds)
+	}
+	if !cfg.DisableMetrics {
+		s.metricsAll = newStoreMetrics(s)
+		s.runner.metrics = &s.metricsAll.runner
+		s.metrics.Store(s.metricsAll)
 	}
 	return s
 }
@@ -374,6 +397,9 @@ func (s *Store) build(ctx context.Context, en *storeEntry, name string, g *Graph
 	// Admission first: saturation is detected ahead of any per-entry
 	// lock queue, so a shed build never holds anything.
 	if err := s.admit(ctx); err != nil {
+		if m := s.metrics.Load(); m != nil && errors.Is(err, ErrSaturated) {
+			m.buildSheds.Inc()
+		}
 		return nil, err
 	}
 	defer s.releaseSlot()
@@ -428,13 +454,23 @@ func (s *Store) build(ctx context.Context, en *storeEntry, name string, g *Graph
 	s.inFlight.Add(1)
 	res, idx, err := s.runner.buildIndex(ctx, g, &o)
 	s.inFlight.Add(-1)
+	dur := time.Since(t0)
+	trace := BuildTrace{Algorithm: algo, StartedAt: t0, Duration: dur, Outcome: buildOutcome(err)}
+	if res != nil {
+		trace.Phases = res.Times
+	}
 	if err != nil {
 		// The build itself failed (panic, cancellation, deadline,
 		// injected fault, engine error): record it on the entry — the
 		// last-good snapshot, if any, keeps serving — and count it
 		// store-wide.
+		trace.Error = err.Error()
+		en.traces.add(trace)
 		en.recordFailure(err)
 		s.buildFails.Add(1)
+		if m := s.metrics.Load(); m != nil {
+			m.recordBuild(err, dur, PhaseTimes{})
+		}
 		return nil, err
 	}
 	en.clearFailure()
@@ -446,10 +482,15 @@ func (s *Store) build(ctx context.Context, en *storeEntry, name string, g *Graph
 		Result:    res,
 		Index:     idx,
 		BuiltAt:   time.Now(),
-		BuildTime: time.Since(t0),
+		BuildTime: dur,
 		store:     s,
 	}
 	snap.refs.Store(2) // the store's reference + the returned handle
+	trace.Version = snap.Version
+	en.traces.add(trace)
+	if m := s.metrics.Load(); m != nil {
+		m.recordBuild(nil, dur, res.Times)
+	}
 	s.live.Add(1)
 	if old := en.cur.Swap(snap); old != nil {
 		// The old version is unpublished (the swap) but epoch-pinned
@@ -477,6 +518,9 @@ func (s *Store) Acquire(name string) (*Snapshot, error) {
 			return nil, notLoadedErr(name)
 		}
 		if snap.tryRetain() {
+			if m := s.metrics.Load(); m != nil {
+				m.acquiresCAS.Inc()
+			}
 			return snap, nil
 		}
 		// The snapshot died between the load and the retain (swapped out
@@ -543,6 +587,13 @@ type GraphStatus struct {
 	ConsecutiveFailures int
 	LastError           string
 	LastErrorAt         time.Time
+	// LastBuild is the most recent build attempt's trace (nil when the
+	// entry has never reached the engine); Store.Trace returns the full
+	// retained ring.
+	LastBuild *BuildTrace
+	// Phases is the serving snapshot's per-phase build breakdown (zero
+	// when not Loaded).
+	Phases PhaseTimes
 }
 
 // Status reports the health of name's entry: the serving version and
@@ -556,10 +607,16 @@ func (s *Store) Status(name string) (GraphStatus, error) {
 	}
 	st := GraphStatus{Name: name}
 	st.ConsecutiveFailures, st.LastError, st.LastErrorAt = en.failure()
+	if t, ok := en.traces.last(); ok {
+		st.LastBuild = &t
+	}
 	if cur := en.cur.Load(); cur != nil {
 		st.Loaded = true
 		st.Version = cur.Version
 		st.Algorithm = cur.Algorithm
+		if cur.Result != nil {
+			st.Phases = cur.Result.Times
+		}
 	}
 	return st, nil
 }
@@ -614,12 +671,24 @@ func (s *Store) Stats() StoreStats {
 		}
 	}
 	s.mu.RUnlock()
+	// Batch totals sum both accounting sources: the plain counters
+	// (metrics off or paused) and the metric bank (metrics on), which
+	// carries the batch call in batchSlot and the query volume in the
+	// per-op slots. See Snapshot.queryBatch.
+	batches := s.batches.Load()
+	batchQueries := s.batchQueries.Load()
+	if m := s.metricsAll; m != nil {
+		batches += m.batchQueries.Value(batchSlot)
+		for op := OpConnected; op < opEnd; op++ {
+			batchQueries += m.batchQueries.Value(int(op))
+		}
+	}
 	return StoreStats{
 		Graphs:           n,
 		LiveSnapshots:    s.live.Load(),
 		RetiredSnapshots: s.epochs.Retired(),
-		Batches:          s.batches.Load(),
-		BatchQueries:     s.batchQueries.Load(),
+		Batches:          batches,
+		BatchQueries:     batchQueries,
 		ByAlgorithm:      byAlgo,
 		FailingGraphs:    failing,
 		BuildFailures:    s.buildFails.Load(),
