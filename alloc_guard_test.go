@@ -107,6 +107,51 @@ func TestAllocGuardHandleHop(t *testing.T) {
 	}
 }
 
+func TestAllocGuardMutationFastPath(t *testing.T) {
+	g := guardGraph(t)
+	st := fastbcc.NewStore(0)
+	defer st.Close()
+	snap, err := st.Load(context.Background(), "guard", g, &fastbcc.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick an edge inside a 2ECC block: parallel edges there stay in the
+	// fast class forever, so every measured ApplyBatch takes the same
+	// path.
+	var u, w int32 = -1, -1
+	idx := snap.Index
+	n := int32(g.NumVertices())
+	for a := int32(0); a < n && u < 0; a++ {
+		for b := a + 1; b < a+64 && b < n; b++ {
+			if idx.Biconnected(a, b) && idx.TwoEdgeConnected(a, b) {
+				u, w = a, b
+				break
+			}
+		}
+	}
+	snap.Release()
+	if u < 0 {
+		t.Fatal("no 2ECC pair in the guard graph")
+	}
+	ctx := context.Background()
+	adds := []fastbcc.Edge{{U: u, W: w}}
+	st.ApplyBatch(ctx, "guard", adds, nil) // warm the per-graph gauges
+	avg := testing.AllocsPerRun(100, func() {
+		res, err := st.ApplyBatch(ctx, "guard", adds, nil)
+		if err != nil || res.Fast != 1 || res.Queued != 0 {
+			t.Fatalf("fast add degraded: %+v %v", res, err)
+		}
+	})
+	// The fast path publishes a snapshot sharing the Result and Index —
+	// no rebuild, no index derivation. The bound covers the snapshot
+	// struct, the growing overlay copy, and the epoch retire bookkeeping;
+	// an accidental rebuild or index rebuild costs thousands and cannot
+	// pass.
+	if avg > 32 {
+		t.Fatalf("fast-path ApplyBatch: %.1f allocs/op, want <= 32", avg)
+	}
+}
+
 func TestAllocGuardQueryBatch(t *testing.T) {
 	g := guardGraph(t)
 	st := fastbcc.NewStore(0)

@@ -31,6 +31,19 @@
 //	                                         application/x-fastbcc-batch, a
 //	                                         binary frame (13 bytes/query,
 //	                                         4 bytes/answer; see internal/wire)
+//	POST   /v1/graphs/{name}/edges           mutate the graph in place:
+//	                                         {"add":[[u,w],..],"del":[[u,w],..]}
+//	                                         or, with Content-Type
+//	                                         application/x-fastbcc-mutation, a
+//	                                         binary "bcu1" frame (8 bytes/edge).
+//	                                         Insertions are classified against
+//	                                         the serving index and applied by
+//	                                         the cheapest exact update; the
+//	                                         rest queues for one coalesced
+//	                                         rebuild ("queued"/"pending"/
+//	                                         "delta_age_ms" in the response,
+//	                                         pending_deltas/staleness_ms in
+//	                                         the per-graph stats)
 //	GET    /v1/graphs/{name}/trace           recent build attempts, newest
 //	                                         first: version, outcome, error,
 //	                                         duration, and the per-phase
@@ -61,6 +74,20 @@
 // atomically, so queries keep being served from the previous version
 // while a new one is computed. SIGINT/SIGTERM trigger a graceful
 // shutdown: in-flight requests finish, then the store is closed.
+//
+// # Mutations
+//
+// POST /v1/graphs/{name}/edges applies edge insertions and deletions
+// without a rebuild where the decomposition permits: an insertion whose
+// endpoints already share a biconnected and 2-edge-connected block
+// changes no query answer and publishes a new snapshot in O(1)
+// ("fast"); an insertion joining two blocks of one component collapses
+// the block path between its endpoints ("collapsed", the
+// Westbrook–Tarjan rule); everything else — deletions, component-joining
+// or bridge-killing insertions — queues and is drained by ONE coalesced
+// background rebuild per burst (-mutation-coalesce sets the gathering
+// window). Queries always serve the last-good snapshot; the response and
+// stats expose the staleness window (pending/delta_age_ms).
 //
 // # Fault tolerance
 //
@@ -100,6 +127,8 @@
 //	-max-builds       max concurrent builds before shedding (default 16, 0 = unbounded)
 //	-build-queue-wait how long a build may wait for a slot (default 1s)
 //	-build-timeout    cap on every build, 0 = none
+//	-mutation-coalesce how long a delta flush gathers queued mutations
+//	                  before rebuilding (default 25ms; 0 = flush at once)
 //	-log-level        log floor: debug, info, warn, or error (default info)
 //	-slow-query-ms    warn-log batch requests slower than this (0 = off)
 //	-faultpoints      arm fault-injection points at startup, e.g.
@@ -133,6 +162,8 @@ func main() {
 	maxBuilds := flag.Int("max-builds", 16, "max concurrent builds before shedding (0 = unbounded)")
 	queueWait := flag.Duration("build-queue-wait", time.Second, "how long a build may wait for an admission slot before 503")
 	buildTimeout := flag.Duration("build-timeout", 0, "cap on every build; past it the build is canceled (0 = none)")
+	mutationCoalesce := flag.Duration("mutation-coalesce", 25*time.Millisecond,
+		"how long a delta flush gathers queued mutations before rebuilding (0 = flush at once)")
 	logLevel := flag.String("log-level", "info", "log floor: debug, info, warn, or error")
 	slowQueryMS := flag.Int("slow-query-ms", 0, "warn-log batch requests slower than this many milliseconds (0 = off)")
 	faultSpec := flag.String("faultpoints", "", "arm fault-injection points at startup, e.g. \"build.error=error:after=1\" (testing)")
@@ -168,6 +199,7 @@ func main() {
 		MaxConcurrentBuilds: *maxBuilds,
 		BuildQueueWait:      *queueWait,
 		BuildTimeout:        *buildTimeout,
+		MutationCoalesce:    *mutationCoalesce,
 	})
 	defer store.Close()
 	for _, spec := range preload {

@@ -1,0 +1,234 @@
+package bccdhttp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	fastbcc "repro"
+	"repro/internal/wire"
+)
+
+// POST /v1/graphs/{name}/edges mutates a loaded graph in place: a batch
+// of edge insertions and deletions applied through Store.ApplyBatch,
+// which classifies each insertion against the serving decomposition and
+// picks the cheapest exact update (shared-index fast path, bounded
+// block-path collapse, or one coalesced background rebuild). Two
+// encodings are negotiated by Content-Type, mirroring the batch-query
+// endpoint:
+//
+//   - application/json (default):
+//     {"add":[[0,5],[2,3]],"del":[[1,4]],"timeout_ms":50}
+//     → {"graph":..,"version":..,"fast":..,"collapsed":..,"queued":..,
+//     "pending":..,"delta_age_ms":..}
+//   - application/x-fastbcc-mutation: a binary wire frame ("bcu1" in,
+//     "bcm1" out; package wire), 8 bytes per edge.
+//
+// The response encoding follows the request's unless an Accept header
+// names the other one. Edges are client (original) vertex ids: on a
+// reordered graph the handler translates them through the same forward
+// map as queries, so mutation is reorder-transparent. queued > 0 means
+// those entries are not yet visible to queries — pending and
+// delta_age_ms report the staleness window, which closes when the
+// coalesced rebuild publishes.
+
+// jsonMutationRequest is the JSON mutation encoding: edge endpoints as
+// [u,w] pairs.
+type jsonMutationRequest struct {
+	Add       [][2]int32 `json:"add"`
+	Del       [][2]int32 `json:"del"`
+	TimeoutMS int        `json:"timeout_ms"`
+}
+
+type jsonMutationResponse struct {
+	Graph      string  `json:"graph"`
+	Version    int64   `json:"version"`
+	Fast       int     `json:"fast"`
+	Collapsed  int     `json:"collapsed"`
+	Queued     int     `json:"queued"`
+	Pending    int     `json:"pending"`
+	DeltaAgeMS float64 `json:"delta_age_ms"`
+}
+
+// wantsBinaryMutation is wantsBinary for the mutation codec: an explicit
+// Accept for either type wins, otherwise the response mirrors the
+// request.
+func wantsBinaryMutation(r *http.Request, binaryReq bool) bool {
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, wire.MutationContentType):
+		return true
+	case strings.Contains(accept, "application/json"):
+		return false
+	}
+	return binaryReq
+}
+
+// writeMutationError maps a failed ApplyBatch onto its HTTP status:
+// 404 for a graph never loaded or removed, 503 for a closing store,
+// 504/499 for a deadline or departed client while waiting on the
+// entry's build lock, and 400 for everything the request itself got
+// wrong (out-of-range endpoints, oversized batch).
+func (s *server) writeMutationError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, fastbcc.ErrNotLoaded):
+		status = http.StatusNotFound
+	case errors.Is(err, fastbcc.ErrStoreClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = statusClientClosedRequest
+	}
+	s.writeError(w, status, "%v", err)
+}
+
+func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sc := s.scratch.Get().(*batchScratch)
+	defer s.scratch.Put(sc)
+
+	binaryReq := strings.HasPrefix(r.Header.Get("Content-Type"), wire.MutationContentType)
+	timeoutMS := 0
+	reqCodec, respCodec := "json", "json"
+	if binaryReq {
+		reqCodec = "binary"
+	}
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, maxBodyBytes)}
+	rec, _ := w.(*statusRecorder)
+	var respStart int64
+	if rec != nil {
+		respStart = rec.bytes
+	}
+	defer func() {
+		s.metrics.reqBytes[reqCodec].Add(body.n)
+		if rec != nil {
+			s.metrics.resBytes[respCodec].Add(rec.bytes - respStart)
+		}
+	}()
+
+	var adds, dels []fastbcc.Edge
+	if binaryReq {
+		var err error
+		adds, dels, err = wire.ReadMutation(body)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, wire.ErrTooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			s.writeError(w, status, "%v", err)
+			return
+		}
+	} else {
+		var req jsonMutationRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		if len(req.Add)+len(req.Del) > wire.MaxMutations {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				"batch of %d mutations exceeds limit %d",
+				len(req.Add)+len(req.Del), wire.MaxMutations)
+			return
+		}
+		timeoutMS = req.TimeoutMS
+		toEdges := func(pairs [][2]int32) []fastbcc.Edge {
+			if len(pairs) == 0 {
+				return nil
+			}
+			out := make([]fastbcc.Edge, 0, len(pairs))
+			for _, p := range pairs {
+				out = append(out, fastbcc.Edge{U: p[0], W: p[1]})
+			}
+			return out
+		}
+		adds, dels = toEdges(req.Add), toEdges(req.Del)
+	}
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms < 0 {
+			s.writeError(w, http.StatusBadRequest, "bad timeout_ms %q", raw)
+			return
+		}
+		timeoutMS = ms
+	}
+
+	ctx := r.Context()
+	if timeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	// Reordered graphs: mutations speak client ids like queries do, so
+	// translate through the same forward map. The snapshot pin only
+	// validates the map generation (remapFor rejects a mapping from a
+	// different load); it is released before ApplyBatch, which acquires
+	// its own view under the entry's build lock.
+	if sc.h == nil {
+		sc.h = s.store.NewHandle()
+	}
+	snap, err := sc.h.Acquire(name)
+	if err != nil {
+		status := http.StatusNotFound
+		if errors.Is(err, fastbcc.ErrStoreClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		s.writeError(w, status, "%v", err)
+		return
+	}
+	vm := s.remapFor(snap)
+	sc.h.Release()
+	if vm != nil {
+		n := uint32(len(vm.fwd))
+		translate := func(kind string, es []fastbcc.Edge) bool {
+			for i := range es {
+				e := &es[i]
+				if uint32(e.U) >= n || uint32(e.W) >= n {
+					s.writeError(w, http.StatusBadRequest,
+						"%s %d: vertex out of range [0,%d)", kind, i, n)
+					return false
+				}
+				e.U, e.W = vm.fwd[e.U], vm.fwd[e.W]
+			}
+			return true
+		}
+		if !translate("add", adds) || !translate("del", dels) {
+			return
+		}
+	}
+
+	res, err := s.store.ApplyBatch(ctx, name, adds, dels)
+	if err != nil {
+		s.writeMutationError(w, err)
+		return
+	}
+	s.log.Info("mutate", "graph", name, "version", res.Version,
+		"fast", res.Fast, "collapsed", res.Collapsed, "queued", res.Queued,
+		"pending", res.Pending)
+
+	if wantsBinaryMutation(r, binaryReq) {
+		respCodec = "binary"
+		sc.buf = wire.AppendMutationResult(sc.buf[:0], res)
+		w.Header().Set("Content-Type", wire.MutationContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(len(sc.buf)))
+		if _, err := w.Write(sc.buf); err != nil {
+			s.log.Warn("writing mutation response", "graph", name, "err", err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, jsonMutationResponse{
+		Graph:      name,
+		Version:    res.Version,
+		Fast:       res.Fast,
+		Collapsed:  res.Collapsed,
+		Queued:     res.Queued,
+		Pending:    res.Pending,
+		DeltaAgeMS: float64(res.DeltaAge.Microseconds()) / 1000,
+	})
+}

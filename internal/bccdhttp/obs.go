@@ -15,7 +15,7 @@ import (
 // server.handle must name one of these.
 var endpoints = [...]string{
 	"healthz", "list", "load", "stats", "remove", "rebuild",
-	"query", "batch", "trace",
+	"query", "batch", "mutate", "trace",
 }
 
 // codecs label the batch endpoint's byte counters.

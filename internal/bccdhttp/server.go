@@ -108,6 +108,7 @@ func NewHandler(store *fastbcc.Store, cfg Config) http.Handler {
 	s.handle("POST /v1/graphs/{name}/rebuild", "rebuild", s.handleRebuild)
 	s.handle("GET /v1/graphs/{name}/query/{op}", "query", s.handleQuery)
 	s.handle("POST /v1/graphs/{name}/query/batch", "batch", s.handleQueryBatch)
+	s.handle("POST /v1/graphs/{name}/edges", "mutate", s.handleMutate)
 	s.handle("GET /v1/graphs/{name}/trace", "trace", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.DebugFaults {
@@ -213,6 +214,16 @@ type graphInfo struct {
 	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
 	LastError           string `json:"last_error,omitempty"`
 	LastErrorAt         string `json:"last_error_at,omitempty"`
+
+	// Mutation staleness (see Store.ApplyBatch): mutations accepted but
+	// not yet reflected by the serving snapshot, the age of the oldest
+	// one, fast-path insertions applied but not yet folded into the CSR,
+	// and the coalesced delta rebuilds published so far. M above counts
+	// overlay edges.
+	PendingDeltas int     `json:"pending_deltas,omitempty"`
+	StalenessMS   float64 `json:"staleness_ms,omitempty"`
+	OverlayEdges  int     `json:"overlay_edges,omitempty"`
+	DeltaFlushes  int64   `json:"delta_flushes,omitempty"`
 }
 
 // graphStatusInfo is the stats payload for an entry with no serving
@@ -264,13 +275,13 @@ func (s *server) info(snap *fastbcc.Snapshot) graphInfo {
 		p := toPhasesMS(snap.Result.Times)
 		phases = &p
 	}
-	return graphInfo{
+	gi := graphInfo{
 		Phases:    phases,
 		Name:      snap.Name,
 		Version:   snap.Version,
 		Algo:      snap.Algorithm,
 		N:         snap.Graph.NumVertices(),
-		M:         snap.Graph.NumEdges(),
+		M:         snap.NumEdges(),
 		Blocks:    snap.Index.NumBlocks(),
 		Cuts:      snap.Index.NumCutVertices(),
 		Bridges:   snap.Index.NumBridges(),
@@ -279,6 +290,13 @@ func (s *server) info(snap *fastbcc.Snapshot) graphInfo {
 		BuildMS:   float64(snap.BuildTime.Microseconds()) / 1000,
 		BuiltAt:   snap.BuiltAt.UTC().Format(timeFmt),
 	}
+	if st, err := s.store.Status(snap.Name); err == nil {
+		gi.PendingDeltas = st.PendingDeltas
+		gi.StalenessMS = float64(st.DeltaAge.Microseconds()) / 1000
+		gi.OverlayEdges = st.OverlayEdges
+		gi.DeltaFlushes = st.DeltaFlushes
+	}
+	return gi
 }
 
 // algoInfo is one entry of the healthz "algorithms" list.

@@ -1,0 +1,292 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	fastbcc "repro"
+	"repro/internal/gen"
+)
+
+// The mutation-churn section of qbench: what Store.ApplyBatch's
+// classification buys over the rebuild-per-mutation baseline, measured
+// on the same RMAT family as the serving benchmarks. Three numbers
+// matter: the fast-path latency (intra-block insertion, publishes a
+// snapshot sharing the index — the headline speedup over a rebuild),
+// the collapse latency (block-path merge + index derivation, still far
+// under a rebuild), and the coalescing ratio (a burst of N
+// unclassifiable mutations costs O(1) rebuilds, with queries serving
+// the last-good snapshot throughout).
+
+// MutateLat is one mutation class's latency measurement.
+type MutateLat struct {
+	Name      string  `json:"name"`
+	Count     int     `json:"count"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+// MutateReport is the mutation-churn section of BENCH_*.json.
+type MutateReport struct {
+	Graph string `json:"graph"`
+	N     int    `json:"n"`
+	M     int    `json:"m"`
+	// RebuildP50Micros is the naive baseline: a full from-scratch build,
+	// which is what every mutation would cost without classification.
+	RebuildP50Micros float64 `json:"rebuild_p50_us"`
+	// Fast and Collapse are the classified insertion paths.
+	Fast     MutateLat `json:"fast"`
+	Collapse MutateLat `json:"collapse"`
+	// FastSpeedup is RebuildP50Micros / Fast.P50Micros — how much the
+	// O(1)-classified intra-block path beats rebuild-per-mutation.
+	FastSpeedup float64 `json:"fast_speedup"`
+	// FastAllocsPerOp is exact (testing.AllocsPerRun), the
+	// regression-guard number for the fast path.
+	FastAllocsPerOp float64 `json:"fast_allocs_per_op"`
+	// BurstMutations unclassifiable mutations were fired back to back;
+	// BurstFlushes coalesced rebuilds drained all of them.
+	BurstMutations int   `json:"burst_mutations"`
+	BurstFlushes   int64 `json:"burst_flushes"`
+	// Query service under mutation churn: batch queries/s sustained
+	// while a writer streams mutations (mutations/s alongside), proving
+	// readers never block on the mutation path.
+	ChurnQueriesPerSec   float64 `json:"churn_queries_per_sec"`
+	ChurnMutationsPerSec float64 `json:"churn_mutations_per_sec"`
+	ChurnMutateP50Micros float64 `json:"churn_mutate_p50_us"`
+}
+
+// pctUs converts sorted nanosecond samples to a microsecond percentile.
+func pctUs(sorted []int64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return float64(sorted[min(int(p*float64(len(sorted))), len(sorted)-1)]) / 1e3
+}
+
+// RunMutationChurn measures the mutation pipeline on RMAT-16-8 (fixed:
+// the acceptance numbers are quoted against this instance regardless of
+// -scale).
+func RunMutationChurn(out io.Writer) *MutateReport {
+	g := gen.RMAT(16, 8, 0xBC)
+	store := fastbcc.NewStoreWithConfig(fastbcc.StoreConfig{
+		Workers:          0,
+		MutationCoalesce: 10 * time.Millisecond,
+	})
+	defer store.Close()
+	ctx := context.Background()
+	snap, err := store.Load(ctx, "mut", g, nil)
+	if err != nil {
+		fmt.Fprintf(out, "mutate-bench: %v\n", err)
+		return nil
+	}
+	rep := &MutateReport{Graph: "RMAT-16-8", N: g.NumVertices(), M: g.NumEdges()}
+	fmt.Fprintf(out, "# mutate: %s n=%d m=%d\n", rep.Graph, rep.N, rep.M)
+
+	// Baseline: the full rebuild every mutation would cost without
+	// classification.
+	rebuildLats := make([]int64, 0, 5)
+	for seed := uint64(1); seed <= 5; seed++ {
+		t0 := time.Now()
+		s, err := store.Rebuild(ctx, "mut", &fastbcc.Options{Seed: seed})
+		if err != nil {
+			continue
+		}
+		s.Release()
+		rebuildLats = append(rebuildLats, time.Since(t0).Nanoseconds())
+	}
+	sort.Slice(rebuildLats, func(i, j int) bool { return rebuildLats[i] < rebuildLats[j] })
+	rep.RebuildP50Micros = pctUs(rebuildLats, 0.50)
+	snap.Release()
+
+	// findPair scans the current snapshot for an endpoint pair of the
+	// wanted class; fast wants 2ECC (parallel edges stay fast forever),
+	// collapse wants connected-but-not-biconnected (the insertion merges
+	// the block path between them).
+	findPair := func(idx *fastbcc.Index, n int32, collapse bool) (int32, int32, bool) {
+		for a := int32(0); a < n; a++ {
+			for b := a + 1; b < a+64 && b < n; b++ {
+				if collapse {
+					if idx.Connected(a, b) && !idx.Biconnected(a, b) {
+						return a, b, true
+					}
+				} else if idx.Biconnected(a, b) && idx.TwoEdgeConnected(a, b) {
+					return a, b, true
+				}
+			}
+		}
+		return 0, 0, false
+	}
+	n := int32(g.NumVertices())
+
+	// Fast path: one parallel edge inside a 2ECC block, repeated.
+	s, err := store.Acquire("mut")
+	if err != nil {
+		return rep
+	}
+	fu, fw, ok := findPair(s.Index, n, false)
+	s.Release()
+	if !ok {
+		fmt.Fprintf(out, "mutate-bench: no 2ECC pair on %s\n", rep.Graph)
+		return rep
+	}
+	adds := []fastbcc.Edge{{U: fu, W: fw}}
+	const fastIters = 300
+	fastLats := make([]int64, 0, fastIters)
+	for i := 0; i < fastIters; i++ {
+		t0 := time.Now()
+		res, err := store.ApplyBatch(ctx, "mut", adds, nil)
+		if err != nil || res.Fast != 1 {
+			fmt.Fprintf(out, "mutate-bench: fast add degraded: %+v %v\n", res, err)
+			return rep
+		}
+		fastLats = append(fastLats, time.Since(t0).Nanoseconds())
+	}
+	sort.Slice(fastLats, func(i, j int) bool { return fastLats[i] < fastLats[j] })
+	rep.Fast = MutateLat{Name: "fast", Count: fastIters,
+		P50Micros: pctUs(fastLats, 0.50), P99Micros: pctUs(fastLats, 0.99)}
+	rep.FastAllocsPerOp = testing.AllocsPerRun(50, func() {
+		store.ApplyBatch(ctx, "mut", adds, nil)
+	})
+	if rep.Fast.P50Micros > 0 {
+		rep.FastSpeedup = rep.RebuildP50Micros / rep.Fast.P50Micros
+	}
+
+	// Collapse: each insertion merges the block path between two
+	// vertices that share a component but not a block, so every sample
+	// needs a fresh pair from the current decomposition.
+	const collapseIters = 30
+	collapseLats := make([]int64, 0, collapseIters)
+	for i := 0; i < collapseIters; i++ {
+		s, err := store.Acquire("mut")
+		if err != nil {
+			break
+		}
+		cu, cw, ok := findPair(s.Index, n, true)
+		s.Release()
+		if !ok {
+			break
+		}
+		t0 := time.Now()
+		res, err := store.ApplyBatch(ctx, "mut", []fastbcc.Edge{{U: cu, W: cw}}, nil)
+		if err != nil || res.Collapsed != 1 {
+			break
+		}
+		collapseLats = append(collapseLats, time.Since(t0).Nanoseconds())
+	}
+	sort.Slice(collapseLats, func(i, j int) bool { return collapseLats[i] < collapseLats[j] })
+	rep.Collapse = MutateLat{Name: "collapse", Count: len(collapseLats),
+		P50Micros: pctUs(collapseLats, 0.50), P99Micros: pctUs(collapseLats, 0.99)}
+
+	// Burst coalescing: 100 unclassifiable mutations (deleting absent
+	// edges) fired back to back land in O(1) rebuilds.
+	flushes0 := mustStatus(store, "mut").DeltaFlushes
+	const burst = 100
+	for i := 0; i < burst; i++ {
+		e := fastbcc.Edge{U: int32(i % int(n)), W: int32((i*7 + 1) % int(n))}
+		if _, err := store.ApplyBatch(ctx, "mut", nil, []fastbcc.Edge{e}); err != nil {
+			fmt.Fprintf(out, "mutate-bench: burst: %v\n", err)
+			return rep
+		}
+	}
+	if err := store.FlushDeltas(ctx, "mut"); err != nil {
+		fmt.Fprintf(out, "mutate-bench: burst flush: %v\n", err)
+		return rep
+	}
+	rep.BurstMutations = burst
+	rep.BurstFlushes = mustStatus(store, "mut").DeltaFlushes - flushes0
+
+	// Query service under mutation churn: readers run store batches
+	// while one writer streams queued mutations, the coalesced flusher
+	// rebuilding continuously behind the epoch swap.
+	const qn = 1 << 10
+	qs := make([]fastbcc.Query, qn)
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() int32 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int32(rng % uint64(n))
+	}
+	for i := range qs {
+		qs[i] = fastbcc.Query{Op: fastbcc.OpConnected + fastbcc.QueryOp(i%6), U: next(), V: next(), X: next()}
+	}
+	const batch = 256
+	readers := 4
+	dur := time.Second
+	stop := make(chan struct{})
+	var queries, mutations atomic.Int64
+	var mutLats []int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e := fastbcc.Edge{U: int32(i % int(n)), W: int32((i*13 + 5) % int(n))}
+			t0 := time.Now()
+			if _, err := store.ApplyBatch(ctx, "mut", nil, []fastbcc.Edge{e}); err == nil {
+				mutations.Add(1)
+				if len(mutLats) < 1<<14 {
+					mutLats = append(mutLats, time.Since(t0).Nanoseconds())
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	t0 := time.Now()
+	deadline := t0.Add(dur)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h := store.NewHandle()
+			defer h.Close()
+			dst := make([]fastbcc.Answer, 0, batch)
+			for i := r; time.Now().Before(deadline); i++ {
+				c := i % (qn / batch)
+				out, _, err := store.QueryBatch(ctx, h, "mut", qs[c*batch:(c+1)*batch], dst)
+				if err != nil {
+					continue
+				}
+				dst = out
+				queries.Add(batch)
+			}
+		}(r)
+	}
+	for time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	el := time.Since(t0)
+	store.FlushDeltas(ctx, "mut") // quiesce the coalesced flusher before Close
+	rep.ChurnQueriesPerSec = float64(queries.Load()) / el.Seconds()
+	rep.ChurnMutationsPerSec = float64(mutations.Load()) / el.Seconds()
+	sort.Slice(mutLats, func(i, j int) bool { return mutLats[i] < mutLats[j] })
+	rep.ChurnMutateP50Micros = pctUs(mutLats, 0.50)
+
+	fmt.Fprintf(out, "# mutate: rebuild p50 %.0fµs | fast p50 %.1fµs p99 %.1fµs (%.0fx, %.0f allocs) | collapse p50 %.0fµs (%d samples)\n",
+		rep.RebuildP50Micros, rep.Fast.P50Micros, rep.Fast.P99Micros,
+		rep.FastSpeedup, rep.FastAllocsPerOp, rep.Collapse.P50Micros, rep.Collapse.Count)
+	fmt.Fprintf(out, "# mutate: burst %d -> %d coalesced flushes | under churn %.2fM queries/s with %.0f mutations/s (mutate p50 %.0fµs)\n",
+		rep.BurstMutations, rep.BurstFlushes, rep.ChurnQueriesPerSec/1e6,
+		rep.ChurnMutationsPerSec, rep.ChurnMutateP50Micros)
+	return rep
+}
+
+// mustStatus is Status with errors collapsed to the zero value (the
+// bench owns the store; the graph cannot disappear mid-run).
+func mustStatus(store *fastbcc.Store, name string) fastbcc.GraphStatus {
+	st, _ := store.Status(name)
+	return st
+}

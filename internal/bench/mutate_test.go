@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunMutationChurnSmoke runs the mutation-churn section once and
+// asserts the acceptance bounds: fast-path p50 at most 1ms and at least
+// 50x under a from-scratch rebuild, and a 100-mutation burst coalescing
+// into at most 3 rebuilds. The recorded BENCH_*.json numbers are far
+// inside these bounds; the test guards the mechanism, not the exact
+// figure.
+func TestRunMutationChurnSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation churn bench in -short mode")
+	}
+	rep := RunMutationChurn(io.Discard)
+	if rep == nil {
+		t.Fatal("RunMutationChurn returned nil")
+	}
+	if rep.Fast.Count == 0 || rep.Fast.P50Micros <= 0 {
+		t.Fatalf("fast path unmeasured: %+v", rep.Fast)
+	}
+	if rep.Fast.P50Micros > 1000 {
+		t.Errorf("fast-path p50 = %.1fµs, acceptance bound 1ms", rep.Fast.P50Micros)
+	}
+	if rep.FastSpeedup < 50 {
+		t.Errorf("fast-path speedup = %.1fx over rebuild, acceptance bound 50x", rep.FastSpeedup)
+	}
+	if rep.Collapse.Count == 0 {
+		t.Error("no collapse samples on RMAT-16-8")
+	}
+	if rep.BurstFlushes < 1 || rep.BurstFlushes > 3 {
+		t.Errorf("burst of %d mutations drained in %d flushes, want 1..3",
+			rep.BurstMutations, rep.BurstFlushes)
+	}
+	if rep.ChurnQueriesPerSec <= 0 || rep.ChurnMutationsPerSec <= 0 {
+		t.Errorf("churn mode idle: %.0f queries/s, %.0f mutations/s",
+			rep.ChurnQueriesPerSec, rep.ChurnMutationsPerSec)
+	}
+}

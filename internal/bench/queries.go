@@ -102,6 +102,10 @@ type QBenchReport struct {
 	// Obs is the instrumentation-overhead A/B (metrics on vs
 	// StoreConfig.DisableMetrics).
 	Obs *ObsOverheadReport `json:"obs_overhead,omitempty"`
+	// Mutate is the mutation-churn section: classified ApplyBatch
+	// latencies vs the rebuild baseline, burst coalescing, and query
+	// throughput under a mutation stream (always RMAT-16-8).
+	Mutate *MutateReport `json:"mutate,omitempty"`
 }
 
 // RunQueryThroughput measures online query throughput through the
@@ -404,6 +408,7 @@ func RunQueryThroughput(sc Scale, batch int, out io.Writer) *QBenchReport {
 		rep.BatchSpeedup, rep.Rebuilds, rep.LiveSnapshotHighWater, rep.LiveSnapshotsFinal)
 
 	rep.Obs = measureObsOverhead(g, qs, batch, out)
+	rep.Mutate = RunMutationChurn(out)
 	return rep
 }
 

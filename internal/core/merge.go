@@ -1,0 +1,91 @@
+package core
+
+import (
+	"repro/internal/parallel"
+)
+
+// MergeBlockPath returns a new decomposition equal to r except that the
+// blocks named by labels — which must be the blocks on one block-cut
+// tree path, at least two of them — are merged into a single block. This
+// is the incremental-biconnectivity update of Westbrook & Tarjan: adding
+// an edge (u, v) inside one connected component collapses exactly the
+// blocks on the BC-tree path between u and v into one, and changes
+// nothing else.
+//
+// The merge is a bounded parallel pass over the paper's flat O(n)
+// representation, no pipeline rerun: every member of a path block is
+// relabeled to one surviving label, the dead labels' heads are cleared,
+// and the surviving label's head becomes the path's unique topmost
+// vertex in the spanning forest. Label ids are not re-densified — dead
+// labels keep their ids with Head == -1, exactly the shape of a root
+// singleton, which every derived structure (LabelSizes, articulation
+// points, BlockCutTree, bridges, 2ECC) already skips.
+//
+// Parent is shared with r (it is immutable); Label, Head, and the label
+// size cache are fresh copies, so r itself is never mutated and stays
+// safe to serve concurrently. Returns nil if the path labels do not
+// describe a mergeable path (defensive: callers fall back to a full
+// rebuild).
+func MergeBlockPath(e *parallel.Exec, r *Result, labels []int32) *Result {
+	if len(labels) < 2 {
+		return nil
+	}
+	n := len(r.Label)
+	target := labels[0]
+
+	// remap[l] = target for every path label, identity elsewhere. The
+	// identity fill doubles as the "is path label" test below.
+	remap := make([]int32, r.NumLabels)
+	e.Iota(remap, 0)
+	for _, l := range labels {
+		if l < 0 || int(l) >= r.NumLabels || r.Head[l] == -1 {
+			return nil
+		}
+		remap[l] = target
+	}
+
+	// The merged block's head is the path's unique topmost vertex in the
+	// spanning forest: the one path-block head that is not itself a
+	// member of a path block (every interior cut vertex on the path is a
+	// member of the adjacent block toward the top, so its label remaps to
+	// target; a forest root heads only, so it also qualifies).
+	head := int32(-1)
+	for _, l := range labels {
+		h := r.Head[l]
+		if r.Parent[h] == -1 || remap[r.Label[h]] != target {
+			head = h
+			break
+		}
+	}
+	if head == -1 {
+		return nil
+	}
+
+	label := make([]int32, n)
+	e.For(n, func(v int) { label[v] = remap[r.Label[v]] })
+
+	newHead := make([]int32, r.NumLabels)
+	copy(newHead, r.Head)
+	oldCount := r.LabelSizes()
+	count := make([]int32, r.NumLabels)
+	copy(count, oldCount)
+	var total int32
+	for _, l := range labels {
+		total += oldCount[l]
+		newHead[l] = -1
+		count[l] = 0
+	}
+	newHead[target] = head
+	count[target] = total
+
+	return &Result{
+		Label:      label,
+		Head:       newHead,
+		Parent:     r.Parent,
+		NumLabels:  r.NumLabels,
+		NumBCC:     r.NumBCC - (len(labels) - 1),
+		Times:      r.Times,
+		AuxBytes:   r.AuxBytes,
+		labelCount: count,
+	}
+}

@@ -63,6 +63,14 @@ const (
 	// (interruptibly), simulating a pathologically large batch so tests
 	// can prove batch requests respect their deadline.
 	SlowQuery = "query.slow"
+	// MutateClassify fires in Store.ApplyBatch's insertion classifier; an
+	// armed error demotes the batch to the unclassifiable delta queue (the
+	// degraded-but-correct path), an armed panic must not lose mutations.
+	MutateClassify = "mutate.classify"
+	// MutateDeltaFlush fires inside the coalesced delta rebuild, after the
+	// pending deltas were stolen from the queue: a failure here must leave
+	// the last-good snapshot serving and re-queue every stolen delta.
+	MutateDeltaFlush = "mutate.delta-flush"
 )
 
 // ErrInjected is wrapped by every error an armed point returns, so

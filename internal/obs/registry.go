@@ -156,17 +156,24 @@ type FamilySnapshot struct {
 // series by label block — the deterministic order the text exposition
 // renders in.
 func (r *Registry) Gather() []FamilySnapshot {
+	// Copy the series lists under the lock: registration may happen at
+	// any time (per-graph series register lazily on first use), and the
+	// value callbacks below must run unlocked (they may take other
+	// locks).
 	r.mu.Lock()
 	fams := make([]*family, 0, len(r.fams))
 	for _, f := range r.fams {
-		fams = append(fams, f)
+		fams = append(fams, &family{
+			name: f.name, help: f.help, typ: f.typ,
+			series: append([]*series(nil), f.series...),
+		})
 	}
 	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	out := make([]FamilySnapshot, 0, len(fams))
 	for _, f := range fams {
 		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ}
-		ss := append([]*series(nil), f.series...)
+		ss := f.series
 		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
 		for _, s := range ss {
 			snap := SeriesSnapshot{Labels: s.labels}

@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	fastbcc "repro"
+)
+
+func TestMutationRoundTrip(t *testing.T) {
+	adds := []fastbcc.Edge{{U: 0, W: 1}, {U: 5, W: 2}}
+	dels := []fastbcc.Edge{{U: 3, W: 3}}
+	frame := AppendMutation(nil, adds, dels)
+	gotAdds, gotDels, err := ReadMutation(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotAdds) != len(adds) || len(gotDels) != len(dels) {
+		t.Fatalf("counts: %d adds, %d dels", len(gotAdds), len(gotDels))
+	}
+	for i := range adds {
+		if gotAdds[i] != adds[i] {
+			t.Fatalf("add %d: %+v != %+v", i, gotAdds[i], adds[i])
+		}
+	}
+	for i := range dels {
+		if gotDels[i] != dels[i] {
+			t.Fatalf("del %d: %+v != %+v", i, gotDels[i], dels[i])
+		}
+	}
+}
+
+func TestMutationEmpty(t *testing.T) {
+	frame := AppendMutation(nil, nil, nil)
+	adds, dels, err := ReadMutation(bytes.NewReader(frame))
+	if err != nil || adds != nil || dels != nil {
+		t.Fatalf("empty mutation: adds=%v dels=%v err=%v", adds, dels, err)
+	}
+}
+
+func TestMutationResultRoundTrip(t *testing.T) {
+	want := fastbcc.MutationResult{
+		Version: 42, Fast: 3, Collapsed: 1, Queued: 7, Pending: 9,
+		DeltaAge: 1500 * time.Millisecond,
+	}
+	frame := AppendMutationResult(nil, want)
+	got, err := ReadMutationResult(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: %+v != %+v", got, want)
+	}
+}
+
+func TestMutationMalformed(t *testing.T) {
+	good := AppendMutation(nil, []fastbcc.Edge{{U: 1, W: 2}}, nil)
+
+	// Truncated body.
+	if _, _, err := ReadMutation(bytes.NewReader(good[:len(good)-3])); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated frame: %v", err)
+	}
+	// Count/length mismatch: bump addCount without payload.
+	bad := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(bad[8:12], 2)
+	if _, _, err := ReadMutation(bytes.NewReader(bad)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("count mismatch: %v", err)
+	}
+	// Oversized declared count.
+	bad = append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(bad[0:4], uint32(maxMutFrameLen))
+	binary.LittleEndian.PutUint32(bad[8:12], MaxMutations+1)
+	if _, _, err := ReadMutation(bytes.NewReader(bad)); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+	// Hostile length prefix.
+	huge := binary.LittleEndian.AppendUint32(nil, 0xFFFFFFFF)
+	if _, _, err := ReadMutation(bytes.NewReader(huge)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("hostile length prefix: %v", err)
+	}
+	// Wrong magic: a query frame is not a mutation frame.
+	q := AppendRequest(nil, []fastbcc.Query{{Op: fastbcc.OpConnected, U: 0, V: 1}})
+	if _, _, err := ReadMutation(bytes.NewReader(q)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("query magic on mutation decode: %v", err)
+	}
+	// A result frame with trailing bytes.
+	r := AppendMutationResult(nil, fastbcc.MutationResult{Version: 1})
+	r = append(r, 0xEE)
+	binary.LittleEndian.PutUint32(r[0:4], uint32(mutRespHeaderSize+1))
+	if _, err := ReadMutationResult(bytes.NewReader(r)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("trailing bytes on result decode: %v", err)
+	}
+}
+
+// FuzzMutationDecode extends the wire fuzz corpus to mutation frames:
+// the decoders must never panic or over-allocate, and anything that
+// decodes must round-trip.
+func FuzzMutationDecode(f *testing.F) {
+	f.Add(AppendMutation(nil, []fastbcc.Edge{{U: 0, W: 1}}, []fastbcc.Edge{{U: 2, W: 3}}))
+	f.Add(AppendMutation(nil, nil, nil))
+	f.Add(AppendMutationResult(nil, fastbcc.MutationResult{Version: 9, Fast: 1, Pending: 2}))
+	f.Add([]byte{})
+	f.Add(binary.LittleEndian.AppendUint32(nil, 0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if adds, dels, err := ReadMutation(bytes.NewReader(data)); err == nil {
+			frame := AppendMutation(nil, adds, dels)
+			a2, d2, err := ReadMutation(bytes.NewReader(frame))
+			if err != nil || len(a2) != len(adds) || len(d2) != len(dels) {
+				t.Fatalf("mutation round trip diverged: %v", err)
+			}
+			for i := range adds {
+				if a2[i] != adds[i] {
+					t.Fatalf("round trip changed add %d", i)
+				}
+			}
+			for i := range dels {
+				if d2[i] != dels[i] {
+					t.Fatalf("round trip changed del %d", i)
+				}
+			}
+		}
+		if res, err := ReadMutationResult(bytes.NewReader(data)); err == nil {
+			frame := AppendMutationResult(nil, res)
+			again, err := ReadMutationResult(bytes.NewReader(frame))
+			if err != nil || again != res {
+				t.Fatalf("result round trip diverged: %v", err)
+			}
+		}
+	})
+}

@@ -162,14 +162,21 @@ const maxFrameLen = reqHeaderSize + MaxQueries*recordSize
 // and the body is read in chunks so a prefix lying about a huge frame
 // over a trickle connection costs at most one chunk of memory.
 func readFrame(r io.Reader, magic [4]byte, minLen int) ([]byte, error) {
+	return readFrameBounded(r, magic, minLen, maxFrameLen)
+}
+
+// readFrameBounded is readFrame with an explicit frame-length cap (the
+// mutation frames carry a different payload geometry, so their cap
+// differs).
+func readFrameBounded(r io.Reader, magic [4]byte, minLen, maxLen int) ([]byte, error) {
 	var pfx [4]byte
 	if _, err := io.ReadFull(r, pfx[:]); err != nil {
 		return nil, fmt.Errorf("wire: %w: reading length prefix: %v", ErrMalformed, err)
 	}
 	frameLen := int(binary.LittleEndian.Uint32(pfx[:]))
-	if frameLen > maxFrameLen {
+	if frameLen > maxLen {
 		return nil, fmt.Errorf("wire: %w: frame of %d bytes exceeds limit %d",
-			ErrTooLarge, frameLen, maxFrameLen)
+			ErrTooLarge, frameLen, maxLen)
 	}
 	if frameLen < minLen {
 		return nil, fmt.Errorf("wire: %w: frame of %d bytes shorter than header (%d)",

@@ -157,6 +157,19 @@ type storeMetrics struct {
 	buildDur       *obs.Histogram
 	phaseDur       [4]*obs.Histogram
 
+	// Mutation pipeline (see mutate.go): classified dispositions, the
+	// coalesced-flush batch-size histogram, and the set of graph names
+	// whose per-graph staleness gauges are registered (label sets are
+	// fixed per series, so per-graph series register lazily on a graph's
+	// first mutation).
+	mutFast      *obs.Counter
+	mutCollapse  *obs.Counter
+	mutRebuild   *obs.Counter
+	mutFlushSize *obs.Histogram
+
+	graphGaugeMu sync.Mutex
+	graphGauges  map[string]bool
+
 	runner runnerMetrics
 }
 
@@ -203,6 +216,43 @@ func newStoreMetrics(s *Store) *storeMetrics {
 		m.phaseDur[i] = reg.Histogram("fastbcc_build_phase_duration_seconds",
 			"Successful build duration by pipeline phase.", "phase", name)
 	}
+
+	m.graphGauges = map[string]bool{}
+	m.mutFast = reg.Counter("fastbcc_mutations_total",
+		"Mutations by classified disposition (see Store.ApplyBatch).", "class", "fast")
+	m.mutCollapse = reg.Counter("fastbcc_mutations_total",
+		"Mutations by classified disposition (see Store.ApplyBatch).", "class", "collapse")
+	m.mutRebuild = reg.Counter("fastbcc_mutations_total",
+		"Mutations by classified disposition (see Store.ApplyBatch).", "class", "rebuild")
+	m.mutFlushSize = reg.Histogram("fastbcc_mutation_flush_size",
+		"Deltas drained per coalesced rebuild; recorded as one unit per "+
+			"second, so _sum is the exact delta total and bucket bounds read "+
+			"as sizes.")
+	reg.GaugeFunc("fastbcc_pending_deltas",
+		"Mutations accepted but not yet applied, summed over all graphs.",
+		func() float64 {
+			var n int
+			s.mu.RLock()
+			for _, en := range s.byName {
+				p, _ := en.pendingDeltas()
+				n += p
+			}
+			s.mu.RUnlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("fastbcc_delta_staleness_seconds",
+		"Age of the oldest pending mutation delta across all graphs.",
+		func() float64 {
+			var oldest time.Duration
+			s.mu.RLock()
+			for _, en := range s.byName {
+				if _, age := en.pendingDeltas(); age > oldest {
+					oldest = age
+				}
+			}
+			s.mu.RUnlock()
+			return oldest.Seconds()
+		})
 
 	m.runner.runs = reg.Counter("fastbcc_runs_total",
 		"Engine runs started on the Store's Runner.")
@@ -251,6 +301,38 @@ func newStoreMetrics(s *Store) *storeMetrics {
 		func() float64 { return float64(faultpoint.Armed()) })
 
 	return m
+}
+
+// ensureGraphGauges registers name's per-graph staleness series —
+// fastbcc_graph_pending_deltas{graph=...} and
+// fastbcc_graph_delta_staleness_seconds{graph=...} — on the graph's
+// first mutation. The registry's label sets are fixed per series, so
+// these register lazily; the callbacks read through the catalog, so a
+// removed graph's series reports zero rather than going stale.
+func (m *storeMetrics) ensureGraphGauges(s *Store, name string) {
+	m.graphGaugeMu.Lock()
+	defer m.graphGaugeMu.Unlock()
+	if m.graphGauges[name] {
+		return
+	}
+	m.graphGauges[name] = true
+	pending := func() (int, time.Duration) {
+		s.mu.RLock()
+		en := s.byName[name]
+		s.mu.RUnlock()
+		if en == nil {
+			return 0, 0
+		}
+		return en.pendingDeltas()
+	}
+	m.reg.GaugeFunc("fastbcc_graph_pending_deltas",
+		"Mutations accepted but not yet applied, per graph.",
+		func() float64 { p, _ := pending(); return float64(p) },
+		"graph", name)
+	m.reg.GaugeFunc("fastbcc_graph_delta_staleness_seconds",
+		"Age of the oldest pending mutation delta, per graph.",
+		func() float64 { _, age := pending(); return age.Seconds() },
+		"graph", name)
 }
 
 // recordBuild records one finished build attempt into the outcome

@@ -62,13 +62,29 @@ type Snapshot struct {
 	Result *Result
 	Index  *Index
 	// BuiltAt records when the snapshot was published; BuildTime is the
-	// wall time the decomposition + index build took.
+	// wall time the decomposition + index build took (for a snapshot
+	// published by a classified mutation, the mutation's apply time).
 	BuiltAt   time.Time
 	BuildTime time.Duration
+
+	// overlay lists the edges ApplyBatch applied to this snapshot beyond
+	// Graph's CSR — classified insertions that changed no query answer
+	// the Index does not already give (see mutate.go). The next graph
+	// materialization (a delta flush or a Rebuild) folds them into the
+	// CSR. Immutable, like every other snapshot field.
+	overlay []Edge
 
 	refs  atomic.Int64 // the store's reference + one per Acquire
 	store *Store
 }
+
+// NumEdges returns the snapshot's edge count: the CSR's edges plus the
+// overlay of applied-but-unmaterialized insertions.
+func (s *Snapshot) NumEdges() int { return s.Graph.NumEdges() + len(s.overlay) }
+
+// OverlayEdges returns how many applied insertions await materialization
+// into the CSR (0 on a freshly built snapshot).
+func (s *Snapshot) OverlayEdges() int { return len(s.overlay) }
 
 // tryRetain takes a reference unless the snapshot is already dead
 // (refs == 0), which can happen when a rebuild swaps it out between a
@@ -151,6 +167,10 @@ type Store struct {
 	queueWait    time.Duration
 	buildTimeout time.Duration
 
+	// mutationCoalesce is the delta-flush coalescing window; see
+	// StoreConfig.MutationCoalesce and mutate.go.
+	mutationCoalesce time.Duration
+
 	inFlight   atomic.Int64 // builds currently executing on the Runner
 	buildFails atomic.Int64 // cumulative failed builds since creation
 
@@ -185,10 +205,44 @@ type storeEntry struct {
 
 	// traces retains the entry's recent build attempts (see Store.Trace).
 	traces traceRing
+
+	// Mutation state (see mutate.go). mutMu is a leaf lock in the entry's
+	// lock order: it may be taken while holding sem, but a goroutine
+	// holding mutMu must never wait on sem.
+	mutMu          sync.Mutex
+	deltaQ         []edgeDelta // pending unclassifiable mutations, arrival order
+	deltaSince     time.Time   // arrival of the oldest pending delta
+	inFlightDeltas int         // deltas stolen by a running flush, not yet applied
+	flushing       bool        // a coalesced delta flush is scheduled or running
+	// graphGen counts graph replacements (Load with an explicit graph).
+	// A stolen delta batch from an older generation is dropped: its edges
+	// describe a graph that no longer exists.
+	graphGen atomic.Uint64
+	flushes  atomic.Int64 // coalesced delta rebuilds published
+	// flushKick wakes a flusher sleeping out its coalesce window early
+	// (FlushDeltas sends it so a synchronous drain never waits out the
+	// window). Buffered; a stale kick at worst shortens one future
+	// window.
+	flushKick chan struct{}
+}
+
+// pendingDeltas returns the entry's unapplied mutation count and the age
+// of the oldest one (zero when none are pending).
+func (en *storeEntry) pendingDeltas() (int, time.Duration) {
+	en.mutMu.Lock()
+	defer en.mutMu.Unlock()
+	n := len(en.deltaQ) + en.inFlightDeltas
+	if n == 0 || en.deltaSince.IsZero() {
+		return n, 0
+	}
+	return n, time.Since(en.deltaSince)
 }
 
 func newStoreEntry() *storeEntry {
-	return &storeEntry{sem: make(chan struct{}, 1)}
+	return &storeEntry{
+		sem:       make(chan struct{}, 1),
+		flushKick: make(chan struct{}, 1),
+	}
 }
 
 func (en *storeEntry) lock() { en.sem <- struct{}{} }
@@ -252,6 +306,12 @@ type StoreConfig struct {
 	// cooperatively canceled, frees its admission slot, and leaves the
 	// entry serving its last-good snapshot.
 	BuildTimeout time.Duration
+	// MutationCoalesce is how long a delta flush waits after the first
+	// unclassifiable mutation arrives before rebuilding, so a burst of N
+	// mutations coalesces into O(1) rebuilds instead of N (0 = flush
+	// immediately; the steal-the-whole-queue drain still coalesces any
+	// mutations that arrive while a flush build is in flight).
+	MutationCoalesce time.Duration
 	// DisableMetrics skips creating the Store's metric registry
 	// (Store.Metrics returns nil). The default — metrics on — costs one
 	// sharded atomic add per serving hop and a constant handful of
@@ -272,11 +332,12 @@ func NewStore(workers int) *Store {
 // configuration; see StoreConfig.
 func NewStoreWithConfig(cfg StoreConfig) *Store {
 	s := &Store{
-		runner:       NewRunner(cfg.Workers),
-		epochs:       epoch.NewDomain(),
-		byName:       map[string]*storeEntry{},
-		queueWait:    cfg.BuildQueueWait,
-		buildTimeout: cfg.BuildTimeout,
+		runner:           NewRunner(cfg.Workers),
+		epochs:           epoch.NewDomain(),
+		byName:           map[string]*storeEntry{},
+		queueWait:        cfg.BuildQueueWait,
+		buildTimeout:     cfg.BuildTimeout,
+		mutationCoalesce: cfg.MutationCoalesce,
 	}
 	if cfg.MaxConcurrentBuilds > 0 {
 		s.buildSem = make(chan struct{}, cfg.MaxConcurrentBuilds)
@@ -435,6 +496,7 @@ func (s *Store) build(ctx context.Context, en *storeEntry, name string, g *Graph
 	if opts != nil {
 		o = *opts
 	}
+	isLoad := g != nil
 	cur := en.cur.Load()
 	if g == nil {
 		if cur == nil {
@@ -443,6 +505,18 @@ func (s *Store) build(ctx context.Context, en *storeEntry, name string, g *Graph
 		g = cur.Graph
 		if o.Algorithm == "" {
 			o.Algorithm = cur.Algorithm
+		}
+		// A rebuild recomputes the *current* edge set: applied-but-
+		// unmaterialized overlay insertions fold into the CSR here, so no
+		// classified mutation is ever lost to a rebuild. Pending deltas
+		// stay queued — they apply on top of the new snapshot, same graph
+		// generation.
+		if len(cur.overlay) > 0 {
+			mg, merr := materializeGraph(s.runner.exec, cur.Graph, cur.overlay, nil)
+			if merr != nil {
+				return nil, merr
+			}
+			g = mg
 		}
 	}
 	algo, err := resolveAlgorithm(o.Algorithm)
@@ -492,6 +566,16 @@ func (s *Store) build(ctx context.Context, en *storeEntry, name string, g *Graph
 		m.recordBuild(nil, dur, res.Times)
 	}
 	s.live.Add(1)
+	if isLoad {
+		// The graph was replaced wholesale: pending deltas describe edges
+		// of the old graph and die with it. Bumping the generation also
+		// tells a flush that already stole a batch to drop it.
+		en.mutMu.Lock()
+		en.graphGen.Add(1)
+		en.deltaQ = nil
+		en.deltaSince = time.Time{}
+		en.mutMu.Unlock()
+	}
 	if old := en.cur.Swap(snap); old != nil {
 		// The old version is unpublished (the swap) but epoch-pinned
 		// readers may still be inside it: retire it into the domain,
@@ -594,6 +678,18 @@ type GraphStatus struct {
 	// Phases is the serving snapshot's per-phase build breakdown (zero
 	// when not Loaded).
 	Phases PhaseTimes
+
+	// Mutation staleness (see Store.ApplyBatch). PendingDeltas counts
+	// mutations accepted but not yet applied — the serving snapshot does
+	// not reflect them — and DeltaAge is the age of the oldest one.
+	// OverlayEdges counts classified insertions applied to the serving
+	// snapshot but not yet folded into its CSR (queries already reflect
+	// them). DeltaFlushes counts the coalesced delta rebuilds published
+	// for this entry.
+	PendingDeltas int
+	DeltaAge      time.Duration
+	OverlayEdges  int
+	DeltaFlushes  int64
 }
 
 // Status reports the health of name's entry: the serving version and
@@ -607,6 +703,8 @@ func (s *Store) Status(name string) (GraphStatus, error) {
 	}
 	st := GraphStatus{Name: name}
 	st.ConsecutiveFailures, st.LastError, st.LastErrorAt = en.failure()
+	st.PendingDeltas, st.DeltaAge = en.pendingDeltas()
+	st.DeltaFlushes = en.flushes.Load()
 	if t, ok := en.traces.last(); ok {
 		st.LastBuild = &t
 	}
@@ -614,6 +712,7 @@ func (s *Store) Status(name string) (GraphStatus, error) {
 		st.Loaded = true
 		st.Version = cur.Version
 		st.Algorithm = cur.Algorithm
+		st.OverlayEdges = len(cur.overlay)
 		if cur.Result != nil {
 			st.Phases = cur.Result.Times
 		}
@@ -651,6 +750,11 @@ type StoreStats struct {
 	// InFlightBuilds is the number of builds currently executing on the
 	// Runner (admitted, not yet finished).
 	InFlightBuilds int64
+	// PendingDeltas totals mutations accepted by ApplyBatch but not yet
+	// applied across all entries — the catalog's mutation staleness.
+	// DeltaFlushes totals the coalesced delta rebuilds published.
+	PendingDeltas int64
+	DeltaFlushes  int64
 }
 
 // Stats returns current catalog gauges. Reading stats also runs an
@@ -660,6 +764,7 @@ func (s *Store) Stats() StoreStats {
 	s.epochs.Reclaim()
 	byAlgo := map[string]int{}
 	failing := 0
+	var pendingDeltas, deltaFlushes int64
 	s.mu.RLock()
 	n := len(s.byName)
 	for _, en := range s.byName {
@@ -669,6 +774,9 @@ func (s *Store) Stats() StoreStats {
 		if f, _, _ := en.failure(); f > 0 {
 			failing++
 		}
+		p, _ := en.pendingDeltas()
+		pendingDeltas += int64(p)
+		deltaFlushes += en.flushes.Load()
 	}
 	s.mu.RUnlock()
 	// Batch totals sum both accounting sources: the plain counters
@@ -693,6 +801,8 @@ func (s *Store) Stats() StoreStats {
 		FailingGraphs:    failing,
 		BuildFailures:    s.buildFails.Load(),
 		InFlightBuilds:   s.inFlight.Load(),
+		PendingDeltas:    pendingDeltas,
+		DeltaFlushes:     deltaFlushes,
 	}
 }
 

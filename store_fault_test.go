@@ -314,3 +314,125 @@ func TestStoreSentinels(t *testing.T) {
 		t.Fatalf("Load after Close = %v, want ErrStoreClosed", err)
 	}
 }
+
+// TestMutateDeltaFlushPanicRequeues: an injected panic inside the
+// coalesced delta rebuild leaves the last-good snapshot serving and
+// re-queues every stolen delta — no mutation is lost — and a healthy
+// retry applies them.
+func TestMutateDeltaFlushPanicRequeues(t *testing.T) {
+	defer faultpoint.Reset()
+	s := fastbcc.NewStoreWithConfig(fastbcc.StoreConfig{
+		Workers:          2,
+		MutationCoalesce: time.Hour, // only FlushDeltas drives the flush
+	})
+	defer s.Close()
+	g := storeTestGraph(t)
+	snap, err := s.Load(context.Background(), "demo", g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := snap.Version
+	snap.Release()
+
+	r, err := s.ApplyBatch(context.Background(), "demo", nil, []fastbcc.Edge{{U: 2, W: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Queued != 1 || r.Pending != 1 {
+		t.Fatalf("queued delete: %+v", r)
+	}
+
+	faultpoint.ArmPanic(faultpoint.MutateDeltaFlush)
+	err = s.FlushDeltas(context.Background(), "demo")
+	if !errors.Is(err, fastbcc.ErrBuildPanic) {
+		t.Fatalf("flush with armed panic = %v, want ErrBuildPanic", err)
+	}
+
+	// Last-good still serving at the old version; the delta re-queued.
+	cur, err := s.Acquire("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Version != v1 || !cur.Index.Connected(0, 4) {
+		t.Fatalf("serving version=%d (want %d) after failed flush", cur.Version, v1)
+	}
+	cur.Release()
+	st, err := s.Status("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PendingDeltas != 1 || st.DeltaFlushes != 0 {
+		t.Fatalf("status after failed flush: %+v", st)
+	}
+	if st.ConsecutiveFailures == 0 || !strings.Contains(st.LastError, "delta flush") {
+		t.Fatalf("failure state not recorded: %+v", st)
+	}
+
+	// Disarm and retry: the re-queued delete applies.
+	faultpoint.Reset()
+	if err := s.FlushDeltas(context.Background(), "demo"); err != nil {
+		t.Fatal(err)
+	}
+	cur, err = s.Acquire("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Release()
+	if cur.Index.Connected(0, 4) {
+		t.Fatal("re-queued delete was lost")
+	}
+	st, _ = s.Status("demo")
+	if st.PendingDeltas != 0 || st.DeltaFlushes != 1 || st.ConsecutiveFailures != 0 {
+		t.Fatalf("status after recovery: %+v", st)
+	}
+}
+
+// TestMutateClassifyFaultDemotes: an armed error (or panic) at the
+// classify point demotes even a fast-classifiable insertion to the
+// delta queue — degraded to a rebuild, never lost.
+func TestMutateClassifyFaultDemotes(t *testing.T) {
+	defer faultpoint.Reset()
+	for _, mode := range []string{"error", "panic"} {
+		s := fastbcc.NewStoreWithConfig(fastbcc.StoreConfig{
+			Workers:          2,
+			MutationCoalesce: time.Hour,
+		})
+		g := storeTestGraph(t)
+		snap, err := s.Load(context.Background(), "demo", g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap.Release()
+
+		if mode == "error" {
+			faultpoint.ArmError(faultpoint.MutateClassify, 0)
+		} else {
+			faultpoint.ArmPanic(faultpoint.MutateClassify)
+		}
+		// {0,1} would be a fast intra-block insert; the fault demotes it.
+		r, err := s.ApplyBatch(context.Background(), "demo", []fastbcc.Edge{{U: 0, W: 1}}, nil)
+		if err != nil {
+			t.Fatalf("%s: ApplyBatch = %v", mode, err)
+		}
+		if r.Fast != 0 || r.Queued != 1 {
+			t.Fatalf("%s: demoted insert: %+v", mode, r)
+		}
+		if faultpoint.Hits(faultpoint.MutateClassify) == 0 {
+			t.Fatalf("%s: classify faultpoint never reached", mode)
+		}
+		faultpoint.Reset()
+
+		if err := s.FlushDeltas(context.Background(), "demo"); err != nil {
+			t.Fatal(err)
+		}
+		cur, err := s.Acquire("demo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.NumEdges() != g.NumEdges()+1 {
+			t.Fatalf("%s: demoted insert lost: %d edges", mode, cur.NumEdges())
+		}
+		cur.Release()
+		s.Close()
+	}
+}
