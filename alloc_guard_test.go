@@ -152,6 +152,51 @@ func TestAllocGuardMutationFastPath(t *testing.T) {
 	}
 }
 
+func TestAllocGuardMutationFastPathDurable(t *testing.T) {
+	g := guardGraph(t)
+	st := fastbcc.NewStoreWithConfig(fastbcc.StoreConfig{
+		DataDir: t.TempDir(),
+	})
+	defer st.Close()
+	snap, err := st.Load(context.Background(), "guard", g, &fastbcc.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u, w int32 = -1, -1
+	idx := snap.Index
+	n := int32(g.NumVertices())
+	for a := int32(0); a < n && u < 0; a++ {
+		for b := a + 1; b < a+64 && b < n; b++ {
+			if idx.Biconnected(a, b) && idx.TwoEdgeConnected(a, b) {
+				u, w = a, b
+				break
+			}
+		}
+	}
+	snap.Release()
+	if u < 0 {
+		t.Fatal("no 2ECC pair in the guard graph")
+	}
+	ctx := context.Background()
+	adds := []fastbcc.Edge{{U: u, W: w}}
+	st.ApplyBatch(ctx, "guard", adds, nil) // warm gauges, journal, edge scratch
+	avg := testing.AllocsPerRun(100, func() {
+		res, err := st.ApplyBatch(ctx, "guard", adds, nil)
+		if err != nil || res.Fast != 1 || res.Queued != 0 {
+			t.Fatalf("fast add degraded: %+v %v", res, err)
+		}
+	})
+	// Same bound as the non-durable guard: the WAL append reuses the
+	// entry's edge scratch and the journal's record buffer, so durability
+	// must not add steady-state allocations to the acknowledgment path.
+	if avg > 32 {
+		t.Fatalf("durable fast-path ApplyBatch: %.1f allocs/op, want <= 32", avg)
+	}
+	if st.Stats().WalAppends < 100 {
+		t.Fatal("guard ran without journaling — the bound proved nothing")
+	}
+}
+
 func TestAllocGuardQueryBatch(t *testing.T) {
 	g := guardGraph(t)
 	st := fastbcc.NewStore(0)

@@ -104,6 +104,27 @@
 // further. A client that disconnects mid-build cancels it, freeing its
 // admission slot.
 //
+// # Durability
+//
+// With -data-dir set, the store persists every graph under
+// <data-dir>/<graph>/ as a checksummed, memory-mappable snapshot plus a
+// write-ahead journal for mutations: each acknowledged mutation is
+// fsynced into the journal BEFORE the HTTP response, and a background
+// persister rewrites the snapshot after every full build, truncating the
+// journal prefix the snapshot now covers. On startup bccd recovers the
+// directory before serving: each graph's last-good snapshot is mmapped
+// back (no rebuild — startup is I/O-bound, not compute-bound) and the
+// journal tail replays through the ordinary mutation queue, so the first
+// query is answered from a stale-but-correct snapshot while one
+// coalesced rebuild catches up. Section checksums are verified lazily in
+// the background unless -verify-on-load forces eager validation; a
+// corrupt snapshot fails only that graph's recovery, reported and
+// skipped. Disk trouble never takes down serving: a failed persist or
+// journal append degrades durability — surfaced in /healthz
+// (degraded_graphs, persist_failures), per-graph stats
+// (durability_degraded, last_persist_error), and the fastbcc_persist_*
+// metric series — while queries and mutation acks proceed unchanged.
+//
 // # Observability
 //
 // GET /metrics exposes the whole serving stack in the Prometheus text
@@ -129,6 +150,10 @@
 //	-build-timeout    cap on every build, 0 = none
 //	-mutation-coalesce how long a delta flush gathers queued mutations
 //	                  before rebuilding (default 25ms; 0 = flush at once)
+//	-data-dir         persist snapshots + mutation journals here and
+//	                  recover them on startup (empty = in-memory only)
+//	-verify-on-load   verify every section checksum during recovery
+//	                  instead of lazily in the background
 //	-log-level        log floor: debug, info, warn, or error (default info)
 //	-slow-query-ms    warn-log batch requests slower than this (0 = off)
 //	-faultpoints      arm fault-injection points at startup, e.g.
@@ -164,6 +189,8 @@ func main() {
 	buildTimeout := flag.Duration("build-timeout", 0, "cap on every build; past it the build is canceled (0 = none)")
 	mutationCoalesce := flag.Duration("mutation-coalesce", 25*time.Millisecond,
 		"how long a delta flush gathers queued mutations before rebuilding (0 = flush at once)")
+	dataDir := flag.String("data-dir", "", "persist snapshots and mutation journals here and recover them on startup (empty = in-memory only)")
+	verifyOnLoad := flag.Bool("verify-on-load", false, "verify every snapshot section checksum during recovery instead of lazily in the background")
 	logLevel := flag.String("log-level", "info", "log floor: debug, info, warn, or error")
 	slowQueryMS := flag.Int("slow-query-ms", 0, "warn-log batch requests slower than this many milliseconds (0 = off)")
 	faultSpec := flag.String("faultpoints", "", "arm fault-injection points at startup, e.g. \"build.error=error:after=1\" (testing)")
@@ -200,8 +227,26 @@ func main() {
 		BuildQueueWait:      *queueWait,
 		BuildTimeout:        *buildTimeout,
 		MutationCoalesce:    *mutationCoalesce,
+		DataDir:             *dataDir,
+		VerifyOnLoad:        *verifyOnLoad,
 	})
 	defer store.Close()
+	if *dataDir != "" {
+		rep, err := store.Recover(context.Background())
+		if err != nil {
+			fatal("recovering data dir", "dir", *dataDir, "err", err)
+		}
+		for _, g := range rep.Graphs {
+			logger.Info("graph recovered", "graph", g.Name, "version", g.Version,
+				"n", g.Vertices, "m", g.Edges, "replayed", g.Replayed,
+				"snapshot_bytes", g.SnapshotBytes)
+		}
+		for _, f := range rep.Failures {
+			logger.Error("graph recovery failed", "dir", f.Dir, "err", f.Error)
+		}
+		logger.Info("recovery done", "dir", *dataDir,
+			"recovered", len(rep.Graphs), "failed", len(rep.Failures))
+	}
 	for _, spec := range preload {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

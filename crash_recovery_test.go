@@ -1,0 +1,299 @@
+package fastbcc_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	fastbcc "repro"
+)
+
+// The kill-and-restart crash test. The parent re-executes the test
+// binary as a helper process (selected by FASTBCC_CRASH_DIR) that loads
+// a graph into a durable store and applies an endless deterministic
+// stream of single-mutation batches, appending one byte to a progress
+// file after each acknowledgment. The parent SIGKILLs it mid-burst —
+// no shutdown hook runs, the snapshot and journal are whatever the
+// kernel has — then recovers in-process and checks the contract: with
+// K acknowledged mutations (progress bytes; a plain write(2) survives a
+// process kill, so the count is exact), the recovered graph must equal
+// the oracle after exactly K or K+1 mutations. K+1 covers the one
+// mutation that can be journaled (the ack's durability point) but not
+// yet acknowledged when the signal lands. Anything else — a lost ack, a
+// duplicated replay, a half-applied batch — lands outside both oracles
+// and fails.
+
+// crashMutation returns the k-th mutation of the deterministic stream
+// (shared by helper and parent), as (add?, edge) over crashN vertices.
+const crashN = 24
+
+func crashMutation(rng *rand.Rand) (bool, fastbcc.Edge) {
+	e := canon(fastbcc.Edge{U: int32(rng.Intn(crashN)), W: int32(rng.Intn(crashN))})
+	return rng.Float64() < 0.6, e
+}
+
+func crashBaseEdges() []fastbcc.Edge {
+	var edges []fastbcc.Edge
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 32; i++ {
+		edges = append(edges, canon(fastbcc.Edge{U: int32(rng.Intn(crashN)), W: int32(rng.Intn(crashN))}))
+	}
+	return edges
+}
+
+// TestCrashRecoveryHelper is the victim process. It only runs when
+// re-executed by TestCrashRecovery with FASTBCC_CRASH_DIR set; under a
+// normal `go test` it skips.
+func TestCrashRecoveryHelper(t *testing.T) {
+	dir := os.Getenv("FASTBCC_CRASH_DIR")
+	if dir == "" {
+		t.Skip("crash helper; driven by TestCrashRecovery")
+	}
+	s := fastbcc.NewStoreWithConfig(fastbcc.StoreConfig{
+		Workers: 2,
+		DataDir: dir,
+		// A short coalesce keeps flushes and background snapshot persists
+		// racing with the mutation stream, so the kill can land mid-write,
+		// mid-truncate, or mid-rebuild.
+		MutationCoalesce: 5 * time.Millisecond,
+	})
+	g, err := fastbcc.NewGraphFromEdges(crashN, crashBaseEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Load(context.Background(), "crash", g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Release()
+
+	progress, err := os.OpenFile(filepath.Join(dir, "progress"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1234))
+	for i := 0; ; i++ {
+		add, e := crashMutation(rng)
+		var adds, dels []fastbcc.Edge
+		if add {
+			adds = []fastbcc.Edge{e}
+		} else {
+			dels = []fastbcc.Edge{e}
+		}
+		if _, err := s.ApplyBatch(context.Background(), "crash", adds, dels); err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+		if _, err := progress.Write([]byte{'.'}); err != nil {
+			t.Fatal(err)
+		}
+		if i >= 100000 {
+			t.Fatal("parent never killed the helper")
+		}
+	}
+}
+
+// indexesAgree is diffIndexes without the t.Fatal: full pairwise query
+// comparison, boolean result (the crash test tries two oracles).
+func indexesAgree(n int, got, want *fastbcc.Index) bool {
+	if got.NumBlocks() != want.NumBlocks() ||
+		got.NumCutVertices() != want.NumCutVertices() ||
+		got.NumBridges() != want.NumBridges() ||
+		got.NumTwoECC() != want.NumTwoECC() {
+		return false
+	}
+	for u := int32(0); u < int32(n); u++ {
+		if got.IsCutVertex(u) != want.IsCutVertex(u) {
+			return false
+		}
+		for v := int32(0); v < int32(n); v++ {
+			if got.Connected(u, v) != want.Connected(u, v) ||
+				got.Biconnected(u, v) != want.Biconnected(u, v) ||
+				got.TwoEdgeConnected(u, v) != want.TwoEdgeConnected(u, v) ||
+				got.NumCutsOnPath(u, v) != want.NumCutsOnPath(u, v) ||
+				got.NumBridgesOnPath(u, v) != want.NumBridgesOnPath(u, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// crashOracleEdges replays the first k mutations of the deterministic
+// stream over the base multiset.
+func crashOracleEdges(k int) []fastbcc.Edge {
+	full := map[fastbcc.Edge]int{}
+	for _, e := range crashBaseEdges() {
+		full[e]++
+	}
+	rng := rand.New(rand.NewSource(1234))
+	for i := 0; i < k; i++ {
+		add, e := crashMutation(rng)
+		if add {
+			full[e]++
+		} else if full[e] > 0 {
+			full[e]--
+		}
+	}
+	var out []fastbcc.Edge
+	for e, c := range full {
+		for i := 0; i < c; i++ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills a subprocess")
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The data dir is shared with the subprocess, so it cannot be
+	// t.TempDir of the helper; the parent owns cleanup.
+	dir := t.TempDir()
+
+	cmd := exec.Command(bin, "-test.run", "^TestCrashRecoveryHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), "FASTBCC_CRASH_DIR="+dir)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Let the burst run until a healthy amount of acknowledged work is on
+	// the books, then kill without warning.
+	progressPath := filepath.Join(dir, "progress")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if fi, err := os.Stat(progressPath); err == nil && fi.Size() >= 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("helper made no progress")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no defers, no flushes
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	fi, err := os.Stat(progressPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := int(fi.Size())
+	t.Logf("killed helper after %d acknowledged mutations", acked)
+
+	s := fastbcc.NewStoreWithConfig(fastbcc.StoreConfig{
+		Workers:          2,
+		DataDir:          dir,
+		MutationCoalesce: time.Hour,
+	})
+	defer s.Close()
+	rep, err := s.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 0 {
+		t.Fatalf("recovery failures: %+v", rep.Failures)
+	}
+	if len(rep.Graphs) != 1 || rep.Graphs[0].Name != "crash" {
+		t.Fatalf("recovered: %+v", rep.Graphs)
+	}
+	if err := s.FlushDeltas(context.Background(), "crash"); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := s.Acquire("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Release()
+
+	for _, k := range []int{acked, acked + 1} {
+		oracle := oracleIndex(t, crashN, crashOracleEdges(k))
+		if indexesAgree(crashN, cur.Index, oracle) {
+			t.Logf("recovered state matches oracle after %d mutations", k)
+			return
+		}
+	}
+	t.Fatalf("recovered state matches neither oracle(%d) nor oracle(%d): "+
+		"an acknowledged mutation was lost or replayed twice", acked, acked+1)
+}
+
+// TestCrashRecoveryCompact is the CI-friendly variant: same protocol,
+// but the "crash" is simulated in-process by abandoning the first store
+// without Close — no journal close, no final persist, no delta flush;
+// the on-disk state is the Load-time snapshot plus the journal, exactly
+// what a kill right after the acknowledgments would leave (minus torn
+// writes, which the persist package's own torn-tail tests cover). The
+// flusher is parked so the abandoned store stops touching the directory
+// the moment the last ack returns — a crashed process can't keep
+// writing, and neither may its stand-in. Runs in -short mode too.
+func TestCrashRecoveryCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := fastbcc.NewStoreWithConfig(fastbcc.StoreConfig{
+		Workers:          2,
+		DataDir:          dir,
+		MutationCoalesce: time.Hour,
+	})
+	g, err := fastbcc.NewGraphFromEdges(crashN, crashBaseEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Load(context.Background(), "crash", g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Release()
+	const acked = 120
+	rng := rand.New(rand.NewSource(1234))
+	for i := 0; i < acked; i++ {
+		add, e := crashMutation(rng)
+		var adds, dels []fastbcc.Edge
+		if add {
+			adds = []fastbcc.Edge{e}
+		} else {
+			dels = []fastbcc.Edge{e}
+		}
+		if _, err := s.ApplyBatch(context.Background(), "crash", adds, dels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandoned, never Closed: the store object leaks workers for the
+	// test's lifetime, exactly like a crashed process leaks nothing.
+
+	s2 := fastbcc.NewStoreWithConfig(fastbcc.StoreConfig{
+		Workers:          2,
+		DataDir:          dir,
+		MutationCoalesce: time.Hour,
+	})
+	defer s2.Close()
+	rep, err := s2.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Graphs) != 1 || len(rep.Failures) != 0 {
+		t.Fatalf("recovery report: %+v", rep)
+	}
+	if err := s2.FlushDeltas(context.Background(), "crash"); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := s2.Acquire("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Release()
+	diffIndexes(t, fmt.Sprintf("compact-crash after %d acks", acked), crashN,
+		cur.Index, oracleIndex(t, crashN, crashOracleEdges(acked)))
+}

@@ -224,6 +224,13 @@ type graphInfo struct {
 	StalenessMS   float64 `json:"staleness_ms,omitempty"`
 	OverlayEdges  int     `json:"overlay_edges,omitempty"`
 	DeltaFlushes  int64   `json:"delta_flushes,omitempty"`
+
+	// Durability state (see fastbcc.StoreConfig.DataDir): set while the
+	// graph's most recent snapshot persist or journal append failed.
+	// Serving continues; a crash in this state may lose recent mutations.
+	DurabilityDegraded bool   `json:"durability_degraded,omitempty"`
+	LastPersistError   string `json:"last_persist_error,omitempty"`
+	LastPersistErrorAt string `json:"last_persist_error_at,omitempty"`
 }
 
 // graphStatusInfo is the stats payload for an entry with no serving
@@ -295,6 +302,11 @@ func (s *server) info(snap *fastbcc.Snapshot) graphInfo {
 		gi.StalenessMS = float64(st.DeltaAge.Microseconds()) / 1000
 		gi.OverlayEdges = st.OverlayEdges
 		gi.DeltaFlushes = st.DeltaFlushes
+		gi.DurabilityDegraded = st.DurabilityDegraded
+		gi.LastPersistError = st.LastPersistError
+		if !st.LastPersistErrorAt.IsZero() {
+			gi.LastPersistErrorAt = st.LastPersistErrorAt.UTC().Format(timeFmt)
+		}
 	}
 	return gi
 }
@@ -318,20 +330,26 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Deterministic: a.Deterministic,
 		})
 	}
-	// A degraded catalog — entries whose latest build failed, still
-	// serving their last-good snapshot — stays HTTP 200 (the server is
-	// up and answering queries) but reports ok:false so health checks
-	// and operators see the failure without scraping per-graph stats.
+	// A degraded catalog — entries whose latest build failed (still
+	// serving their last-good snapshot) or whose durability is degraded
+	// (still acknowledging mutations, but a crash may lose them) — stays
+	// HTTP 200 (the server is up and answering queries) but reports
+	// ok:false so health checks and operators see the failure without
+	// scraping per-graph stats.
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"ok":               st.FailingGraphs == 0,
-		"degraded":         st.FailingGraphs > 0,
-		"graphs":           st.Graphs,
-		"live_snapshots":   st.LiveSnapshots,
-		"by_algorithm":     st.ByAlgorithm,
-		"failing_graphs":   st.FailingGraphs,
-		"build_failures":   st.BuildFailures,
-		"in_flight_builds": st.InFlightBuilds,
-		"algorithms":       algos,
+		"ok":                 st.FailingGraphs == 0 && st.DegradedGraphs == 0,
+		"degraded":           st.FailingGraphs > 0 || st.DegradedGraphs > 0,
+		"graphs":             st.Graphs,
+		"live_snapshots":     st.LiveSnapshots,
+		"by_algorithm":       st.ByAlgorithm,
+		"failing_graphs":     st.FailingGraphs,
+		"build_failures":     st.BuildFailures,
+		"in_flight_builds":   st.InFlightBuilds,
+		"degraded_graphs":    st.DegradedGraphs,
+		"persist_failures":   st.PersistFailures,
+		"recovered_graphs":   st.RecoveredGraphs,
+		"replayed_mutations": st.ReplayedMutations,
+		"algorithms":         algos,
 	})
 }
 

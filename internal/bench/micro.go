@@ -197,6 +197,40 @@ func RunMicro(engineNames []string) (*MicroReport, error) {
 		Sink += s
 	})
 	st.Close()
+
+	// Durability (see durable.go): SnapshotSave is one synchronous
+	// persist of the serving snapshot — encode, checksummed write, fsync,
+	// rename, journal truncation; SnapshotLoad is the full restart path —
+	// a fresh store recovering the graph from the mapped snapshot. The
+	// pair quantifies the mmap-load-vs-rebuild gap next to the BCC rows
+	// above.
+	if dir, err := os.MkdirTemp("", "fastbcc-bench-*"); err == nil {
+		defer os.RemoveAll(dir)
+		std := fastbcc.NewStoreWithConfig(fastbcc.StoreConfig{DataDir: dir})
+		if snap, err := std.Load(context.Background(), "bench", g, &fastbcc.Options{Seed: 7}); err == nil {
+			snap.Release()
+			add("Persist/SnapshotSave/RMAT-16-8", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := std.Persist("bench"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			add("Persist/SnapshotLoad/RMAT-16-8", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sr := fastbcc.NewStoreWithConfig(fastbcc.StoreConfig{DataDir: dir})
+					rec, err := sr.Recover(context.Background())
+					if err != nil || len(rec.Graphs) != 1 {
+						b.Fatalf("recover: %v, %+v", err, rec)
+					}
+					sr.Close()
+				}
+			})
+		}
+		std.Close()
+	}
 	return rep, nil
 }
 

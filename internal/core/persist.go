@@ -1,0 +1,28 @@
+package core
+
+// RestoreResult reassembles a Result from previously serialized arrays —
+// the restart path of the store's snapshot persistence. The lazy caches
+// (labelCount, artPoints, bct) are installed before their sync.Onces are
+// burned, so the Do bodies see non-nil fields and keep the restored
+// slices: a restored Result answers every topology query without
+// recomputing anything, exactly like the Result it was saved from.
+//
+// The caller owns shape validation (it knows the graph the arrays must
+// match); RestoreResult only wires fields together.
+func RestoreResult(label, head, parent, labelCount, artPoints []int32, numBCC int, bct *BlockCutTree) *Result {
+	r := &Result{
+		Label:     label,
+		Head:      head,
+		Parent:    parent,
+		NumLabels: len(head),
+		NumBCC:    numBCC,
+	}
+	r.labelCount = labelCount
+	r.artPoints = artPoints
+	r.bct = bct
+	// Burn the Onces: their bodies nil-check before computing, so with the
+	// fields already set these are no-ops that mark the caches ready.
+	r.LabelSizes()
+	r.precomputeTopology(nil)
+	return r
+}

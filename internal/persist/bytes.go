@@ -1,0 +1,51 @@
+package persist
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether the host's native int32 layout matches
+// the on-disk little-endian format, which is what makes the zero-copy
+// mmap views legal. Evaluated once at init from the native byte order.
+var hostLittleEndian = func() bool {
+	var probe [4]byte
+	binary.NativeEndian.PutUint32(probe[:], 1)
+	return probe[0] == 1
+}()
+
+// int32Bytes returns the little-endian byte image of a. On little-endian
+// hosts this is a zero-copy reinterpretation of the slice; on big-endian
+// hosts it encodes into a fresh buffer.
+func int32Bytes(a []int32) []byte {
+	if len(a) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&a[0])), len(a)*4)
+	}
+	out := make([]byte, len(a)*4)
+	for i, v := range a {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+	}
+	return out
+}
+
+// viewInt32 interprets b (len(b) == 4*count, 4-byte aligned in the
+// mapped file) as an int32 array. Zero-copy on little-endian hosts —
+// the returned slice aliases the mapping and lives exactly as long as
+// it — and a decoded copy elsewhere. count == 0 returns a non-nil empty
+// slice so restored caches read as "computed, empty".
+func viewInt32(b []byte, count int) []int32 {
+	if count == 0 {
+		return []int32{}
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), count)
+	}
+	out := make([]int32, count)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}

@@ -1,0 +1,345 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/faultpoint"
+)
+
+// Journal is the per-graph write-ahead log for the mutation delta queue:
+// ApplyBatch appends one record per accepted batch before acknowledging,
+// and restart recovery replays the records newer than the last durable
+// snapshot through the ordinary classify/queue machinery.
+//
+// File layout:
+//
+//	file    = "FBCCWAL1" | record*
+//	record  = u32 payloadLen | u32 payloadCRC | payload
+//	payload = u64 seq | u32 nAdds | u32 nDels | nAdds × (i32 u, i32 w)
+//	        | nDels × (i32 u, i32 w)
+//
+// A record is atomic: the CRC covers the whole payload, so replay either
+// decodes a record fully or stops. Anything after the last valid record
+// — a torn append from a crash mid-write, or flipped bytes — is cleanly
+// truncated on open, which is exactly the acknowledged-durability
+// contract: a batch is durable iff its record (append + fsync) completed
+// before the acknowledgment was returned.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	size    int64
+	lastSeq uint64
+	buf     []byte // reusable record-encode buffer (alloc-free appends)
+}
+
+// JEdge is one undirected edge endpoint pair in a journal record.
+type JEdge struct{ U, W int32 }
+
+// JournalRecord is one decoded journal record: the batch's WAL sequence
+// number and its insertions and deletions, in the order ApplyBatch
+// received them.
+type JournalRecord struct {
+	Seq  uint64
+	Adds []JEdge
+	Dels []JEdge
+}
+
+var journalMagic = [8]byte{'F', 'B', 'C', 'C', 'W', 'A', 'L', '1'}
+
+const (
+	journalHeaderSize = 8
+	recordHeaderSize  = 8  // payloadLen + payloadCRC
+	payloadFixed      = 16 // seq + nAdds + nDels
+	// MaxJournalEdges bounds the edges in one record (64 MiB of payload)
+	// — bounded before any allocation, like every other decode here.
+	MaxJournalEdges = 1 << 23
+)
+
+// maxPayload is the largest legal record payload.
+const maxPayload = payloadFixed + 8*MaxJournalEdges
+
+// ErrJournalCorrupt is returned by OpenJournal when the file's header is
+// not a journal at all (as opposed to a torn tail, which is silently
+// truncated). The caller decides whether to quarantine the file.
+var ErrJournalCorrupt = errors.New("journal corrupt")
+
+// OpenJournal opens (creating if absent) the journal at path, decodes
+// every valid record, and truncates any torn or corrupt tail in place.
+// It returns the journal positioned for appends plus the replayable
+// records in append order.
+func OpenJournal(path string) (*Journal, []JournalRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &Journal{f: f, path: path}
+	if len(data) < journalHeaderSize {
+		// New (or torn-before-header) journal: start fresh.
+		if err := j.reset(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return j, nil, nil
+	}
+	if [8]byte(data[:8]) != journalMagic {
+		f.Close()
+		return nil, nil, fmt.Errorf("persist: %s: %w: bad magic %q", path, ErrJournalCorrupt, data[:8])
+	}
+	recs, goodLen := DecodeJournal(data)
+	if int64(goodLen) != int64(len(data)) {
+		// Torn or corrupt tail: truncate at the last valid record. The
+		// bytes past goodLen were never acknowledged (the ack follows the
+		// completed append), so dropping them loses nothing durable.
+		if err := f.Truncate(int64(goodLen)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		f.Sync()
+	}
+	if _, err := f.Seek(int64(goodLen), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j.size = int64(goodLen)
+	if len(recs) > 0 {
+		j.lastSeq = recs[len(recs)-1].Seq
+	}
+	return j, recs, nil
+}
+
+// DecodeJournal decodes the valid record prefix of a journal byte image
+// (header included). It returns the decoded records and the byte length
+// of the valid prefix — everything past it is torn or corrupt. It never
+// panics and bounds every allocation by the declared lengths' cross-check
+// against the remaining bytes.
+func DecodeJournal(data []byte) ([]JournalRecord, int) {
+	if len(data) < journalHeaderSize || [8]byte(data[:8]) != journalMagic {
+		return nil, 0
+	}
+	var recs []JournalRecord
+	off := journalHeaderSize
+	for {
+		rec, n := decodeRecord(data[off:])
+		if n == 0 {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+}
+
+// decodeRecord decodes one record from b, returning its byte length (0
+// when b does not begin with a complete, checksummed record).
+func decodeRecord(b []byte) (JournalRecord, int) {
+	if len(b) < recordHeaderSize {
+		return JournalRecord{}, 0
+	}
+	plen := int(binary.LittleEndian.Uint32(b[0:4]))
+	if plen < payloadFixed || plen > maxPayload || len(b) < recordHeaderSize+plen {
+		return JournalRecord{}, 0
+	}
+	payload := b[recordHeaderSize : recordHeaderSize+plen]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(b[4:8]) {
+		return JournalRecord{}, 0
+	}
+	nAdds := int(binary.LittleEndian.Uint32(payload[8:12]))
+	nDels := int(binary.LittleEndian.Uint32(payload[12:16]))
+	if nAdds < 0 || nDels < 0 || nAdds+nDels > MaxJournalEdges ||
+		plen != payloadFixed+8*(nAdds+nDels) {
+		return JournalRecord{}, 0
+	}
+	rec := JournalRecord{Seq: binary.LittleEndian.Uint64(payload[0:8])}
+	pairs := payload[payloadFixed:]
+	decode := func(n int) []JEdge {
+		if n == 0 {
+			return nil
+		}
+		out := make([]JEdge, n)
+		for i := range out {
+			out[i].U = int32(binary.LittleEndian.Uint32(pairs[i*8:]))
+			out[i].W = int32(binary.LittleEndian.Uint32(pairs[i*8+4:]))
+		}
+		pairs = pairs[n*8:]
+		return out
+	}
+	rec.Adds = decode(nAdds)
+	rec.Dels = decode(nDels)
+	return rec, recordHeaderSize + plen
+}
+
+// Append writes one record for the batch and, with sync true, fsyncs
+// before returning — the durability point an acknowledgment rests on.
+// It returns the bytes appended. The encode buffer is reused across
+// calls, so steady-state appends allocate nothing.
+func (j *Journal) Append(seq uint64, adds, dels []JEdge, sync bool) (int, error) {
+	if len(adds)+len(dels) > MaxJournalEdges {
+		return 0, fmt.Errorf("persist: journal batch of %d edges exceeds %d", len(adds)+len(dels), MaxJournalEdges)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := faultpoint.Check(FaultWrite); err != nil {
+		return 0, fmt.Errorf("persist: journal append %s: %w", j.path, err)
+	}
+	plen := payloadFixed + 8*(len(adds)+len(dels))
+	total := recordHeaderSize + plen
+	if cap(j.buf) < total {
+		j.buf = make([]byte, 0, total+total/2)
+	}
+	b := j.buf[:total]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(plen))
+	payload := b[recordHeaderSize:]
+	binary.LittleEndian.PutUint64(payload[0:8], seq)
+	binary.LittleEndian.PutUint32(payload[8:12], uint32(len(adds)))
+	binary.LittleEndian.PutUint32(payload[12:16], uint32(len(dels)))
+	pos := payloadFixed
+	for _, e := range adds {
+		binary.LittleEndian.PutUint32(payload[pos:], uint32(e.U))
+		binary.LittleEndian.PutUint32(payload[pos+4:], uint32(e.W))
+		pos += 8
+	}
+	for _, e := range dels {
+		binary.LittleEndian.PutUint32(payload[pos:], uint32(e.U))
+		binary.LittleEndian.PutUint32(payload[pos+4:], uint32(e.W))
+		pos += 8
+	}
+	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(payload[:plen], castagnoli))
+	if _, err := j.f.Write(b); err != nil {
+		return 0, err
+	}
+	if sync {
+		if err := faultpoint.Check(FaultFsync); err != nil {
+			return 0, fmt.Errorf("persist: journal fsync %s: %w", j.path, err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	j.size += int64(total)
+	j.lastSeq = seq
+	return total, nil
+}
+
+// TruncateThrough drops every record with Seq <= seq — called after a
+// snapshot covering those batches was durably published, so the journal
+// holds only the tail a recovery still needs to replay. Records are
+// appended in sequence order, so this is a prefix cut: when everything
+// is covered the file truncates to its header; otherwise the tail is
+// rewritten through the same temp-rename protocol as snapshots.
+func (j *Journal) TruncateThrough(seq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.size <= journalHeaderSize {
+		return nil
+	}
+	if j.lastSeq <= seq {
+		return j.reset()
+	}
+	// Find the cut: the offset of the first record with Seq > seq.
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return err
+	}
+	recs, goodLen := DecodeJournal(data)
+	cut := journalHeaderSize
+	off := journalHeaderSize
+	for _, r := range recs {
+		_, n := decodeRecord(data[off:])
+		if r.Seq <= seq {
+			cut = off + n
+		}
+		off += n
+	}
+	if cut == journalHeaderSize {
+		_, err := j.f.Seek(int64(goodLen), io.SeekStart)
+		return err
+	}
+	tmp := j.path + ".tmp"
+	out := append(append([]byte{}, journalMagic[:]...), data[cut:goodLen]...)
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return err
+	}
+	if err := faultpoint.Check(FaultRename); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: journal truncate %s: %w", j.path, err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	f, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(int64(len(out)), io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	j.f.Close()
+	j.f = f
+	j.size = int64(len(out))
+	return nil
+}
+
+// reset truncates the journal to an empty (header-only) file. Caller
+// holds j.mu (or is the only owner, during open).
+func (j *Journal) reset() error {
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := j.f.Write(journalMagic[:]); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.size = journalHeaderSize
+	return nil
+}
+
+// Reset drops every record — the graph was replaced wholesale, so the
+// whole history is obsolete.
+func (j *Journal) Reset() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.reset()
+}
+
+// Size returns the journal's current byte size (header included).
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// LastSeq returns the sequence number of the newest record (0 when the
+// journal is empty).
+func (j *Journal) LastSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastSeq
+}
+
+// Close closes the underlying file. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

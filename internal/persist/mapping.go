@@ -1,0 +1,199 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync/atomic"
+)
+
+// sectionHdr is one decoded directory entry.
+type sectionHdr struct {
+	id    uint32
+	count int
+	off   int64
+	crc   uint32
+}
+
+// Mapping is an open snapshot: the mapped (or, on platforms without
+// mmap, read) file plus its decoded directory. Section views alias the
+// mapping's memory, so the mapping is reference-counted: every snapshot
+// built over its arrays retains it, and the file is unmapped only when
+// the last retainer releases — the on-disk analog of the store's epoch
+// discipline for in-memory snapshots.
+type Mapping struct {
+	data   []byte
+	mapped bool // true when data is an mmap (needs munmap on release)
+	meta   []byte
+	secs   []sectionHdr
+	byID   map[uint32]int
+	refs   atomic.Int64
+}
+
+// OpenMapped opens the snapshot at path, validates its header, meta, and
+// directory eagerly, and memory-maps the sections. With verify true every
+// section checksum is validated before returning; otherwise section
+// validation is deferred to Verify (background) or skipped — the per-
+// section CRCs stay available either way. The returned mapping holds one
+// reference; Release it when no snapshot built over it remains.
+func OpenMapped(path string, verify bool) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, mapped, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, err
+	}
+	m, err := parseSnapshot(data)
+	if err != nil {
+		unmapBytes(data, mapped)
+		return nil, err
+	}
+	m.mapped = mapped
+	if verify {
+		if err := m.Verify(); err != nil {
+			m.Release()
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// DecodeSnapshot parses a snapshot container from an in-memory byte
+// image and validates every checksum — the strictest read path, and the
+// fuzzing entry point. The returned mapping's section views alias data.
+func DecodeSnapshot(data []byte) (*Mapping, error) {
+	m, err := parseSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Verify(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseSnapshot validates the header, meta, and directory of data and
+// builds the section table. Every length and offset is bounded against
+// len(data) before any slice is taken, so a hostile image fails with an
+// error, never a panic or an unbounded allocation.
+func parseSnapshot(data []byte) (*Mapping, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("persist: %w: %d bytes is shorter than the header", ErrCorrupt, len(data))
+	}
+	if [8]byte(data[:8]) != magic {
+		return nil, fmt.Errorf("persist: %w: bad magic %q", ErrCorrupt, data[:8])
+	}
+	if got, want := crc32.Checksum(data[:36], castagnoli), binary.LittleEndian.Uint32(data[36:40]); got != want {
+		return nil, fmt.Errorf("persist: %w: header checksum %08x != %08x", ErrCorrupt, got, want)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != formatVersion {
+		return nil, fmt.Errorf("persist: %w: format version %d (supported: %d)", ErrCorrupt, v, formatVersion)
+	}
+	nSec := int(binary.LittleEndian.Uint32(data[12:16]))
+	metaLen := int(binary.LittleEndian.Uint32(data[16:20]))
+	fileSize := int64(binary.LittleEndian.Uint64(data[20:28]))
+	if nSec > MaxSections {
+		return nil, fmt.Errorf("persist: %w: %d sections exceed %d", ErrCorrupt, nSec, MaxSections)
+	}
+	if metaLen > MaxMeta {
+		return nil, fmt.Errorf("persist: %w: meta of %d bytes exceeds %d", ErrCorrupt, metaLen, MaxMeta)
+	}
+	if fileSize != int64(len(data)) {
+		return nil, fmt.Errorf("persist: %w: header says %d bytes, file has %d", ErrCorrupt, fileSize, len(data))
+	}
+	if int64(headerSize+metaLen) > fileSize {
+		return nil, fmt.Errorf("persist: %w: meta overruns the file", ErrCorrupt)
+	}
+	meta := data[headerSize : headerSize+metaLen]
+	if got, want := crc32.Checksum(meta, castagnoli), binary.LittleEndian.Uint32(data[28:32]); got != want {
+		return nil, fmt.Errorf("persist: %w: meta checksum %08x != %08x", ErrCorrupt, got, want)
+	}
+	dirOff := align64(headerSize + int64(metaLen))
+	dirEnd := dirOff + int64(nSec*dirEntrySize)
+	if dirEnd > fileSize {
+		return nil, fmt.Errorf("persist: %w: directory overruns the file", ErrCorrupt)
+	}
+	dir := data[dirOff:dirEnd]
+	if got, want := crc32.Checksum(dir, castagnoli), binary.LittleEndian.Uint32(data[32:36]); got != want {
+		return nil, fmt.Errorf("persist: %w: directory checksum %08x != %08x", ErrCorrupt, got, want)
+	}
+	m := &Mapping{data: data, meta: meta, secs: make([]sectionHdr, nSec), byID: make(map[uint32]int, nSec)}
+	for i := 0; i < nSec; i++ {
+		e := dir[i*dirEntrySize:]
+		s := sectionHdr{
+			id:    binary.LittleEndian.Uint32(e[0:4]),
+			count: int(binary.LittleEndian.Uint32(e[4:8])),
+			off:   int64(binary.LittleEndian.Uint64(e[8:16])),
+			crc:   binary.LittleEndian.Uint32(e[16:20]),
+		}
+		// Bounds before anything touches the section: offset aligned and
+		// inside the file, length inside the file, id unique.
+		if s.off < dirEnd || s.off%4 != 0 || s.count < 0 || s.off+int64(s.count)*4 > fileSize {
+			return nil, fmt.Errorf("persist: %w: section %d (id %d) out of bounds", ErrCorrupt, i, s.id)
+		}
+		if _, dup := m.byID[s.id]; dup {
+			return nil, fmt.Errorf("persist: %w: duplicate section id %d", ErrCorrupt, s.id)
+		}
+		m.byID[s.id] = i
+		m.secs[i] = s
+	}
+	m.refs.Store(1)
+	return m, nil
+}
+
+// Meta returns the snapshot's meta blob (aliases the mapping).
+func (m *Mapping) Meta() []byte { return m.meta }
+
+// Size returns the mapped file size in bytes.
+func (m *Mapping) Size() int64 { return int64(len(m.data)) }
+
+// Section returns the int32 view of the section with the given id (false
+// when absent). On little-endian hosts the view aliases the mapping: it
+// is valid only while the mapping is retained.
+func (m *Mapping) Section(id uint32) ([]int32, bool) {
+	i, ok := m.byID[id]
+	if !ok {
+		return nil, false
+	}
+	s := m.secs[i]
+	return viewInt32(m.data[s.off:s.off+int64(s.count)*4], s.count), true
+}
+
+// Verify checksums every section against its directory CRC — the lazy
+// half of validation (the header, meta, and directory were checked at
+// open). Safe to run from a background goroutine while the snapshot
+// serves: it only reads.
+func (m *Mapping) Verify() error {
+	for _, s := range m.secs {
+		raw := m.data[s.off : s.off+int64(s.count)*4]
+		if got := crc32.Checksum(raw, castagnoli); got != s.crc {
+			return fmt.Errorf("persist: %w: section id %d checksum %08x != %08x", ErrCorrupt, s.id, got, s.crc)
+		}
+	}
+	return nil
+}
+
+// Retain takes a reference: a snapshot whose arrays alias this mapping
+// must hold one until the snapshot itself is reclaimed.
+func (m *Mapping) Retain() { m.refs.Add(1) }
+
+// Release drops a reference; the last release unmaps the file. Views
+// must not be used afterwards.
+func (m *Mapping) Release() {
+	n := m.refs.Add(-1)
+	switch {
+	case n == 0:
+		unmapBytes(m.data, m.mapped)
+		m.data = nil
+	case n < 0:
+		panic("persist: Mapping released more times than retained")
+	}
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// mapFile on platforms without syscall.Mmap reads the file into memory:
+// the O(1)-restart property is lost but the format and every caller work
+// unchanged.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	data, err = os.ReadFile(f.Name())
+	if err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+func unmapBytes(data []byte, mapped bool) {}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only. An empty file maps to an empty non-nil slice
+// without touching mmap (zero-length mappings are an EINVAL on Linux).
+// Falls back to an ordinary read when the kernel refuses the mapping
+// (some filesystems, locked-down containers) — the caller only sees a
+// byte slice either way.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size == 0 {
+		return []byte{}, false, nil
+	}
+	if int64(int(size)) != size {
+		return nil, false, syscall.EFBIG
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err == nil {
+		return data, true, nil
+	}
+	data, rerr := os.ReadFile(f.Name())
+	if rerr != nil {
+		return nil, false, err // report the mmap failure, the more useful one
+	}
+	return data, false, nil
+}
+
+func unmapBytes(data []byte, mapped bool) {
+	if mapped && len(data) > 0 {
+		syscall.Munmap(data)
+	}
+}

@@ -1,0 +1,423 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+func writeTestSnapshot(t *testing.T, path string) ([]byte, []Section) {
+	t.Helper()
+	meta := []byte(`{"name":"test","version":7}`)
+	sections := []Section{
+		{ID: 1, Data: []int32{0, 2, 4, 6}},
+		{ID: 2, Data: []int32{1, 0, 2, 1}},
+		{ID: 9, Data: []int32{}},
+		{ID: 5, Data: []int32{-1, -2, 2147483647, -2147483648}},
+	}
+	if _, err := WriteSnapshot(path, meta, sections); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	return meta, sections
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.fbcc")
+	meta, sections := writeTestSnapshot(t, path)
+
+	for _, verify := range []bool{false, true} {
+		m, err := OpenMapped(path, verify)
+		if err != nil {
+			t.Fatalf("OpenMapped(verify=%v): %v", verify, err)
+		}
+		if !bytes.Equal(m.Meta(), meta) {
+			t.Errorf("meta = %q, want %q", m.Meta(), meta)
+		}
+		for _, s := range sections {
+			got, ok := m.Section(s.ID)
+			if !ok {
+				t.Fatalf("section %d missing", s.ID)
+			}
+			if len(got) != len(s.Data) {
+				t.Fatalf("section %d: len %d, want %d", s.ID, len(got), len(s.Data))
+			}
+			for i := range got {
+				if got[i] != s.Data[i] {
+					t.Errorf("section %d[%d] = %d, want %d", s.ID, i, got[i], s.Data[i])
+				}
+			}
+			if got == nil {
+				t.Errorf("section %d: nil view (want non-nil even when empty)", s.ID)
+			}
+		}
+		if _, ok := m.Section(42); ok {
+			t.Error("Section(42) = ok for absent id")
+		}
+		if err := m.Verify(); err != nil {
+			t.Errorf("Verify: %v", err)
+		}
+		m.Release()
+	}
+}
+
+func TestSnapshotOverwriteIsAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.fbcc")
+	writeTestSnapshot(t, path)
+	// Second write over the same path must fully replace it.
+	meta2 := []byte("v2")
+	if _, err := WriteSnapshot(path, meta2, []Section{{ID: 3, Data: []int32{9}}}); err != nil {
+		t.Fatalf("second WriteSnapshot: %v", err)
+	}
+	m, err := OpenMapped(path, true)
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+	defer m.Release()
+	if !bytes.Equal(m.Meta(), meta2) {
+		t.Errorf("meta = %q, want %q", m.Meta(), meta2)
+	}
+	if _, ok := m.Section(1); ok {
+		t.Error("stale section 1 survived overwrite")
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+}
+
+// TestSnapshotHostileInputs mangles a valid snapshot byte image every way
+// the format must survive: truncation at every boundary, flipped bytes in
+// every region, and oversized declared lengths. Every case must fail with
+// ErrCorrupt — no panic, no giant allocation, no silent success.
+func TestSnapshotHostileInputs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.fbcc")
+	writeTestSnapshot(t, path)
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(valid); err != nil {
+		t.Fatalf("valid image rejected: %v", err)
+	}
+
+	t.Run("truncation", func(t *testing.T) {
+		for _, n := range []int{0, 1, 7, 8, 20, headerSize - 1, headerSize, headerSize + 5, len(valid) / 2, len(valid) - 1} {
+			if _, err := DecodeSnapshot(valid[:n]); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("truncated to %d bytes: err = %v, want ErrCorrupt", n, err)
+			}
+		}
+	})
+
+	t.Run("bitflips", func(t *testing.T) {
+		// Flip one byte at a time across the whole image. Padding bytes are
+		// not covered by any checksum, so a flip there may legitimately
+		// still decode — but it must never panic, and any flip in header,
+		// meta, directory, or section bytes must be caught.
+		for i := 0; i < len(valid); i++ {
+			mut := append([]byte{}, valid...)
+			mut[i] ^= 0xFF
+			_, err := DecodeSnapshot(mut) // must not panic
+			if err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Errorf("flip at %d: err = %v, not wrapped in ErrCorrupt", i, err)
+			}
+		}
+	})
+
+	t.Run("oversized-counts", func(t *testing.T) {
+		// A directory entry claiming a huge count must be rejected by the
+		// bounds check before any allocation; same for metaLen and nSec in
+		// the header (with their CRCs recomputed so only the bound trips).
+		mut := append([]byte{}, valid...)
+		binary.LittleEndian.PutUint32(mut[12:16], 1<<31-1) // nSec
+		binary.LittleEndian.PutUint32(mut[36:40], crcOf(mut[:36]))
+		if _, err := DecodeSnapshot(mut); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("huge section count: err = %v", err)
+		}
+
+		mut = append([]byte{}, valid...)
+		binary.LittleEndian.PutUint32(mut[16:20], 1<<30) // metaLen
+		binary.LittleEndian.PutUint32(mut[36:40], crcOf(mut[:36]))
+		if _, err := DecodeSnapshot(mut); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("huge meta length: err = %v", err)
+		}
+
+		// Huge count in the first directory entry, directory CRC fixed up.
+		mut = append([]byte{}, valid...)
+		metaLen := int(binary.LittleEndian.Uint32(mut[16:20]))
+		nSec := int(binary.LittleEndian.Uint32(mut[12:16]))
+		dirOff := align64(headerSize + int64(metaLen))
+		binary.LittleEndian.PutUint32(mut[dirOff+4:dirOff+8], 1<<31-1)
+		binary.LittleEndian.PutUint32(mut[32:36], crcOf(mut[dirOff:dirOff+int64(nSec*dirEntrySize)]))
+		binary.LittleEndian.PutUint32(mut[36:40], crcOf(mut[:36]))
+		if _, err := DecodeSnapshot(mut); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("huge section count in dir: err = %v", err)
+		}
+	})
+
+	t.Run("wrong-magic", func(t *testing.T) {
+		mut := append([]byte{}, valid...)
+		copy(mut, "NOTASNAP")
+		if _, err := DecodeSnapshot(mut); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("wrong magic: err = %v", err)
+		}
+	})
+}
+
+func crcOf(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+func TestSnapshotFaultpoints(t *testing.T) {
+	dir := t.TempDir()
+	for _, fp := range []string{FaultWrite, FaultFsync, FaultRename} {
+		path := filepath.Join(dir, fp+".fbcc")
+		if err := faultpoint.Set(fp + "=error"); err != nil {
+			t.Fatalf("arm %s: %v", fp, err)
+		}
+		_, err := WriteSnapshot(path, []byte("m"), []Section{{ID: 1, Data: []int32{1}}})
+		faultpoint.Disarm(fp)
+		if err == nil {
+			t.Errorf("%s: WriteSnapshot succeeded under fault", fp)
+		}
+		if _, serr := os.Stat(path); !errors.Is(serr, os.ErrNotExist) {
+			t.Errorf("%s: snapshot published despite fault", fp)
+		}
+		if _, serr := os.Stat(path + ".tmp"); !errors.Is(serr, os.ErrNotExist) {
+			t.Errorf("%s: temp file left behind", fp)
+		}
+	}
+	// After clearing, the write must work.
+	path := filepath.Join(dir, "ok.fbcc")
+	if _, err := WriteSnapshot(path, []byte("m"), []Section{{ID: 1, Data: []int32{1}}}); err != nil {
+		t.Fatalf("WriteSnapshot after faults cleared: %v", err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal has %d records", len(recs))
+	}
+	batches := []JournalRecord{
+		{Seq: 1, Adds: []JEdge{{0, 1}, {1, 2}}},
+		{Seq: 2, Dels: []JEdge{{1, 2}}},
+		{Seq: 3, Adds: []JEdge{{2, 3}}, Dels: []JEdge{{0, 1}}},
+		{Seq: 4}, // empty batch is legal framing
+	}
+	for _, b := range batches {
+		if _, err := j.Append(b.Seq, b.Adds, b.Dels, true); err != nil {
+			t.Fatalf("Append seq %d: %v", b.Seq, err)
+		}
+	}
+	if j.LastSeq() != 4 {
+		t.Errorf("LastSeq = %d, want 4", j.LastSeq())
+	}
+	j.Close()
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if len(recs) != len(batches) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(batches))
+	}
+	for i, r := range recs {
+		w := batches[i]
+		if r.Seq != w.Seq || len(r.Adds) != len(w.Adds) || len(r.Dels) != len(w.Dels) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, w)
+		}
+		for k := range r.Adds {
+			if r.Adds[k] != w.Adds[k] {
+				t.Errorf("record %d add %d = %v, want %v", i, k, r.Adds[k], w.Adds[k])
+			}
+		}
+		for k := range r.Dels {
+			if r.Dels[k] != w.Dels[k] {
+				t.Errorf("record %d del %d = %v, want %v", i, k, r.Dels[k], w.Dels[k])
+			}
+		}
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, err := j.Append(seq, []JEdge{{int32(seq), int32(seq + 1)}}, nil, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goodSize := j.Size()
+	j.Close()
+
+	// Simulate crash mid-append: garbage tails of several shapes.
+	tails := map[string][]byte{
+		"partial-header": {0x10},
+		"length-no-body": {0x18, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef},
+		"huge-length":    {0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0, 1, 2, 3},
+		"bad-crc": func() []byte {
+			// Full-size record with a wrong CRC.
+			b := make([]byte, recordHeaderSize+payloadFixed)
+			binary.LittleEndian.PutUint32(b[0:4], payloadFixed)
+			binary.LittleEndian.PutUint32(b[4:8], 0xbad)
+			return b
+		}(),
+	}
+	for name, tail := range tails {
+		t.Run(name, func(t *testing.T) {
+			base, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, append(base[:goodSize:goodSize], tail...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j, recs, err := OpenJournal(path)
+			if err != nil {
+				t.Fatalf("OpenJournal with torn tail: %v", err)
+			}
+			if len(recs) != 3 {
+				t.Fatalf("replayed %d records, want 3", len(recs))
+			}
+			if j.Size() != goodSize {
+				t.Errorf("size after truncation = %d, want %d", j.Size(), goodSize)
+			}
+			// Journal must be appendable after the repair.
+			if _, err := j.Append(4, []JEdge{{9, 9}}, nil, true); err != nil {
+				t.Fatalf("append after repair: %v", err)
+			}
+			j.Close()
+			j2, recs2, err := OpenJournal(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs2) != 4 || recs2[3].Seq != 4 {
+				t.Fatalf("after repair+append: %d records, last %+v", len(recs2), recs2[len(recs2)-1])
+			}
+			j2.Close()
+			// Restore the 3-record base for the next sub-test.
+			if err := os.WriteFile(path, base[:goodSize], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestJournalCorruptHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	if err := os.WriteFile(path, []byte("GARBAGE!and more"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("err = %v, want ErrJournalCorrupt", err)
+	}
+}
+
+func TestJournalTruncateThrough(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		if _, err := j.Append(seq, []JEdge{{int32(seq), 0}}, nil, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Partial cut: drop 1..3, keep 4..5.
+	if err := j.TruncateThrough(3); err != nil {
+		t.Fatalf("TruncateThrough(3): %v", err)
+	}
+	j.Close()
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 4 || recs[1].Seq != 5 {
+		t.Fatalf("after cut at 3: %+v", recs)
+	}
+	// Appends must continue past the cut.
+	if _, err := j.Append(6, nil, []JEdge{{1, 2}}, true); err != nil {
+		t.Fatal(err)
+	}
+	// No-op cut below everything.
+	if err := j.TruncateThrough(2); err != nil {
+		t.Fatal(err)
+	}
+	// Full cut.
+	if err := j.TruncateThrough(6); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j, recs, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(recs) != 0 {
+		t.Fatalf("after full cut: %+v", recs)
+	}
+	if _, err := j.Append(7, []JEdge{{3, 4}}, nil, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(1, []JEdge{{0, 1}}, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(9, []JEdge{{5, 6}}, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 9 {
+		t.Fatalf("after reset: %+v", recs)
+	}
+}
+
+func TestJournalAppendAllocs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	adds := []JEdge{{1, 2}, {3, 4}}
+	seq := uint64(0)
+	// Warm the buffer, then steady-state appends must not allocate.
+	if _, err := j.Append(seq, adds, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		seq++
+		if _, err := j.Append(seq, adds, nil, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Append allocates %.1f/op, want 0", allocs)
+	}
+}

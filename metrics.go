@@ -167,6 +167,21 @@ type storeMetrics struct {
 	mutRebuild   *obs.Counter
 	mutFlushSize *obs.Histogram
 
+	// Durability (see durable.go): snapshot writes and WAL appends by
+	// outcome, byte volume, journal prefix truncations, and restart
+	// recovery totals. These sit off the query path entirely — WAL
+	// counters cost one atomic add per mutation batch, snapshot counters
+	// one per background persist.
+	persistSnapOK    *obs.Counter
+	persistSnapErr   *obs.Counter
+	persistSnapBytes *obs.Counter
+	walAppendOK      *obs.Counter
+	walAppendErr     *obs.Counter
+	walBytes         *obs.Counter
+	walTruncs        *obs.Counter
+	recovered        *obs.Counter
+	replayed         *obs.Counter
+
 	graphGaugeMu sync.Mutex
 	graphGauges  map[string]bool
 
@@ -252,6 +267,39 @@ func newStoreMetrics(s *Store) *storeMetrics {
 			}
 			s.mu.RUnlock()
 			return oldest.Seconds()
+		})
+
+	m.persistSnapOK = reg.Counter("fastbcc_persist_snapshots_total",
+		"Snapshot files durably published, by outcome.", "outcome", "ok")
+	m.persistSnapErr = reg.Counter("fastbcc_persist_snapshots_total",
+		"Snapshot files durably published, by outcome.", "outcome", "error")
+	m.persistSnapBytes = reg.Counter("fastbcc_persist_snapshot_bytes_total",
+		"Bytes of snapshot files durably published.")
+	m.walAppendOK = reg.Counter("fastbcc_persist_wal_appends_total",
+		"Mutation journal appends, by outcome.", "outcome", "ok")
+	m.walAppendErr = reg.Counter("fastbcc_persist_wal_appends_total",
+		"Mutation journal appends, by outcome.", "outcome", "error")
+	m.walBytes = reg.Counter("fastbcc_persist_wal_bytes_total",
+		"Bytes appended to mutation journals.")
+	m.walTruncs = reg.Counter("fastbcc_persist_wal_truncations_total",
+		"Journal prefixes truncated after a snapshot durably covered them.")
+	m.recovered = reg.Counter("fastbcc_persist_recovered_graphs_total",
+		"Graphs restored from snapshot files by Store.Recover.")
+	m.replayed = reg.Counter("fastbcc_persist_replayed_mutations_total",
+		"Journal records replayed past their snapshot by Store.Recover.")
+	reg.GaugeFunc("fastbcc_persist_degraded_graphs",
+		"Graphs whose most recent persistence operation failed (serving "+
+			"continues; durability is degraded until a retry succeeds).",
+		func() float64 {
+			degraded := 0
+			s.mu.RLock()
+			for _, en := range s.byName {
+				if msg, _ := en.persistState(); msg != "" {
+					degraded++
+				}
+			}
+			s.mu.RUnlock()
+			return float64(degraded)
 		})
 
 	m.runner.runs = reg.Counter("fastbcc_runs_total",

@@ -49,10 +49,15 @@ import (
 // it, so the materialized edge sequence replays arrival order.
 
 // edgeDelta is one queued mutation: an insertion (add) or a deletion of
-// one occurrence of e. Edges are stored canonicalized (U <= W).
+// one occurrence of e. Edges are stored canonicalized (U <= W). seq is
+// the journal sequence number of the record that carries this delta (0
+// with durability off); when a flush lands, the entry's appliedSeq
+// advances to the last flushed delta's seq and the journal prefix
+// through it becomes truncatable (see durable.go).
 type edgeDelta struct {
 	add bool
 	e   Edge
+	seq uint64
 }
 
 // MutationResult reports how ApplyBatch disposed of one batch.
@@ -212,12 +217,15 @@ func (s *Store) enqueueLocked(en *storeEntry, name string, adds, dels []Edge) (M
 	if err := validateEdges(cur.Graph.NumVertices(), adds, dels); err != nil {
 		return MutationResult{}, err
 	}
+	// Journal before acknowledging: the record is what makes this batch
+	// durable (a failed append degrades, it does not fail the ack).
+	seq := s.journalAppend(en, name, adds, dels)
 	q := make([]edgeDelta, 0, len(adds)+len(dels))
 	for _, e := range adds {
-		q = append(q, edgeDelta{add: true, e: canonEdge(e)})
+		q = append(q, edgeDelta{add: true, e: canonEdge(e), seq: seq})
 	}
 	for _, e := range dels {
-		q = append(q, edgeDelta{e: canonEdge(e)})
+		q = append(q, edgeDelta{e: canonEdge(e), seq: seq})
 	}
 	s.queueDeltasLocked(en, name, q)
 	res := MutationResult{Version: cur.Version, Queued: len(q)}
@@ -264,6 +272,7 @@ func (s *Store) applyClassified(en *storeEntry, name string, adds, dels []Edge) 
 	work, idx := cur.Result, cur.Index
 	var queued []edgeDelta
 	var applied []Edge
+	var queuedAdds, queuedDels []Edge
 	fast, collapsed := 0, 0
 	for _, e := range adds {
 		cls := s.classifyAndMerge(cur, &work, &idx, e)
@@ -276,10 +285,29 @@ func (s *Store) applyClassified(en *storeEntry, name string, adds, dels []Edge) 
 			applied = append(applied, canonEdge(e))
 		default:
 			queued = append(queued, edgeDelta{add: true, e: canonEdge(e)})
+			queuedAdds = append(queuedAdds, canonEdge(e))
 		}
 	}
 	for _, e := range dels {
 		queued = append(queued, edgeDelta{e: canonEdge(e)})
+		queuedDels = append(queuedDels, canonEdge(e))
+	}
+
+	// Journal before acknowledging, as (up to) two records partitioning
+	// the batch: the applied part — reflected in the snapshot published
+	// below, so its seq becomes the snapshot's truncation point — and the
+	// queued residual, whose later seq keeps it in the journal until its
+	// own flush is durably persisted. The split is what makes a crash
+	// anywhere here safe: replay queues each record's edges exactly once.
+	var appliedSeq, queuedSeq uint64
+	if len(applied) > 0 {
+		appliedSeq = s.journalAppend(en, name, applied, nil)
+	}
+	if len(queued) > 0 {
+		queuedSeq = s.journalAppend(en, name, queuedAdds, queuedDels)
+		for i := range queued {
+			queued[i].seq = queuedSeq
+		}
 	}
 
 	if len(applied) > 0 {
@@ -297,6 +325,15 @@ func (s *Store) applyClassified(en *storeEntry, name string, adds, dels []Edge) 
 			BuildTime: time.Since(t0),
 			overlay:   overlay,
 			store:     s,
+		}
+		// This snapshot fully reflects the applied record (we hold sem, so
+		// appliedSeq > the previous watermark by construction); the shared
+		// Graph may alias a mapped snapshot file.
+		en.appliedSeq = appliedSeq
+		snap.mutSeq = appliedSeq
+		if cur.mapping != nil {
+			cur.mapping.Retain()
+			snap.mapping = cur.mapping
 		}
 		snap.refs.Store(1) // the store's reference only — nothing returned
 		s.live.Add(1)
@@ -461,6 +498,15 @@ func (s *Store) flushOnce(en *storeEntry, name string, q []edgeDelta, gen uint64
 		BuildTime: dur,
 		store:     s,
 	}
+	// The flush materialized every stolen delta: the watermark advances
+	// to the batch's last record (deltas arrive in seq order), and once
+	// this snapshot is durably persisted the journal prefix through it
+	// truncates away. No mapping propagation: materializeGraph built a
+	// fresh CSR, nothing here aliases a mapped file.
+	if last := q[len(q)-1].seq; last > en.appliedSeq {
+		en.appliedSeq = last
+	}
+	snap.mutSeq = en.appliedSeq
 	snap.refs.Store(1)
 	trace.Version = snap.Version
 	trace.Phases = res.Times
@@ -475,6 +521,7 @@ func (s *Store) flushOnce(en *storeEntry, name string, q []edgeDelta, gen uint64
 	if old := en.cur.Swap(snap); old != nil {
 		s.epochs.Retire(old.Release)
 	}
+	s.kickPersist(en, name)
 	return nil
 }
 

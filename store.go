@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/epoch"
+	"repro/internal/persist"
 )
 
 // Sentinel errors wrapped by Store methods, so serving layers can map
@@ -74,6 +76,14 @@ type Snapshot struct {
 	// CSR. Immutable, like every other snapshot field.
 	overlay []Edge
 
+	// mutSeq is the highest journal sequence number fully reflected in
+	// this snapshot (0 with durability off); see durable.go. mapping,
+	// when non-nil, is the mmap the snapshot's arrays alias — restored
+	// snapshots, and their descendants that share the Graph. The snapshot
+	// holds one mapping reference, released with the last refcount.
+	mutSeq  uint64
+	mapping *persist.Mapping
+
 	refs  atomic.Int64 // the store's reference + one per Acquire
 	store *Store
 }
@@ -110,6 +120,11 @@ func (s *Snapshot) Release() {
 		// Superseded and no reader left: the version is fully retired.
 		if s.store != nil {
 			s.store.live.Add(-1)
+		}
+		if s.mapping != nil {
+			// The arrays may alias the mapped snapshot file; only now is
+			// it provably unreachable.
+			s.mapping.Release()
 		}
 	case n < 0:
 		panic("fastbcc: Snapshot released more times than acquired")
@@ -174,6 +189,20 @@ type Store struct {
 	inFlight   atomic.Int64 // builds currently executing on the Runner
 	buildFails atomic.Int64 // cumulative failed builds since creation
 
+	// Durability configuration and store-wide counters (see durable.go).
+	// dataDir == "" disables persistence entirely.
+	dataDir       string
+	verifyOnLoad  bool
+	journalNoSync bool
+
+	persistOK         atomic.Int64 // snapshot files durably published
+	persistFails      atomic.Int64 // failed snapshot writes / journal appends
+	walAppends        atomic.Int64 // journal records appended
+	walFails          atomic.Int64 // journal appends that failed (ack proceeded, degraded)
+	walTruncs         atomic.Int64 // journal truncations after a durable snapshot
+	recoveredGraphs   atomic.Int64 // graphs restored by Recover
+	replayedMutations atomic.Int64 // journal records queued for replay by Recover
+
 	// metrics is the observability surface the hot paths record into;
 	// every record site guards on the load being non-nil. It is nil with
 	// DisableMetrics, and SetMetricsEnabled flips it between nil and
@@ -224,6 +253,30 @@ type storeEntry struct {
 	// window). Buffered; a stale kick at worst shortens one future
 	// window.
 	flushKick chan struct{}
+
+	// Durability state (see durable.go); all dormant with DataDir unset.
+	// jmu guards the journal handle, walSeq, and the reusable encode
+	// buffers; it is a leaf like mutMu (may be taken under sem or mutMu,
+	// never waits on either). appliedSeq — the highest journal seq fully
+	// reflected in the published snapshot — is guarded by sem, like the
+	// publish it describes.
+	jmu        sync.Mutex
+	journal    *persist.Journal
+	walSeq     uint64
+	jAdds      []persist.JEdge
+	jDels      []persist.JEdge
+	appliedSeq uint64
+
+	// pwMu serializes snapshot writes for this entry (the background
+	// persister vs Store.Persist). pmu guards the persister's scheduling
+	// flags and the persist-error state; it is a leaf.
+	pwMu           sync.Mutex
+	pmu            sync.Mutex
+	persistDirty   bool
+	persistRunning bool
+	persistStopped bool
+	persistErr     string
+	persistErrAt   time.Time
 }
 
 // pendingDeltas returns the entry's unapplied mutation count and the age
@@ -312,6 +365,22 @@ type StoreConfig struct {
 	// immediately; the steal-the-whole-queue drain still coalesces any
 	// mutations that arrive while a flush build is in flight).
 	MutationCoalesce time.Duration
+	// DataDir enables durable serving (see durable.go): every full build
+	// persists a checksummed, mmap-able snapshot under DataDir/<graph>/,
+	// every mutation journals to a write-ahead log before acknowledging,
+	// and Store.Recover restores both after a restart. Empty disables
+	// persistence entirely — the default, and the pre-durability
+	// behavior.
+	DataDir string
+	// VerifyOnLoad makes Recover validate every section checksum before
+	// serving a restored snapshot, instead of the default lazy scheme
+	// (header/meta/directory eagerly, sections in the background while
+	// the snapshot already serves).
+	VerifyOnLoad bool
+	// JournalNoSync skips the fsync on journal appends: acknowledged
+	// mutations may be lost on a machine crash (not a process crash).
+	// For benchmarks and tests; leave false in production.
+	JournalNoSync bool
 	// DisableMetrics skips creating the Store's metric registry
 	// (Store.Metrics returns nil). The default — metrics on — costs one
 	// sharded atomic add per serving hop and a constant handful of
@@ -338,6 +407,9 @@ func NewStoreWithConfig(cfg StoreConfig) *Store {
 		queueWait:        cfg.BuildQueueWait,
 		buildTimeout:     cfg.BuildTimeout,
 		mutationCoalesce: cfg.MutationCoalesce,
+		dataDir:          cfg.DataDir,
+		verifyOnLoad:     cfg.VerifyOnLoad,
+		journalNoSync:    cfg.JournalNoSync,
 	}
 	if cfg.MaxConcurrentBuilds > 0 {
 		s.buildSem = make(chan struct{}, cfg.MaxConcurrentBuilds)
@@ -575,7 +647,22 @@ func (s *Store) build(ctx context.Context, en *storeEntry, name string, g *Graph
 		en.deltaQ = nil
 		en.deltaSince = time.Time{}
 		en.mutMu.Unlock()
+		// Journal history dies with the old graph too; appliedSeq catches
+		// up to walSeq so no obsolete record replays over the new graph.
+		s.initDurableEntry(en, name)
 	}
+	// A rebuild over the current graph (no overlay fold) shares its CSR
+	// arrays; if those alias a mapped snapshot file, this snapshot keeps
+	// the mapping alive too.
+	if cur != nil && snap.Graph == cur.Graph && cur.mapping != nil {
+		cur.mapping.Retain()
+		snap.mapping = cur.mapping
+	}
+	// The fresh build reflects everything applied so far (a rebuild folds
+	// the overlay; queued deltas stay queued and are NOT in this
+	// snapshot) — appliedSeq, guarded by the sem we hold, is exactly that
+	// watermark.
+	snap.mutSeq = en.appliedSeq
 	if old := en.cur.Swap(snap); old != nil {
 		// The old version is unpublished (the swap) but epoch-pinned
 		// readers may still be inside it: retire it into the domain,
@@ -584,6 +671,7 @@ func (s *Store) build(ctx context.Context, en *storeEntry, name string, g *Graph
 		// the deferred Release just removes the store's share.
 		s.epochs.Retire(old.Release)
 	}
+	s.kickPersist(en, name)
 	return snap, nil
 }
 
@@ -626,6 +714,12 @@ func (s *Store) Remove(name string) error {
 		return notLoadedErr(name)
 	}
 	s.retire(en)
+	// Remove deletes the graph's persisted state too — otherwise the next
+	// Recover would resurrect a graph the operator deleted. (Close does
+	// NOT delete: shutdown persistence is the whole point.)
+	if s.dataDir != "" {
+		os.RemoveAll(s.graphDir(name))
+	}
 	return nil
 }
 
@@ -634,6 +728,7 @@ func (s *Store) retire(en *storeEntry) {
 	en.removed = true
 	old := en.cur.Swap(nil)
 	en.unlock()
+	s.closeDurable(en)
 	if old != nil {
 		s.epochs.Retire(old.Release)
 	}
@@ -690,6 +785,15 @@ type GraphStatus struct {
 	DeltaAge      time.Duration
 	OverlayEdges  int
 	DeltaFlushes  int64
+
+	// Durability state (always false/empty with DataDir unset).
+	// DurabilityDegraded reports that the entry's most recent snapshot
+	// write or journal append failed: serving and acknowledgments
+	// continue, but a crash now may lose state. LastPersistError says
+	// why; a successful snapshot persist clears both.
+	DurabilityDegraded bool
+	LastPersistError   string
+	LastPersistErrorAt time.Time
 }
 
 // Status reports the health of name's entry: the serving version and
@@ -705,6 +809,11 @@ func (s *Store) Status(name string) (GraphStatus, error) {
 	st.ConsecutiveFailures, st.LastError, st.LastErrorAt = en.failure()
 	st.PendingDeltas, st.DeltaAge = en.pendingDeltas()
 	st.DeltaFlushes = en.flushes.Load()
+	if perr, pat := en.persistState(); perr != "" {
+		st.DurabilityDegraded = true
+		st.LastPersistError = perr
+		st.LastPersistErrorAt = pat
+	}
 	if t, ok := en.traces.last(); ok {
 		st.LastBuild = &t
 	}
@@ -755,6 +864,18 @@ type StoreStats struct {
 	// DeltaFlushes totals the coalesced delta rebuilds published.
 	PendingDeltas int64
 	DeltaFlushes  int64
+	// Durability counters (all zero with DataDir unset; see durable.go).
+	// PersistedSnapshots/PersistFailures count snapshot writes and any
+	// durability failure (snapshot or journal); WalAppends counts journal
+	// records appended; DegradedGraphs counts entries currently in the
+	// durability-degraded state; RecoveredGraphs/ReplayedMutations
+	// describe what Recover restored.
+	PersistedSnapshots int64
+	PersistFailures    int64
+	WalAppends         int64
+	DegradedGraphs     int
+	RecoveredGraphs    int64
+	ReplayedMutations  int64
 }
 
 // Stats returns current catalog gauges. Reading stats also runs an
@@ -763,7 +884,7 @@ type StoreStats struct {
 func (s *Store) Stats() StoreStats {
 	s.epochs.Reclaim()
 	byAlgo := map[string]int{}
-	failing := 0
+	failing, degraded := 0, 0
 	var pendingDeltas, deltaFlushes int64
 	s.mu.RLock()
 	n := len(s.byName)
@@ -773,6 +894,9 @@ func (s *Store) Stats() StoreStats {
 		}
 		if f, _, _ := en.failure(); f > 0 {
 			failing++
+		}
+		if perr, _ := en.persistState(); perr != "" {
+			degraded++
 		}
 		p, _ := en.pendingDeltas()
 		pendingDeltas += int64(p)
@@ -803,6 +927,13 @@ func (s *Store) Stats() StoreStats {
 		InFlightBuilds:   s.inFlight.Load(),
 		PendingDeltas:    pendingDeltas,
 		DeltaFlushes:     deltaFlushes,
+
+		PersistedSnapshots: s.persistOK.Load(),
+		PersistFailures:    s.persistFails.Load(),
+		WalAppends:         s.walAppends.Load(),
+		DegradedGraphs:     degraded,
+		RecoveredGraphs:    s.recoveredGraphs.Load(),
+		ReplayedMutations:  s.replayedMutations.Load(),
 	}
 }
 
